@@ -1,0 +1,63 @@
+"""Ablations -- Phase 3 ingredients and template knobs.
+
+Covers the DESIGN.md ablation list: Phase 3 on/off, heatsink-weight
+feedback on/off, architectural fine-tuning, and the dataflow choice the
+template holds fixed.
+"""
+
+from conftest import emit
+
+from repro.experiments.ablations import (
+    dataflow_ablation,
+    finetuning_ablation,
+    phase3_ablation,
+)
+from repro.experiments.runner import format_table
+
+
+def test_ablation_phase3(context, benchmark):
+    rows = benchmark(lambda: phase3_ablation(context=context))
+
+    table = [[r.configuration, f"{r.num_missions:.1f}"] for r in rows]
+    emit("Ablation: Phase 3 ingredients (nano-UAV, dense)",
+         format_table(["configuration", "missions"], table))
+
+    by_name = {r.configuration: r for r in rows}
+    full = by_name["full Phase 3 (AP)"]
+    # Phase 3 is the difference-maker: removing it (HT/LP/HE picks)
+    # loses missions.
+    for label in ("HT", "LP", "HE"):
+        assert full.num_missions > by_name[f"no Phase 3 ({label})"].\
+            num_missions * 0.999
+    # Weight feedback matters: ignoring it picks a worse design.
+    assert full.num_missions >= by_name["no weight feedback"].num_missions
+
+
+def test_ablation_finetuning(context, benchmark):
+    rows = benchmark(lambda: finetuning_ablation(context=context))
+
+    table = [[r.configuration, f"{r.clock_scale:.2f}x",
+              f"{r.frames_per_second:.1f}", f"{r.soc_power_w:.2f}",
+              f"{r.num_missions:.1f}"] for r in rows]
+    emit("Ablation: architectural fine-tuning (frequency scaling)",
+         format_table(["configuration", "clock", "FPS", "SoC W",
+                       "missions"], table))
+
+    before, after = rows
+    assert after.num_missions >= before.num_missions
+
+
+def test_ablation_dataflow(benchmark):
+    rows = benchmark(dataflow_ablation)
+
+    table = [[r.dataflow.upper(), f"{r.frames_per_second:.1f}",
+              f"{r.soc_power_w:.2f}", f"{r.pe_utilization:.0%}",
+              f"{r.dram_mb_per_frame:.2f}"] for r in rows]
+    emit("Ablation: dataflow choice (32x32 array, 128 KB scratchpads)",
+         format_table(["dataflow", "FPS", "SoC W", "PE util",
+                       "DRAM MB/frame"], table))
+
+    assert {r.dataflow for r in rows} == {"os", "ws", "is"}
+    for row in rows:
+        assert row.frames_per_second > 0
+        assert 0 < row.pe_utilization <= 1

@@ -1,0 +1,32 @@
+"""Ablation -- sensor frame rate (Table IV's 30/60 FPS column).
+
+With the AutoPilot nano design fixed, a 30 FPS camera caps the pipeline
+below the ~46 Hz knee and costs missions; 60 FPS leaves compute
+binding; 90 FPS adds nothing (the design already sits at the knee).
+"""
+
+import pytest
+from conftest import emit
+
+from repro.experiments.runner import format_table
+from repro.experiments.sensors import sensor_sensitivity
+
+
+def test_ablation_sensor(context, benchmark):
+    rows = benchmark(lambda: sensor_sensitivity(context=context))
+
+    table = [[f"{r.sensor_fps:.0f}", f"{r.action_throughput_hz:.1f}",
+              f"{r.safe_velocity_m_s:.2f}", f"{r.num_missions:.1f}",
+              "sensor" if r.sensor_bound else "compute"]
+             for r in rows]
+    emit("Ablation: sensor frame rate (nano-UAV AutoPilot design)",
+         format_table(["sensor FPS", "action Hz", "Vsafe", "missions",
+                       "bound by"], table))
+
+    by_rate = {r.sensor_fps: r for r in rows}
+    # 30 FPS is sensor-bound and costs missions.
+    assert by_rate[30.0].sensor_bound
+    assert by_rate[30.0].num_missions < by_rate[60.0].num_missions
+    # Beyond the design's own rate, faster sensors add nothing.
+    assert by_rate[90.0].num_missions == pytest.approx(
+        by_rate[60.0].num_missions, rel=0.05)

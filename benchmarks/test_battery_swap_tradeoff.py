@@ -1,0 +1,38 @@
+"""Eq. 4 / Section IV -- why "just add battery" does not scale.
+
+Paper: "to maximize the number of missions, the optimization objective
+is to increase the UAV's safe velocity or increase the battery
+capacity.  Increasing the battery capacity is non-trivial since UAV
+size impacts the SWaP constraints."  The sweep quantifies it: capacity
+pays with sharply diminishing returns (pack weight raises rotor power
+superlinearly and lowers the velocity ceiling) and eventually turns
+negative -- compute co-design is the cheaper lever.
+"""
+
+from conftest import emit
+
+from repro.experiments.battery import battery_sweep, marginal_gain
+from repro.experiments.runner import format_table
+
+
+def test_battery_swap_tradeoff(benchmark):
+    rows = benchmark(battery_sweep)
+
+    gains = marginal_gain(rows)
+    table = [[f"{r.capacity_scale:.1f}x", f"{r.capacity_mah:.0f}",
+              f"{r.added_weight_g:.0f}", f"{r.safe_velocity_m_s:.2f}",
+              f"{r.num_missions:.1f}",
+              f"{gains[i - 1]:.1f}" if i > 0 else "-"]
+             for i, r in enumerate(rows)]
+    emit("Eq. 4: battery capacity vs. missions (nano-UAV, AP compute)",
+         format_table(["capacity", "mAh", "+weight g", "Vsafe",
+                       "missions", "marginal"], table))
+
+    # Velocity falls monotonically as pack weight grows.
+    velocities = [r.safe_velocity_m_s for r in rows]
+    assert velocities == sorted(velocities, reverse=True)
+    # Marginal missions-per-capacity strictly diminish...
+    assert all(b < a for a, b in zip(gains, gains[1:]))
+    # ...and eventually turn negative: there is an interior optimum.
+    assert gains[0] > 0
+    assert gains[-1] < 0

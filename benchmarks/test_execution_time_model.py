@@ -1,0 +1,39 @@
+"""Section III-C -- 'Total Execution Time' of one AutoPilot round.
+
+Paper: one round takes 3 to 7 days; Phase 1 and Phase 2 dominate while
+Phase 3 is negligible; Phase 1 parallelises across RL workers.
+"""
+
+from conftest import emit
+
+from repro.experiments.cost_model import execution_time
+from repro.experiments.runner import format_table
+
+
+def test_execution_time_model(benchmark):
+    estimate = benchmark(execution_time)
+
+    rows = [["Phase 1 (RL training, 4 workers)",
+             f"{estimate.phase1_days:.2f}"],
+            ["Phase 2 (cycle-level DSE)", f"{estimate.phase2_days:.2f}"],
+            ["Phase 3 (F-1 back end)", f"{estimate.phase3_days:.5f}"],
+            ["Total", f"{estimate.total_days:.2f}"]]
+    body = format_table(["stage", "days"], rows)
+
+    serial = execution_time(training_workers=1)
+    parallel = execution_time(training_workers=16)
+    body += (f"\n\nPhase 1 scaling: {serial.phase1_days:.1f} days serial "
+             f"-> {parallel.phase1_days:.1f} days on 16 workers "
+             f"(the ACME/QuaRL/Seed-RL argument)")
+    emit("Section III-C: total execution time of one AutoPilot round",
+         body)
+
+    # The paper's band: 3-7 days per round.
+    assert 3.0 <= estimate.total_days <= 7.0
+    # Phase 3 is negligible (<0.1% of the total).
+    assert estimate.phase3_fraction < 1e-3
+    # Phases 1+2 dominate.
+    assert estimate.phase1_days + estimate.phase2_days > \
+        0.99 * estimate.total_days
+    # Distributed RL collapses Phase 1.
+    assert parallel.phase1_days < serial.phase1_days / 8

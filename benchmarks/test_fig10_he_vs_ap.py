@@ -1,0 +1,38 @@
+"""Fig. 10 -- the high-efficiency pitfall: HE vs AP on the nano-UAV.
+
+Paper: HE (96 FPS @ 1.5 W, ~64 FPS/W) beats AP (46 FPS @ 0.83 W,
+~55 FPS/W) on efficiency yet loses 1.3x on missions: it is roughly 2x
+over-provisioned past the knee, and the extra watts buy heatsink
+weight, not velocity.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig7_to_10 import deep_dive
+from repro.experiments.runner import format_table
+from repro.uav.platforms import NANO_ZHANG
+
+
+def test_fig10_he_vs_ap(context, benchmark):
+    dive = benchmark(lambda: deep_dive(platform=NANO_ZHANG, context=context))
+    he, ap = dive.strategies["HE"], dive.strategies["AP"]
+
+    table = [[label, f"{s.frames_per_second:.1f}", f"{s.soc_power_w:.2f}",
+              f"{s.efficiency_fps_per_w:.1f}",
+              f"{s.compute_weight_g:.1f}", s.mission.verdict.value,
+              f"{s.num_missions:.1f}"]
+             for label, s in (("HE", he), ("AP", ap))]
+    emit("Fig. 10: pitfalls of the high-efficiency DSSoC",
+         format_table(["design", "FPS", "SoC W", "FPS/W", "weight g",
+                       "verdict", "missions"], table))
+
+    # HE wins the isolated efficiency metric...
+    assert he.efficiency_fps_per_w >= ap.efficiency_fps_per_w
+    # ...but is over-provisioned (paper: ~2x past the knee)...
+    knee = ap.mission.knee_throughput_hz
+    assert he.frames_per_second > 1.5 * knee
+    # ...carries more power and weight...
+    assert he.soc_power_w > ap.soc_power_w
+    assert he.compute_weight_g > ap.compute_weight_g
+    # ...and loses on missions (paper: 1.3x).
+    assert dive.missions_ratio("HE") > 1.1

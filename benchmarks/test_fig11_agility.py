@@ -1,0 +1,45 @@
+"""Fig. 11 -- UAV agility raises the compute-throughput requirement.
+
+Paper anchors: with 60 FPS sensors, the DJI Spark's knee is ~27 Hz and
+the more agile nano-UAV's is ~46 Hz, so AutoPilot provisions ~2x more
+compute throughput for the nano.
+"""
+
+from conftest import emit
+
+from repro.viz import ascii_line
+
+from repro.experiments.fig11 import agility_comparison, roofline_curves
+from repro.experiments.runner import format_table
+from repro.uav.platforms import DJI_SPARK, NANO_ZHANG
+
+
+def test_fig11_agility(context, benchmark):
+    rows = benchmark(lambda: agility_comparison(context=context))
+
+    table = [[r.platform, f"{r.max_accel_m_s2:.1f}",
+              f"{r.knee_throughput_hz:.1f}",
+              f"{r.velocity_ceiling_m_s:.1f}", f"{r.selected_fps:.1f}"]
+             for r in rows]
+    body = format_table(["UAV", "a_max m/s^2", "knee Hz", "V ceiling",
+                         "selected FPS"], table)
+    curves = roofline_curves()
+    body += "\n\n" + ascii_line(
+        [(name.split()[0], throughputs, velocities)
+         for name, throughputs, velocities in curves],
+        x_label="action throughput Hz", y_label="safe velocity m/s")
+    emit("Fig. 11: agility's impact on DSSoC requirements", body)
+
+    by_name = {r.platform: r for r in rows}
+    spark = by_name[DJI_SPARK.name]
+    nano = by_name[NANO_ZHANG.name]
+    # The published knee-points.
+    assert abs(spark.knee_throughput_hz - 27.0) < 3.0
+    assert abs(nano.knee_throughput_hz - 46.0) < 4.0
+    # AutoPilot provisions ~2x more throughput for the agile nano.
+    assert nano.selected_fps / spark.selected_fps > 1.3
+    # Selections track their platform's knee.
+    assert abs(spark.selected_fps - spark.knee_throughput_hz) \
+        < 0.5 * spark.knee_throughput_hz
+    assert abs(nano.selected_fps - nano.knee_throughput_hz) \
+        < 0.5 * nano.knee_throughput_hz

@@ -1,0 +1,47 @@
+"""Fig. 2b -- E2E model parameters vs. task success rate.
+
+Paper series: the 60-91% success band over the template sweep, with a
+scenario-dependent optimum.
+"""
+
+from conftest import emit
+
+from repro.viz import ascii_scatter
+
+from repro.airlearning.scenarios import ALL_SCENARIOS, Scenario
+from repro.experiments.fig2b import best_template, success_vs_params
+from repro.experiments.runner import format_table
+
+
+def run_fig2b():
+    return {scenario: success_vs_params(scenario)
+            for scenario in ALL_SCENARIOS}
+
+
+def test_fig2b_success_vs_params(benchmark):
+    by_scenario = benchmark(run_fig2b)
+
+    rows = []
+    for scenario, points in by_scenario.items():
+        for point in points:
+            rows.append([scenario.value, point.num_layers,
+                         point.num_filters,
+                         f"{point.parameters / 1e6:.2f}M",
+                         f"{point.macs / 1e9:.2f}G",
+                         f"{point.success_rate:.2%}"])
+    body = format_table(["scenario", "layers", "filters", "params", "MACs",
+                         "success"], rows)
+    dense_points = [(p.macs / 1e9, p.success_rate)
+                    for p in by_scenario[Scenario.DENSE]]
+    body += "\n\nDense scenario (MACs vs success):\n"
+    body += ascii_scatter(dense_points, x_label="GMACs",
+                          y_label="success rate")
+    emit("Fig. 2b: E2E model parameters vs. task-level success rate", body)
+
+    # Shape: the published 60-91% band and the per-scenario winners.
+    rates = [p.success_rate for points in by_scenario.values()
+             for p in points]
+    assert 0.60 <= min(rates) and max(rates) <= 0.91
+    assert best_template(Scenario.LOW).num_layers == 5
+    assert best_template(Scenario.MEDIUM).num_layers == 4
+    assert best_template(Scenario.DENSE).num_layers == 7

@@ -1,0 +1,38 @@
+"""Fig. 3b -- accelerator template sweep and Pareto frontier.
+
+Paper series: varying PE count and SRAM sizes produces a wide
+performance/power trade-off with a clean Pareto frontier.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig3b import accelerator_frontier
+from repro.experiments.runner import format_table
+from repro.nn.template import PolicyHyperparams
+
+
+def run_fig3b():
+    return accelerator_frontier(policy=PolicyHyperparams(7, 48))
+
+
+def test_fig3b_accelerator_frontier(benchmark):
+    rows = benchmark(run_fig3b)
+
+    table = [[f"{r.pe_rows}x{r.pe_cols}", r.sram_kb,
+              f"{r.frames_per_second:.1f}", f"{r.soc_power_w:.2f}",
+              f"{r.pe_utilization:.0%}", "*" if r.is_pareto else ""]
+             for r in rows]
+    emit("Fig. 3b: accelerator sweep (e2e-L7-F48; * = Pareto)",
+         format_table(["PEs", "SRAM KB", "FPS", "SoC W", "util", "Pareto"],
+                      table))
+
+    # Shape: wide spread (Table III quotes 0.7-8.24 W, 22-200 FPS for
+    # the searched designs) and a non-trivial frontier.
+    fps = [r.frames_per_second for r in rows]
+    power = [r.soc_power_w for r in rows]
+    assert max(fps) / min(fps) > 10.0
+    assert max(power) / min(power) > 5.0
+    pareto = [r for r in rows if r.is_pareto]
+    assert 2 <= len(pareto) < len(rows)
+    # Throughput in the paper's operating band is reachable.
+    assert any(20.0 <= f <= 220.0 for f in fps)

@@ -1,0 +1,56 @@
+"""Fig. 4 -- F-1 model design selection on synthetic candidates.
+
+Paper constructions: (a) among equal-throughput designs A/B/C with
+rising TDP, the lowest-power 'A' wins because heatsink weight lowers
+the ceiling; (b) along one roofline, the knee-point design 'O' beats
+the under-provisioned 'X' and the over-provisioned 'A'.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig4 import (
+    equal_throughput_designs,
+    knee_point_designs,
+    selected_label_fig4a,
+    selected_label_fig4b,
+)
+from repro.experiments.runner import format_table
+
+
+def test_fig4a_equal_throughput(benchmark):
+    rows = benchmark(equal_throughput_designs)
+
+    table = [[r.label, f"{r.tdp_w:.1f}", f"{r.compute_weight_g:.1f}",
+              f"{r.velocity_ceiling_m_s:.2f}", f"{r.num_missions:.1f}"]
+             for r in rows]
+    emit("Fig. 4a: equal throughput, rising TDP (A/B/C)",
+         format_table(["design", "TDP W", "weight g", "V ceiling",
+                       "missions"], table))
+
+    # Heavier designs have strictly lower ceilings and fewer missions.
+    ceilings = [r.velocity_ceiling_m_s for r in rows]
+    missions = [r.num_missions for r in rows]
+    assert ceilings == sorted(ceilings, reverse=True)
+    assert missions == sorted(missions, reverse=True)
+    # AutoPilot picks 'A', the lowest-TDP design (the paper's outcome).
+    assert selected_label_fig4a(rows) == "A"
+
+
+def test_fig4b_knee_point(benchmark):
+    rows = benchmark(knee_point_designs)
+
+    table = [[r.label, f"{r.action_throughput_hz:.1f}",
+              f"{r.safe_velocity_m_s:.2f}", r.verdict,
+              f"{r.num_missions:.1f}"] for r in rows]
+    emit("Fig. 4b: under- / knee- / over-provisioned designs (X/O/A)",
+         format_table(["design", "action Hz", "Vsafe", "verdict",
+                       "missions"], table))
+
+    by_label = {r.label: r for r in rows}
+    assert by_label["X"].verdict == "under-provisioned"
+    assert by_label["O"].verdict == "balanced"
+    assert by_label["A"].verdict == "over-provisioned"
+    # 'O' saturates velocity with the minimum throughput and wins.
+    assert by_label["O"].safe_velocity_m_s > by_label["X"].safe_velocity_m_s
+    assert by_label["O"].num_missions >= by_label["A"].num_missions
+    assert selected_label_fig4b(rows) == "O"

@@ -1,0 +1,41 @@
+"""Fig. 5 -- missions: AutoPilot vs TX2 / Xavier NX / PULP-DroNet.
+
+Paper headline: AutoPilot increases missions on average by up to 2.25x
+(nano), 1.62x (micro) and 1.43x (mini) over the baselines.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig5 import class_average_speedups, missions_comparison
+from repro.experiments.runner import format_table
+
+
+def test_fig5_missions_vs_baselines(context, benchmark):
+    rows = benchmark(missions_comparison, context)
+
+    table = []
+    for row in rows:
+        table.append([
+            row.uav_class, row.scenario,
+            f"{row.autopilot_missions:.1f}",
+            *(f"{row.baseline_missions[name]:.1f}"
+              for name in ("Jetson TX2", "Xavier NX", "PULP-DroNet")),
+            f"{row.speedup_over_mean:.2f}x",
+        ])
+    speedups = class_average_speedups(rows)
+    body = format_table(
+        ["class", "scenario", "AutoPilot", "TX2", "NX", "PULP",
+         "vs mean"], table)
+    body += "\n\nclass-average speedups: " + ", ".join(
+        f"{cls}={value:.2f}x" for cls, value in sorted(speedups.items()))
+    emit("Fig. 5: number of missions per charge", body)
+
+    # Shape: AutoPilot wins every cell, and the advantage grows as the
+    # UAV shrinks (paper: mini 1.43x < micro 1.62x < nano 2.25x).
+    for row in rows:
+        for name, missions in row.baseline_missions.items():
+            assert row.autopilot_missions > missions, \
+                f"{row.platform}/{row.scenario}: lost to {name}"
+    assert speedups["nano"] > speedups["micro"] > speedups["mini"] > 1.0
+    # The mini-class factor lands in the paper's reported band.
+    assert 1.2 < speedups["mini"] < 1.8

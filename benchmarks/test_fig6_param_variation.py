@@ -1,0 +1,37 @@
+"""Fig. 6 -- DSSoC architectural parameter variation across scenarios.
+
+Paper message: the selected parameters vary with UAV type and
+deployment scenario -- there is no one-size-fits-all DSSoC.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig6 import (
+    PARAM_NAMES,
+    distinct_design_count,
+    parameter_variation,
+)
+from repro.experiments.runner import format_table
+
+
+def test_fig6_param_variation(context, benchmark):
+    rows = benchmark(parameter_variation, context)
+
+    table = [[r.platform, r.scenario,
+              *(f"{r.normalized[name]:.1f}x" for name in PARAM_NAMES)]
+             for r in rows]
+    emit("Fig. 6: selected DSSoC parameters (normalised to the minimum)",
+         format_table(["UAV", "scenario", *PARAM_NAMES], table))
+
+    assert len(rows) == 9
+    # Shape: several distinct designs across the nine combinations, and
+    # at least one parameter spreads by 2x or more.
+    assert distinct_design_count(rows) >= 3
+    spreads = [max(r.normalized[name] for r in rows)
+               for name in PARAM_NAMES]
+    assert max(spreads) >= 2.0
+    # The policy depth follows the scenario winners (5/4/7 layers).
+    dense_rows = [r for r in rows if r.scenario == "dense"]
+    low_rows = [r for r in rows if r.scenario == "low"]
+    assert all(r.params["num_layers"] == 7 for r in dense_rows)
+    assert all(r.params["num_layers"] == 5 for r in low_rows)

@@ -1,0 +1,56 @@
+"""Fig. 7 -- Phase 2 Pareto frontier and the HT/LP/HE/AP designs.
+
+Paper anchors (nano-UAV): HT ~205 FPS @ 8.24 W (65 g), AP ~46 FPS @
+0.7 W (24 g), HE ~96 FPS @ 1.5 W; the traditional picks all beat AP on
+their own isolated metric.
+"""
+
+from conftest import emit
+
+from repro.viz import ascii_scatter
+
+from repro.experiments.fig7_to_10 import deep_dive
+from repro.experiments.runner import format_table
+from repro.uav.platforms import NANO_ZHANG
+
+
+def test_fig7_pareto_designs(context, benchmark):
+    dive = benchmark(lambda: deep_dive(platform=NANO_ZHANG, context=context))
+
+    table = []
+    for label in ("HT", "LP", "HE", "AP"):
+        s = dive.strategies[label]
+        table.append([label, f"{s.frames_per_second:.1f}",
+                      f"{s.soc_power_w:.2f}",
+                      f"{s.efficiency_fps_per_w:.1f}",
+                      f"{s.compute_weight_g:.1f}",
+                      f"{s.mission.safe_velocity_m_s:.2f}",
+                      f"{s.num_missions:.1f}"])
+    body = format_table(["design", "FPS", "SoC W", "FPS/W", "weight g",
+                         "Vsafe", "missions"], table)
+    body += f"\n\nPareto frontier: {len(dive.pareto_points)} designs\n\n"
+    points = list(dive.pareto_points)
+    labels = [""] * len(points)
+    for label in ("HT", "LP", "HE", "AP"):
+        s = dive.strategies[label]
+        points.append((s.frames_per_second, s.soc_power_w))
+        labels.append(label)
+    body += ascii_scatter(points, labels=labels, x_label="FPS (log)",
+                          y_label="SoC power W (log)", log_x=True,
+                          log_y=True)
+    emit("Fig. 7: Pareto frontier designs on the nano-UAV", body)
+
+    ht, lp = dive.strategies["HT"], dive.strategies["LP"]
+    he, ap = dive.strategies["HE"], dive.strategies["AP"]
+    # Each traditional pick wins its own isolated compute metric...
+    assert ht.frames_per_second > ap.frames_per_second
+    assert lp.soc_power_w <= he.soc_power_w
+    assert he.efficiency_fps_per_w >= ap.efficiency_fps_per_w
+    # ...HT by a large factor (paper: 4.47x more throughput than AP)...
+    assert ht.frames_per_second / ap.frames_per_second > 2.0
+    # ...and HT drags an order of magnitude more power (paper: 11.7x).
+    assert ht.soc_power_w / ap.soc_power_w > 5.0
+    # The AP design lands in the paper's operating neighbourhood.
+    assert 25.0 < ap.frames_per_second < 70.0
+    assert 0.2 < ap.soc_power_w < 1.5
+    assert 20.0 < ap.compute_weight_g < 30.0

@@ -1,0 +1,47 @@
+"""Fig. 8 -- the high-throughput pitfall: HT vs AP on the nano-UAV.
+
+Paper: AP outperforms HT by 2.25x in missions; HT's power (11.7x AP's)
+inflates its heatsink, whose weight lowers the F-1 ceiling.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.viz import ascii_line
+
+from repro.experiments.fig7_to_10 import deep_dive
+from repro.experiments.runner import format_table
+from repro.uav.platforms import NANO_ZHANG
+
+
+def test_fig8_ht_vs_ap(context, benchmark):
+    dive = benchmark(lambda: deep_dive(platform=NANO_ZHANG, context=context))
+    ht, ap = dive.strategies["HT"], dive.strategies["AP"]
+
+    table = [[label, f"{s.frames_per_second:.1f}", f"{s.soc_power_w:.2f}",
+              f"{s.compute_weight_g:.1f}",
+              f"{s.mission.safe_velocity_m_s:.2f}",
+              s.mission.verdict.value, f"{s.num_missions:.1f}"]
+             for label, s in (("HT", ht), ("AP", ap))]
+    throughputs = np.linspace(2.0, 100.0, 50)
+    _, ht_curve = dive.f1_curve("HT", throughputs)
+    _, ap_curve = dive.f1_curve("AP", throughputs)
+    body = format_table(["design", "FPS", "SoC W", "weight g", "Vsafe",
+                         "verdict", "missions"], table)
+    body += "\n\nF-1 rooflines (the HT heatsink lowers the ceiling):\n"
+    body += ascii_line([("AP", throughputs, ap_curve),
+                        ("HT", throughputs, ht_curve)],
+                       x_label="action throughput Hz",
+                       y_label="safe velocity m/s")
+    ht_curve = ht_curve[[2, 10, 22, 49]]
+    ap_curve = ap_curve[[2, 10, 22, 49]]
+    emit("Fig. 8: pitfalls of the high-throughput DSSoC", body)
+
+    ratio = dive.missions_ratio("HT")
+    # Paper: 2.25x; shape check: AP wins decisively.
+    assert ratio > 1.5
+    # HT's heavier payload lowers its velocity ceiling (Fig. 8b).
+    assert ht_curve[-1] < ap_curve[-1]
+    # HT is over-provisioned: far beyond the knee.
+    assert ht.frames_per_second > 2.0 * dive.strategies["AP"].mission.\
+        knee_throughput_hz

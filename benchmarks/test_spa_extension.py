@@ -1,0 +1,37 @@
+"""Section VII / Table VI -- the SPA-paradigm generalisation study.
+
+Validates the Sense-Plan-Act stack (occupancy-grid mapping + A*
+planning + pure-pursuit control) in the same simulator, then places
+three compute tiers on the F-1 roofline: an MCU is compute-bound, an
+accelerated mapping/planning pipeline saturates the knee -- the same
+balanced-design story as the E2E path, with swapped components.
+"""
+
+from conftest import emit
+
+from repro.experiments.runner import format_table
+from repro.experiments.spa_extension import spa_extension_study
+
+
+def test_spa_extension(benchmark):
+    rows = benchmark(lambda: spa_extension_study(episodes=6, seed=3))
+
+    table = [[r.compute, f"{r.success_rate:.0%}",
+              f"{r.action_throughput_hz:.1f}",
+              f"{r.safe_velocity_m_s:.2f}", f"{r.num_missions:.1f}",
+              r.verdict] for r in rows]
+    emit("Section VII: SPA autonomy on three compute tiers (nano-UAV)",
+         format_table(["compute", "success", "action Hz", "Vsafe",
+                       "missions", "verdict"], table))
+
+    # The SPA stack actually navigates.
+    assert all(r.success_rate >= 0.5 for r in rows)
+    by_name = {r.compute.split(" ")[0] for r in rows}
+    assert {"MCU-class", "MPU-class", "Accelerated"} == by_name
+
+    mcu = [r for r in rows if r.compute.startswith("MCU")][0]
+    accel = [r for r in rows if r.compute.startswith("Accelerated")][0]
+    # The MCU is compute-bound (under the knee); acceleration pays in
+    # missions -- the paper's motivation for SPA-stage accelerators.
+    assert mcu.verdict == "under-provisioned"
+    assert accel.num_missions > 1.5 * mcu.num_missions

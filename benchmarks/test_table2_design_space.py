@@ -1,0 +1,28 @@
+"""Table II -- the searched design space.
+
+Paper numbers: 27 NN template points, 8x8 PE geometries, 8^3 SRAM
+combinations; the paper quotes ~10^18 once lower-level implementation
+details are counted.
+"""
+
+from conftest import emit
+
+from repro.experiments.runner import format_table
+from repro.experiments.table2 import design_space_summary
+
+
+def test_table2_design_space(benchmark):
+    summary = benchmark(design_space_summary)
+
+    emit("Table II: design space", format_table(
+        ["sub-space", "points"],
+        [["NN template (layers x filters)", summary.nn_points],
+         ["hardware (PEs x SRAMs)", summary.hardware_points],
+         ["joint template space", summary.joint_points]]))
+
+    assert summary.nn_points == 27
+    assert summary.hardware_points == 8 ** 5
+    assert summary.matches_paper_structure
+    # Far too large to enumerate exhaustively at simulator cost --
+    # the premise of the BO-driven Phase 2.
+    assert summary.joint_points > 500_000

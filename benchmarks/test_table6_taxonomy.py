@@ -1,0 +1,44 @@
+"""Tables I & VI -- qualitative comparisons rendered from structured data."""
+
+from conftest import emit
+
+from repro.core.prior_work import TABLE_I, render_table_i
+from repro.core.taxonomy import TABLE_VI, render_table_vi
+
+
+def test_table6_taxonomy(benchmark):
+    text = benchmark(render_table_vi)
+    emit("Table VI: AutoPilot methodology taxonomy", text)
+
+    assert len(TABLE_VI) == 6
+    ours = [row for row in TABLE_VI if row.is_this_work]
+    assert len(ours) == 1
+    # This work's row instantiates exactly the paper's component stack.
+    row = ours[0]
+    assert "Air Learning" in row.phase1_front_ends
+    assert any("Bayesian" in o for o in row.phase2_optimizers)
+    assert any("F-1" in b for b in row.phase3_back_ends)
+    # The taxonomy spans the discussion's other domains.
+    assert any("Self-driving" in r.domain for r in TABLE_VI)
+    assert any("Articulated" in r.domain for r in TABLE_VI)
+
+
+def test_table1_prior_work(benchmark):
+    text = benchmark(render_table_i)
+    emit("Table I: comparison of prior work on autonomous UAVs", text)
+
+    assert len(TABLE_I) == 6
+    ours = [row for row in TABLE_I if row.is_this_work]
+    assert len(ours) == 1
+    # Only this work checks every column (the paper's claim).
+    row = ours[0]
+    assert row.end_to_end_autonomy and row.considers_sensor
+    assert row.considers_uav_physics and row.provides_methodology
+    assert row.automated
+    for other in TABLE_I:
+        if other.is_this_work:
+            continue
+        full_house = (other.end_to_end_autonomy and other.considers_sensor
+                      and other.considers_uav_physics
+                      and other.provides_methodology and other.automated)
+        assert not full_house

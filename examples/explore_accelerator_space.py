@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Explore the accelerator template space for one policy (Fig. 3b).
+
+Sweeps PE-array and scratchpad sizes on the systolic-array simulator
+for a fixed E2E policy, prints the performance/power landscape with the
+Pareto frontier flagged, and compares the three dataflows on one design
+point.
+"""
+
+from repro import PolicyHyperparams
+from repro.experiments import (
+    accelerator_frontier,
+    dataflow_ablation,
+    format_table,
+)
+
+
+def main() -> None:
+    policy = PolicyHyperparams(num_layers=7, num_filters=48)
+
+    rows = []
+    for point in accelerator_frontier(policy=policy):
+        rows.append([
+            f"{point.pe_rows}x{point.pe_cols}",
+            point.sram_kb,
+            f"{point.frames_per_second:.1f}",
+            f"{point.soc_power_w:.2f}",
+            f"{point.pe_utilization:.0%}",
+            "*" if point.is_pareto else "",
+        ])
+    print(format_table(
+        ["PE array", "SRAM KB", "FPS", "SoC W", "PE util", "Pareto"],
+        rows, title=f"Accelerator sweep for {policy.identifier} "
+                    f"(Fig. 3b; * = Pareto-optimal)"))
+
+    print()
+    rows = []
+    for point in dataflow_ablation(policy=policy):
+        rows.append([
+            point.dataflow.upper(),
+            f"{point.frames_per_second:.1f}",
+            f"{point.soc_power_w:.2f}",
+            f"{point.pe_utilization:.0%}",
+            f"{point.dram_mb_per_frame:.2f}",
+        ])
+    print(format_table(
+        ["dataflow", "FPS", "SoC W", "PE util", "DRAM MB/frame"],
+        rows, title="Dataflow comparison on a 32x32 array, 128 KB SRAMs"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Inspect a navigation episode and persist DSE results.
+
+Demonstrates the debugging/persistence surface of the library: render
+a domain-randomised arena, trace a flight (the SPA agent's, so the run
+is policy-independent), and export a Phase 2 candidate pool to CSV for
+a later Phase 3 pass on a different UAV.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Scenario, TaskSpec, NANO_ZHANG, DJI_SPARK
+from repro.airlearning import NavigationEnv, render_arena
+from repro.core import (
+    BackEnd,
+    FrontEnd,
+    MultiObjectiveDse,
+    export_candidates_csv,
+    export_candidates_json,
+    load_candidates_json,
+)
+from repro.core.spec import build_design_space
+from repro.spa import SpaAgent
+
+
+def main() -> None:
+    # --- render one SPA episode -------------------------------------
+    env = NavigationEnv(Scenario.DENSE, seed=21)
+    env.reset()
+    agent = SpaAgent()
+    agent.reset(env)
+    trajectory = [(env.state.x, env.state.y)]
+    done = False
+    while not done:
+        step = env.step(agent.act(env))
+        trajectory.append((env.state.x, env.state.y))
+        done = step.done
+    print(f"episode over: success={step.success}, "
+          f"{len(trajectory)} poses\n")
+    print(render_arena(env.arena, path=trajectory, cells=30))
+
+    # --- run a small DSE and persist it ------------------------------
+    task = TaskSpec(platform=NANO_ZHANG, scenario=Scenario.DENSE)
+    database = FrontEnd(backend="surrogate", seed=5).run(task).database
+    space = build_design_space(layer_choices=(4, 7), filter_choices=(32, 48),
+                               pe_choices=(16, 32, 64),
+                               sram_choices=(64, 256))
+    result = MultiObjectiveDse(database=database, space=space,
+                               seed=5).run(task, budget=30)
+
+    out_dir = Path(tempfile.mkdtemp(prefix="autopilot-"))
+    csv_path = out_dir / "phase2_candidates.csv"
+    json_path = out_dir / "phase2_candidates.json"
+    export_candidates_csv(result, csv_path)
+    export_candidates_json(result, json_path)
+    print(f"\nexported {len(result.candidates)} candidates to {csv_path}")
+
+    # --- reuse the pool for a *different* UAV's Phase 3 ---------------
+    spark_task = TaskSpec(platform=DJI_SPARK, scenario=Scenario.DENSE)
+    reloaded = load_candidates_json(json_path, Scenario.DENSE, database)
+    selection = BackEnd().run(reloaded, spark_task)
+    print(f"reloaded pool -> DJI Spark selection: "
+          f"{selection.selected.candidate.design.describe()}")
+    print(f"missions on the Spark: "
+          f"{selection.selected.num_missions:.1f} "
+          f"(knee {selection.knee_throughput_hz:.1f} Hz)")
+
+
+if __name__ == "__main__":
+    main()

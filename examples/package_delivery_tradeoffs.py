@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Package-delivery trade-offs: why isolated compute metrics mislead.
+
+A delivery micro-UAV flies long, sparse (low-obstacle) routes; the
+operator cares about packages per charge, i.e. missions.  This example
+selects designs by the traditional strategies (high throughput, low
+power, high efficiency) and by AutoPilot's full-system Phase 3, then
+explains the outcome with the F-1 model -- the Figs. 7-10 analysis
+driven through the public API.
+"""
+
+from repro import DJI_SPARK, Scenario, TaskSpec
+from repro.core import TRADITIONAL_STRATEGIES
+from repro.experiments import ExperimentContext, format_table
+from repro.uav import F1Model
+
+
+def main() -> None:
+    context = ExperimentContext(budget=100, seed=7)
+    platform = DJI_SPARK
+    scenario = Scenario.LOW
+    task = context.task(platform, scenario)
+
+    result = context.run(platform, scenario)
+    backend = context.autopilot.backend
+
+    reports = {}
+    for label, chooser in TRADITIONAL_STRATEGIES.items():
+        candidate = chooser(result.phase2.candidates, task)
+        reports[label] = (candidate, backend.mission_for(candidate, task))
+    reports["AP"] = (result.selected.candidate, result.selected.mission)
+
+    rows = []
+    for label, (candidate, mission) in reports.items():
+        rows.append([
+            label,
+            f"{candidate.frames_per_second:.0f}",
+            f"{candidate.soc_power_w:.2f}",
+            f"{candidate.evaluation.compute_efficiency_fps_per_w:.0f}",
+            f"{candidate.compute_weight_g:.0f}",
+            f"{mission.safe_velocity_m_s:.1f}",
+            mission.verdict.value,
+            f"{mission.num_missions:.1f}",
+        ])
+    print(format_table(
+        ["design", "FPS", "SoC W", "FPS/W", "weight g", "Vsafe",
+         "verdict", "deliveries"],
+        rows, title=f"Delivery missions per charge ({platform.name}, "
+                    f"{scenario.value} obstacles)"))
+
+    ap_candidate, ap_mission = reports["AP"]
+    f1 = F1Model(platform=platform,
+                 compute_weight_g=ap_candidate.compute_weight_g,
+                 sensor_fps=task.sensor_fps)
+    print()
+    print(f"F-1 analysis for the AP design:")
+    print(f"  knee-point:        {f1.knee_throughput_hz:.1f} Hz")
+    print(f"  velocity ceiling:  {f1.velocity_ceiling:.1f} m/s")
+    print(f"  action throughput: "
+          f"{f1.action_throughput_hz(ap_candidate.frames_per_second):.1f} Hz")
+    print(f"  -> the AP design sits at the knee: just enough compute to "
+          f"saturate Vsafe,")
+    print(f"     with the smallest power/weight bill, which is what "
+          f"maximises deliveries.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Search-and-rescue co-design: dense obstacles across all UAV classes.
+
+The paper motivates dense-obstacle deployments with search-and-rescue
+operations.  This example co-designs a DSSoC for each UAV class in the
+dense scenario and compares each against off-the-shelf computers
+(Jetson TX2, Xavier NX, PULP-DroNet) under the mission model -- the
+Fig. 5 workflow driven through the public API.
+"""
+
+from repro import Scenario
+from repro.baselines import FIG5_BASELINES
+from repro.experiments import ExperimentContext, format_table
+from repro.uav import ALL_PLATFORMS
+
+
+def main() -> None:
+    context = ExperimentContext(budget=100, seed=7)
+    scenario = Scenario.DENSE
+
+    rows = []
+    for platform in ALL_PLATFORMS:
+        result = context.run(platform, scenario)
+        selected = result.selected
+        rows.append([
+            platform.name,
+            platform.uav_class.value,
+            selected.candidate.design.policy.identifier,
+            f"{selected.candidate.frames_per_second:.0f}",
+            f"{selected.candidate.soc_power_w:.2f}",
+            f"{selected.mission.safe_velocity_m_s:.1f}",
+            f"{selected.num_missions:.1f}",
+        ])
+    print(format_table(
+        ["UAV", "class", "policy", "FPS", "SoC W", "Vsafe", "missions"],
+        rows, title="AutoPilot designs for search and rescue (dense)"))
+    print()
+
+    rows = []
+    for platform in ALL_PLATFORMS:
+        result = context.run(platform, scenario)
+        for baseline in FIG5_BASELINES:
+            mission = context.baseline_mission(baseline, platform, scenario)
+            advantage = (result.num_missions / mission.num_missions
+                         if mission.num_missions > 0 else float("inf"))
+            rows.append([
+                platform.uav_class.value,
+                baseline.name,
+                f"{mission.compute_fps:.0f}",
+                f"{mission.compute_power_w:.2f}",
+                f"{mission.num_missions:.1f}",
+                f"{advantage:.2f}x",
+            ])
+    print(format_table(
+        ["class", "baseline", "FPS", "power W", "missions", "AutoPilot adv."],
+        rows, title="Baselines on the same task"))
+
+
+if __name__ == "__main__":
+    main()

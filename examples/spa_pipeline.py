@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Sense-Plan-Act autonomy on the navigation simulator (Section VII).
+
+Runs the SPA stack (occupancy-grid mapping -> A* planning ->
+pure-pursuit control) in the same domain-randomised environment the E2E
+policies fly, reports its validated success rate and kernel workload,
+and places three compute tiers on the F-1 roofline -- the paper's
+recipe for extending AutoPilot to the SPA paradigm.
+"""
+
+from repro import Scenario
+from repro.experiments import format_table
+from repro.experiments.spa_extension import spa_extension_study
+from repro.spa import SpaAgent, run_spa_episode, spa_success_rate
+from repro.airlearning import NavigationEnv
+
+
+def main() -> None:
+    scenario = Scenario.DENSE
+    print(f"Validating the SPA stack in the {scenario.value} scenario...")
+    success, workload = spa_success_rate(scenario, episodes=8, seed=3)
+    print(f"  success rate: {success:.0%} over 8 episodes")
+    print(f"  kernel work per decision: "
+          f"{workload.mean_ops_per_decision:.0f} ops "
+          f"({workload.cells_updated} map-cell updates, "
+          f"{workload.nodes_expanded} A* expansions total)")
+
+    print("\nOne annotated episode:")
+    env = NavigationEnv(scenario, seed=11)
+    agent = SpaAgent()
+    reached = run_spa_episode(env, agent)
+    print(f"  goal reached: {reached}")
+
+    print()
+    rows = [[r.compute, f"{r.success_rate:.0%}",
+             f"{r.action_throughput_hz:.1f}",
+             f"{r.safe_velocity_m_s:.2f}", f"{r.num_missions:.1f}",
+             r.verdict]
+            for r in spa_extension_study(episodes=6, seed=3)]
+    print(format_table(
+        ["compute tier", "success", "action Hz", "Vsafe", "missions",
+         "verdict"],
+        rows, title="SPA compute tiers on the nano-UAV F-1 roofline"))
+    print("\nSame story as the E2E path: the balanced tier (near the "
+          "knee) wins missions;\nan MCU is compute-bound, exactly why "
+          "the paper catalogues SLAM/planning accelerators.")
+
+
+if __name__ == "__main__":
+    main()

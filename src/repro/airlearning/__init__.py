@@ -1,0 +1,54 @@
+"""Air Learning substitute: navigation simulator, trainer and database."""
+
+from repro.airlearning.arena import Arena, ArenaGenerator, Obstacle
+from repro.airlearning.database import AirLearningDatabase, PolicyRecord
+from repro.airlearning.dynamics import (
+    NUM_ACTIONS,
+    PointMassDynamics,
+    UavState,
+    decode_action,
+)
+from repro.airlearning.env import NavigationEnv, StepResult
+from repro.airlearning.evaluate import ValidationResult, validate_policy
+from repro.airlearning.policy import MlpPolicy
+from repro.airlearning.render import render_arena, trace_episode
+from repro.airlearning.scenarios import (
+    ALL_SCENARIOS,
+    Scenario,
+    ScenarioSpec,
+    scenario_spec,
+)
+from repro.airlearning.sensors import RaycastSensor
+from repro.airlearning.surrogate import (
+    MIN_SUCCESS_RATE,
+    SuccessRateSurrogate,
+)
+from repro.airlearning.trainer import CemTrainer, TrainingResult
+
+__all__ = [
+    "Scenario",
+    "ScenarioSpec",
+    "scenario_spec",
+    "ALL_SCENARIOS",
+    "Arena",
+    "ArenaGenerator",
+    "Obstacle",
+    "RaycastSensor",
+    "PointMassDynamics",
+    "UavState",
+    "decode_action",
+    "NUM_ACTIONS",
+    "NavigationEnv",
+    "StepResult",
+    "MlpPolicy",
+    "render_arena",
+    "trace_episode",
+    "CemTrainer",
+    "TrainingResult",
+    "validate_policy",
+    "ValidationResult",
+    "SuccessRateSurrogate",
+    "MIN_SUCCESS_RATE",
+    "AirLearningDatabase",
+    "PolicyRecord",
+]

@@ -1,0 +1,123 @@
+"""Domain-randomised arena generation (Air Learning environment generator).
+
+Air Learning's environment generator randomises obstacle count,
+placement and size, plus the goal position, every episode -- the domain
+randomisation [83] that makes trained policies generalise.  This module
+reproduces that generator for a 2-D arena with circular obstacles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.airlearning.scenarios import Scenario, ScenarioSpec, scenario_spec
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Obstacle:
+    """A cylindrical (circle in 2-D) obstacle."""
+
+    x: float
+    y: float
+    radius: float
+
+    def distance_to(self, x: float, y: float) -> float:
+        """Signed clearance from a point to the obstacle surface."""
+        return math.hypot(self.x - x, self.y - y) - self.radius
+
+    def contains(self, x: float, y: float, margin: float = 0.0) -> bool:
+        """Whether a point is inside (or within ``margin`` of) the obstacle."""
+        return self.distance_to(x, y) <= margin
+
+
+@dataclass(frozen=True)
+class Arena:
+    """One generated episode arena."""
+
+    size_m: float
+    obstacles: Tuple[Obstacle, ...]
+    start: Tuple[float, float]
+    goal: Tuple[float, float]
+
+    def in_bounds(self, x: float, y: float) -> bool:
+        """Whether a point lies inside the arena walls."""
+        return 0.0 <= x <= self.size_m and 0.0 <= y <= self.size_m
+
+    def collides(self, x: float, y: float, margin: float = 0.15) -> bool:
+        """Collision with a wall or any obstacle (UAV body margin)."""
+        if not (margin <= x <= self.size_m - margin
+                and margin <= y <= self.size_m - margin):
+            return True
+        return any(o.contains(x, y, margin) for o in self.obstacles)
+
+    def goal_distance(self, x: float, y: float) -> float:
+        """Euclidean distance to the goal."""
+        return math.hypot(self.goal[0] - x, self.goal[1] - y)
+
+
+class ArenaGenerator:
+    """Seeded generator of domain-randomised arenas for a scenario."""
+
+    #: Clearance kept between spawned entities (m).
+    _CLEARANCE = 2.0
+
+    def __init__(self, scenario: Scenario, seed: int = 0):
+        self.spec: ScenarioSpec = scenario_spec(scenario)
+        self._rng = np.random.default_rng(seed)
+        self._fixed = self._make_fixed_obstacles()
+
+    def _make_fixed_obstacles(self) -> List[Obstacle]:
+        """Fixed obstacles sit on a deterministic grid (medium/dense)."""
+        size = self.spec.arena_size_m
+        count = self.spec.num_fixed_obstacles
+        positions = [(size * 0.33, size * 0.33), (size * 0.67, size * 0.33),
+                     (size * 0.33, size * 0.67), (size * 0.67, size * 0.67)]
+        radius = sum(self.spec.obstacle_radius_m) / 2.0
+        return [Obstacle(x, y, radius) for x, y in positions[:count]]
+
+    def _sample_free_point(self, obstacles: List[Obstacle],
+                           taken: List[Tuple[float, float]]) -> Tuple[float, float]:
+        size = self.spec.arena_size_m
+        for _ in range(256):
+            x = float(self._rng.uniform(1.0, size - 1.0))
+            y = float(self._rng.uniform(1.0, size - 1.0))
+            if any(o.contains(x, y, self._CLEARANCE * 0.5) for o in obstacles):
+                continue
+            if any(math.hypot(x - tx, y - ty) < self._CLEARANCE
+                   for tx, ty in taken):
+                continue
+            return x, y
+        raise SimulationError("could not place a free point in the arena")
+
+    def generate(self) -> Arena:
+        """Generate the next domain-randomised episode arena."""
+        spec = self.spec
+        obstacles = list(self._fixed)
+        num_random = int(self._rng.integers(1, spec.max_random_obstacles + 1))
+        lo, hi = spec.obstacle_radius_m
+        for _ in range(num_random):
+            for _ in range(256):
+                x = float(self._rng.uniform(2.0, spec.arena_size_m - 2.0))
+                y = float(self._rng.uniform(2.0, spec.arena_size_m - 2.0))
+                radius = float(self._rng.uniform(lo, hi))
+                candidate = Obstacle(x, y, radius)
+                if all(math.hypot(x - o.x, y - o.y) > radius + o.radius + 1.0
+                       for o in obstacles):
+                    obstacles.append(candidate)
+                    break
+
+        start = self._sample_free_point(obstacles, [])
+        goal = self._sample_free_point(obstacles, [start])
+        # Keep missions non-trivial: resample goals that spawn too close.
+        attempts = 0
+        while (math.hypot(goal[0] - start[0], goal[1] - start[1])
+               < spec.arena_size_m * 0.3 and attempts < 64):
+            goal = self._sample_free_point(obstacles, [start])
+            attempts += 1
+        return Arena(size_m=spec.arena_size_m, obstacles=tuple(obstacles),
+                     start=start, goal=goal)

@@ -1,0 +1,74 @@
+"""Point-mass UAV kinematics for the navigation simulator.
+
+The E2E policy emits discrete velocity commands (5 speeds x 5 yaw
+rates, the 25-action set of the Air Learning template); the flight
+controller tracks them, which at simulation granularity reduces to
+first-order velocity dynamics on a planar point mass.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Action grid: speeds (m/s) x yaw rates (rad/s) -> 25 discrete actions.
+SPEED_LEVELS: Tuple[float, ...] = (0.0, 0.5, 1.0, 1.5, 2.0)
+YAW_RATE_LEVELS: Tuple[float, ...] = (-1.5, -0.75, 0.0, 0.75, 1.5)
+NUM_ACTIONS = len(SPEED_LEVELS) * len(YAW_RATE_LEVELS)
+
+
+def decode_action(action: int) -> Tuple[float, float]:
+    """Map a discrete action index to (speed, yaw rate)."""
+    if not 0 <= action < NUM_ACTIONS:
+        raise ConfigError(f"action must be in [0, {NUM_ACTIONS}), got {action}")
+    speed = SPEED_LEVELS[action // len(YAW_RATE_LEVELS)]
+    yaw_rate = YAW_RATE_LEVELS[action % len(YAW_RATE_LEVELS)]
+    return speed, yaw_rate
+
+
+@dataclass
+class UavState:
+    """Planar kinematic state."""
+
+    x: float
+    y: float
+    heading: float
+    speed: float = 0.0
+
+    @property
+    def velocity(self) -> Tuple[float, float]:
+        """World-frame velocity components."""
+        return (self.speed * math.cos(self.heading),
+                self.speed * math.sin(self.heading))
+
+    def as_array(self) -> np.ndarray:
+        """State as a flat array (x, y, heading, speed)."""
+        return np.array([self.x, self.y, self.heading, self.speed])
+
+
+class PointMassDynamics:
+    """First-order tracking of commanded (speed, yaw rate)."""
+
+    def __init__(self, dt: float = 0.1, speed_tau: float = 0.3):
+        if dt <= 0:
+            raise ConfigError("dt must be positive")
+        if speed_tau <= 0:
+            raise ConfigError("speed_tau must be positive")
+        self.dt = dt
+        self.speed_tau = speed_tau
+
+    def step(self, state: UavState, action: int) -> UavState:
+        """Advance one control interval under the commanded action."""
+        command_speed, yaw_rate = decode_action(action)
+        # First-order speed tracking; heading integrates the yaw rate.
+        alpha = self.dt / (self.speed_tau + self.dt)
+        speed = state.speed + alpha * (command_speed - state.speed)
+        heading = (state.heading + yaw_rate * self.dt) % (2.0 * math.pi)
+        x = state.x + speed * math.cos(heading) * self.dt
+        y = state.y + speed * math.sin(heading) * self.dt
+        return UavState(x=x, y=y, heading=heading, speed=speed)

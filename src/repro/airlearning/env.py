@@ -1,0 +1,125 @@
+"""Gym-style navigation environment (Air Learning task substitute).
+
+Observation: raycast clearances + unit vector-to-goal (body frame) +
+normalised goal distance + normalised speed.  Reward shaping follows
+Air Learning: progress toward the goal each step, a success bonus, a
+collision penalty, and a small per-step cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.airlearning.arena import Arena, ArenaGenerator
+from repro.airlearning.dynamics import NUM_ACTIONS, PointMassDynamics, UavState
+from repro.airlearning.scenarios import Scenario
+from repro.airlearning.sensors import RaycastSensor
+from repro.errors import SimulationError
+
+#: Episode limits and thresholds.
+MAX_EPISODE_STEPS = 300
+GOAL_RADIUS_M = 1.0
+
+#: Reward shaping constants.
+PROGRESS_REWARD = 1.0
+SUCCESS_REWARD = 50.0
+COLLISION_PENALTY = -25.0
+STEP_COST = -0.05
+
+
+@dataclass
+class StepResult:
+    """One environment transition."""
+
+    observation: np.ndarray
+    reward: float
+    done: bool
+    success: bool
+    collided: bool
+
+
+class NavigationEnv:
+    """Point-to-goal navigation with domain-randomised obstacles."""
+
+    def __init__(self, scenario: Scenario, seed: int = 0,
+                 sensor: Optional[RaycastSensor] = None,
+                 max_steps: int = MAX_EPISODE_STEPS):
+        self.scenario = scenario
+        self.generator = ArenaGenerator(scenario, seed=seed)
+        self.sensor = sensor or RaycastSensor()
+        self.dynamics = PointMassDynamics()
+        self.max_steps = max_steps
+        self.arena: Optional[Arena] = None
+        self.state: Optional[UavState] = None
+        self._steps = 0
+        self._prev_goal_distance = 0.0
+
+    @property
+    def num_actions(self) -> int:
+        """Size of the discrete action set."""
+        return NUM_ACTIONS
+
+    @property
+    def observation_dim(self) -> int:
+        """Length of the observation vector."""
+        return self.sensor.num_rays + 4
+
+    def reset(self) -> np.ndarray:
+        """Generate a fresh domain-randomised arena and return the obs."""
+        self.arena = self.generator.generate()
+        start_x, start_y = self.arena.start
+        heading = math.atan2(self.arena.goal[1] - start_y,
+                             self.arena.goal[0] - start_x)
+        self.state = UavState(x=start_x, y=start_y, heading=heading)
+        self._steps = 0
+        self._prev_goal_distance = self.arena.goal_distance(start_x, start_y)
+        return self._observe()
+
+    def step(self, action: int) -> StepResult:
+        """Apply one action; returns the transition record."""
+        if self.arena is None or self.state is None:
+            raise SimulationError("step() called before reset()")
+        self.state = self.dynamics.step(self.state, action)
+        self._steps += 1
+
+        x, y = self.state.x, self.state.y
+        collided = self.arena.collides(x, y)
+        goal_distance = self.arena.goal_distance(x, y)
+        success = goal_distance <= GOAL_RADIUS_M and not collided
+
+        reward = STEP_COST
+        reward += PROGRESS_REWARD * (self._prev_goal_distance - goal_distance)
+        self._prev_goal_distance = goal_distance
+        if collided:
+            reward += COLLISION_PENALTY
+        if success:
+            reward += SUCCESS_REWARD
+
+        done = collided or success or self._steps >= self.max_steps
+        return StepResult(
+            observation=self._observe(),
+            reward=reward,
+            done=done,
+            success=success,
+            collided=collided,
+        )
+
+    def _observe(self) -> np.ndarray:
+        assert self.arena is not None and self.state is not None
+        rays = self.sensor.sense(self.arena, self.state.x, self.state.y,
+                                 self.state.heading)
+        goal_dx = self.arena.goal[0] - self.state.x
+        goal_dy = self.arena.goal[1] - self.state.y
+        distance = math.hypot(goal_dx, goal_dy)
+        bearing = math.atan2(goal_dy, goal_dx) - self.state.heading
+        extras = np.array([
+            math.cos(bearing),
+            math.sin(bearing),
+            min(1.0, distance / self.arena.size_m),
+            self.state.speed / 2.0,  # normalised by the top commanded speed
+        ])
+        return np.concatenate([rays, extras])

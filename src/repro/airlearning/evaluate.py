@@ -1,0 +1,63 @@
+"""Validation: success-rate evaluation in held-out randomised arenas.
+
+Phase 1 validates each trained policy in domain-randomised environments
+before it enters the Air Learning database; this module performs that
+evaluation with a seed disjoint from training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.airlearning.env import NavigationEnv
+from repro.airlearning.policy import MlpPolicy
+from repro.airlearning.scenarios import Scenario
+from repro.errors import ConfigError
+
+#: Offset keeping validation arenas disjoint from training arenas.
+VALIDATION_SEED_OFFSET = 10_000
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of validating one policy."""
+
+    episodes: int
+    successes: int
+    collisions: int
+    mean_return: float
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of successful episodes."""
+        if self.episodes == 0:
+            return 0.0
+        return self.successes / self.episodes
+
+
+def validate_policy(policy: MlpPolicy, scenario: Scenario,
+                    episodes: int = 20, seed: int = 0) -> ValidationResult:
+    """Run held-out episodes and report the success rate."""
+    if episodes < 1:
+        raise ConfigError("episodes must be positive")
+    env = NavigationEnv(scenario, seed=seed + VALIDATION_SEED_OFFSET)
+    successes = 0
+    collisions = 0
+    total_return = 0.0
+    for _ in range(episodes):
+        obs = env.reset()
+        done = False
+        while not done:
+            step = env.step(policy.act(obs))
+            obs = step.observation
+            total_return += step.reward
+            done = step.done
+            if done:
+                successes += int(step.success)
+                collisions += int(step.collided)
+    return ValidationResult(
+        episodes=episodes,
+        successes=successes,
+        collisions=collisions,
+        mean_return=total_return / episodes,
+    )

@@ -1,0 +1,86 @@
+"""NumPy MLP policy mirroring the Fig. 2a template hyper-parameters.
+
+The simulator-trainable policy uses the same two hyper-parameters as
+the accelerator-facing template -- number of layers and filter count --
+mapped to MLP depth and width.  The parameter vector is flat so the
+cross-entropy-method trainer can treat it as a search point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.template import PolicyHyperparams
+
+
+class MlpPolicy:
+    """A deterministic tanh MLP emitting a discrete action."""
+
+    #: Depth of the trainable MLP is capped: very deep MLPs add
+    #: parameters without helping CEM, mirroring how the paper's deepest
+    #: templates stop improving success rate (Fig. 2b).
+    MAX_HIDDEN_LAYERS = 3
+
+    def __init__(self, hyperparams: PolicyHyperparams, observation_dim: int,
+                 num_actions: int):
+        if observation_dim <= 0 or num_actions <= 0:
+            raise ConfigError("observation_dim and num_actions must be positive")
+        self.hyperparams = hyperparams
+        self.observation_dim = observation_dim
+        self.num_actions = num_actions
+        hidden = min(hyperparams.num_layers, self.MAX_HIDDEN_LAYERS)
+        width = hyperparams.num_filters
+        self.layer_sizes: List[Tuple[int, int]] = []
+        previous = observation_dim
+        for _ in range(hidden):
+            self.layer_sizes.append((previous, width))
+            previous = width
+        self.layer_sizes.append((previous, num_actions))
+        self._params = np.zeros(self.num_params)
+
+    @property
+    def num_params(self) -> int:
+        """Flat parameter count (weights + biases)."""
+        return sum(i * o + o for i, o in self.layer_sizes)
+
+    def get_params(self) -> np.ndarray:
+        """Copy of the flat parameter vector."""
+        return self._params.copy()
+
+    def set_params(self, params: np.ndarray) -> None:
+        """Install a flat parameter vector."""
+        params = np.asarray(params, dtype=float).ravel()
+        if params.shape[0] != self.num_params:
+            raise ConfigError(
+                f"expected {self.num_params} params, got {params.shape[0]}")
+        self._params = params.copy()
+
+    def _unpack(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        layers = []
+        offset = 0
+        for in_dim, out_dim in self.layer_sizes:
+            w = self._params[offset:offset + in_dim * out_dim]
+            offset += in_dim * out_dim
+            b = self._params[offset:offset + out_dim]
+            offset += out_dim
+            layers.append((w.reshape(in_dim, out_dim), b))
+        return layers
+
+    def action_logits(self, observation: np.ndarray) -> np.ndarray:
+        """Forward pass producing action logits."""
+        h = np.asarray(observation, dtype=float).ravel()
+        if h.shape[0] != self.observation_dim:
+            raise ConfigError(
+                f"expected obs dim {self.observation_dim}, got {h.shape[0]}")
+        layers = self._unpack()
+        for w, b in layers[:-1]:
+            h = np.tanh(h @ w + b)
+        w, b = layers[-1]
+        return h @ w + b
+
+    def act(self, observation: np.ndarray) -> int:
+        """Greedy action."""
+        return int(np.argmax(self.action_logits(observation)))

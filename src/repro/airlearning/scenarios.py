@@ -1,0 +1,81 @@
+"""Deployment scenarios: domain-randomised obstacle densities.
+
+The paper trains and evaluates in three auto-generated environments
+(Section V-A):
+
+* **low** -- four randomly placed obstacles, goal randomised per episode
+  (e.g. farming);
+* **medium** -- four fixed obstacles plus up to three random ones
+  (general navigation);
+* **dense** -- four fixed obstacles plus up to five random ones
+  (search-and-rescue, racing).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class Scenario(enum.Enum):
+    """Deployment scenario / obstacle density."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    DENSE = "dense"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Arena-generation parameters for one scenario."""
+
+    scenario: Scenario
+    arena_size_m: float
+    num_fixed_obstacles: int
+    max_random_obstacles: int
+    obstacle_radius_m: Tuple[float, float]
+    description: str
+
+    @property
+    def max_total_obstacles(self) -> int:
+        """Upper bound on obstacles in any episode."""
+        return self.num_fixed_obstacles + self.max_random_obstacles
+
+
+_SPECS: Dict[Scenario, ScenarioSpec] = {
+    Scenario.LOW: ScenarioSpec(
+        scenario=Scenario.LOW,
+        arena_size_m=30.0,
+        num_fixed_obstacles=0,
+        max_random_obstacles=4,
+        obstacle_radius_m=(0.6, 1.2),
+        description="four random obstacles, random goal (e.g. farming)",
+    ),
+    Scenario.MEDIUM: ScenarioSpec(
+        scenario=Scenario.MEDIUM,
+        arena_size_m=30.0,
+        num_fixed_obstacles=4,
+        max_random_obstacles=3,
+        obstacle_radius_m=(0.6, 1.4),
+        description="four fixed + up to three random obstacles",
+    ),
+    Scenario.DENSE: ScenarioSpec(
+        scenario=Scenario.DENSE,
+        arena_size_m=30.0,
+        num_fixed_obstacles=4,
+        max_random_obstacles=5,
+        obstacle_radius_m=(0.8, 1.6),
+        description="four fixed + up to five random obstacles "
+                    "(search and rescue, racing)",
+    ),
+}
+
+#: All scenarios in paper order.
+ALL_SCENARIOS: Tuple[Scenario, ...] = (Scenario.LOW, Scenario.MEDIUM,
+                                       Scenario.DENSE)
+
+
+def scenario_spec(scenario: Scenario) -> ScenarioSpec:
+    """Arena-generation parameters for a scenario."""
+    return _SPECS[scenario]

@@ -1,0 +1,102 @@
+"""Raycast range sensor: the visual front end of the simulator.
+
+The real Air Learning policy consumes RGB frames; the information those
+frames carry for navigation is obstacle bearing/clearance.  The
+simulator substitutes a ring of forward-biased raycasts returning
+normalised clearances -- the same decision-relevant signal at a tiny
+fraction of the cost, which is what lets the CEM trainer run in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.airlearning.arena import Arena
+from repro.errors import ConfigError
+
+#: Default number of rays and field of view (radians).
+DEFAULT_NUM_RAYS = 12
+DEFAULT_FOV = math.pi  # forward 180 degrees
+
+
+@dataclass(frozen=True)
+class RaycastSensor:
+    """A planar multi-ray range sensor."""
+
+    num_rays: int = DEFAULT_NUM_RAYS
+    fov_rad: float = DEFAULT_FOV
+    max_range_m: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.num_rays < 1:
+            raise ConfigError("num_rays must be positive")
+        if not 0 < self.fov_rad <= 2 * math.pi:
+            raise ConfigError("fov_rad must be in (0, 2*pi]")
+        if self.max_range_m <= 0:
+            raise ConfigError("max_range_m must be positive")
+
+    def ray_angles(self, heading: float) -> np.ndarray:
+        """World-frame angles of each ray given the UAV heading."""
+        if self.num_rays == 1:
+            offsets = np.zeros(1)
+        else:
+            offsets = np.linspace(-self.fov_rad / 2, self.fov_rad / 2,
+                                  self.num_rays)
+        return heading + offsets
+
+    def sense(self, arena: Arena, x: float, y: float,
+              heading: float) -> np.ndarray:
+        """Normalised clearances in [0, 1] along each ray (1 = clear)."""
+        readings = np.empty(self.num_rays)
+        for i, angle in enumerate(self.ray_angles(heading)):
+            readings[i] = self._cast(arena, x, y, angle) / self.max_range_m
+        return readings
+
+    def _cast(self, arena: Arena, x: float, y: float, angle: float) -> float:
+        dx, dy = math.cos(angle), math.sin(angle)
+        distance = self.max_range_m
+
+        # Walls: intersect with the four arena boundary lines.
+        for wall_distance in self._wall_hits(arena, x, y, dx, dy):
+            distance = min(distance, wall_distance)
+
+        # Obstacles: analytic ray/circle intersection.
+        for obstacle in arena.obstacles:
+            hit = self._circle_hit(x, y, dx, dy, obstacle.x, obstacle.y,
+                                   obstacle.radius)
+            if hit is not None:
+                distance = min(distance, hit)
+        return max(0.0, distance)
+
+    @staticmethod
+    def _wall_hits(arena: Arena, x: float, y: float, dx: float, dy: float):
+        if dx > 1e-12:
+            yield (arena.size_m - x) / dx
+        elif dx < -1e-12:
+            yield -x / dx
+        if dy > 1e-12:
+            yield (arena.size_m - y) / dy
+        elif dy < -1e-12:
+            yield -y / dy
+
+    @staticmethod
+    def _circle_hit(x: float, y: float, dx: float, dy: float,
+                    cx: float, cy: float, radius: float):
+        """Nearest positive ray parameter hitting the circle, or None."""
+        ox, oy = x - cx, y - cy
+        b = 2.0 * (ox * dx + oy * dy)
+        c = ox * ox + oy * oy - radius * radius
+        disc = b * b - 4.0 * c
+        if disc < 0:
+            return None
+        root = math.sqrt(disc)
+        t1 = (-b - root) / 2.0
+        t2 = (-b + root) / 2.0
+        if t1 > 1e-9:
+            return t1
+        if t2 > 1e-9:
+            return t2
+        return None

@@ -1,0 +1,111 @@
+"""Cross-entropy-method (CEM) policy trainer.
+
+Air Learning trains its policies with deep RL on GPUs over days; the
+simulator substitute uses the cross-entropy method -- a derivative-free
+evolutionary strategy that is a standard strong baseline for
+low-dimensional control -- so the full train -> validate -> database
+code path runs in seconds.  The trainer is deterministic under its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.airlearning.env import NavigationEnv
+from repro.airlearning.policy import MlpPolicy
+from repro.airlearning.scenarios import Scenario
+from repro.errors import ConfigError
+from repro.nn.template import PolicyHyperparams
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of one training run."""
+
+    hyperparams: PolicyHyperparams
+    scenario: Scenario
+    best_params: np.ndarray
+    mean_return_trace: List[float] = field(default_factory=list)
+    success_rate_trace: List[float] = field(default_factory=list)
+
+    @property
+    def final_success_rate(self) -> float:
+        """Training-time success rate of the last iteration's mean policy."""
+        return self.success_rate_trace[-1] if self.success_rate_trace else 0.0
+
+
+class CemTrainer:
+    """Cross-entropy method over the flat policy parameter vector."""
+
+    def __init__(self, population_size: int = 24, elite_fraction: float = 0.25,
+                 episodes_per_candidate: int = 3, iterations: int = 15,
+                 initial_std: float = 0.5, seed: int = 0):
+        if population_size < 4:
+            raise ConfigError("population_size must be at least 4")
+        if not 0.0 < elite_fraction <= 1.0:
+            raise ConfigError("elite_fraction must be in (0, 1]")
+        if episodes_per_candidate < 1 or iterations < 1:
+            raise ConfigError("episodes and iterations must be positive")
+        self.population_size = population_size
+        self.elite_count = max(2, int(round(population_size * elite_fraction)))
+        self.episodes_per_candidate = episodes_per_candidate
+        self.iterations = iterations
+        self.initial_std = initial_std
+        self.seed = seed
+
+    def train(self, hyperparams: PolicyHyperparams,
+              scenario: Scenario) -> TrainingResult:
+        """Train one policy for one scenario; deterministic under seed."""
+        rng = np.random.default_rng(self.seed)
+        env = NavigationEnv(scenario, seed=self.seed)
+        policy = MlpPolicy(hyperparams, env.observation_dim, env.num_actions)
+
+        mean = np.zeros(policy.num_params)
+        std = np.full(policy.num_params, self.initial_std)
+        result = TrainingResult(hyperparams=hyperparams, scenario=scenario,
+                                best_params=mean.copy())
+
+        for iteration in range(self.iterations):
+            population = rng.normal(mean, std,
+                                    size=(self.population_size,
+                                          policy.num_params))
+            returns = np.empty(self.population_size)
+            successes = np.zeros(self.population_size)
+            for i, candidate in enumerate(population):
+                policy.set_params(candidate)
+                returns[i], successes[i] = self._rollouts(
+                    env, policy, self.episodes_per_candidate)
+
+            elite_idx = np.argsort(-returns)[:self.elite_count]
+            elites = population[elite_idx]
+            mean = elites.mean(axis=0)
+            std = elites.std(axis=0) + 0.02  # noise floor keeps exploring
+
+            policy.set_params(mean)
+            mean_return, mean_success = self._rollouts(
+                env, policy, self.episodes_per_candidate * 2)
+            result.mean_return_trace.append(mean_return)
+            result.success_rate_trace.append(mean_success)
+            result.best_params = mean.copy()
+
+        return result
+
+    @staticmethod
+    def _rollouts(env: NavigationEnv, policy: MlpPolicy,
+                  episodes: int) -> tuple[float, float]:
+        total_return = 0.0
+        total_success = 0
+        for _ in range(episodes):
+            obs = env.reset()
+            done = False
+            while not done:
+                step = env.step(policy.act(obs))
+                obs = step.observation
+                total_return += step.reward
+                done = step.done
+                if done and step.success:
+                    total_success += 1
+        return total_return / episodes, total_success / episodes

@@ -1,0 +1,25 @@
+"""Baseline onboard computers for the Fig. 5 / Table V comparisons."""
+
+from repro.baselines.computers import (
+    ALL_BASELINES,
+    FIG5_BASELINES,
+    INTEL_NCS,
+    JETSON_TX2,
+    PULP_DRONET,
+    TABLE5_BASELINES,
+    XAVIER_NX,
+    BaselineComputer,
+    baseline_by_name,
+)
+
+__all__ = [
+    "BaselineComputer",
+    "JETSON_TX2",
+    "XAVIER_NX",
+    "PULP_DRONET",
+    "INTEL_NCS",
+    "FIG5_BASELINES",
+    "TABLE5_BASELINES",
+    "ALL_BASELINES",
+    "baseline_by_name",
+]

@@ -1,0 +1,183 @@
+"""Command-line interface for the AutoPilot reproduction.
+
+Subcommands:
+
+* ``design``   -- run the full three-phase pipeline for a UAV/scenario
+  and print the design report (optionally write it to a file);
+* ``compare``  -- compare the AutoPilot design against the baseline
+  onboard computers on the mission metric;
+* ``f1``       -- print the F-1 roofline for a platform/payload;
+* ``sweep``    -- sweep the accelerator template for one policy.
+
+Example::
+
+    python -m repro.cli design --uav nano --scenario dense --budget 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.airlearning.scenarios import Scenario
+from repro.baselines.computers import FIG5_BASELINES
+from repro.core.pipeline import AutoPilot
+from repro.core.report import render_report
+from repro.core.spec import TaskSpec
+from repro.experiments.fig3b import accelerator_frontier
+from repro.experiments.runner import format_table
+from repro.nn.template import (
+    FILTER_CHOICES,
+    LAYER_CHOICES,
+    PolicyHyperparams,
+    build_policy_network,
+)
+from repro.uav.f1_model import F1Model
+from repro.uav.mission import evaluate_mission
+from repro.uav.platforms import UavClass, platform_by_class
+
+_CLASS_BY_NAME = {c.value: c for c in UavClass}
+
+
+def _platform(name: str):
+    return platform_by_class(_CLASS_BY_NAME[name])
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--uav", choices=sorted(_CLASS_BY_NAME),
+                        default="nano", help="UAV size class")
+    parser.add_argument("--scenario",
+                        choices=[s.value for s in Scenario],
+                        default="dense", help="deployment scenario")
+    parser.add_argument("--sensor-fps", type=float, default=60.0,
+                        help="camera frame rate")
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _task(args: argparse.Namespace) -> TaskSpec:
+    return TaskSpec(platform=_platform(args.uav),
+                    scenario=Scenario(args.scenario),
+                    sensor_fps=args.sensor_fps)
+
+
+def cmd_design(args: argparse.Namespace) -> int:
+    task = _task(args)
+    autopilot = AutoPilot(seed=args.seed)
+    result = autopilot.run(task, budget=args.budget)
+    report = render_report(result)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    task = _task(args)
+    autopilot = AutoPilot(seed=args.seed)
+    result = autopilot.run(task, budget=args.budget)
+
+    best = autopilot.database.best(task.scenario)
+    network = build_policy_network(best.hyperparams)
+    rows = [["AutoPilot",
+             f"{result.selected.candidate.frames_per_second:.0f}",
+             f"{result.selected.candidate.soc_power_w:.2f}",
+             f"{result.selected.candidate.compute_weight_g:.0f}",
+             f"{result.num_missions:.1f}", "1.00x"]]
+    for baseline in FIG5_BASELINES:
+        mission = evaluate_mission(
+            platform=task.platform,
+            compute_weight_g=baseline.weight_g,
+            compute_power_w=baseline.power_w,
+            compute_fps=baseline.throughput_fps(network),
+            sensor_fps=task.sensor_fps)
+        ratio = (mission.num_missions / result.num_missions
+                 if result.num_missions > 0 else 0.0)
+        rows.append([baseline.name, f"{mission.compute_fps:.0f}",
+                     f"{baseline.power_w:.2f}", f"{baseline.weight_g:.0f}",
+                     f"{mission.num_missions:.1f}", f"{ratio:.2f}x"])
+    print(format_table(
+        ["computer", "FPS", "power W", "weight g", "missions", "vs AP"],
+        rows, title=f"{task.platform.name} / {task.scenario.value}"))
+    return 0
+
+
+def cmd_f1(args: argparse.Namespace) -> int:
+    platform = _platform(args.uav)
+    f1 = F1Model(platform=platform, compute_weight_g=args.payload,
+                 sensor_fps=args.sensor_fps)
+    print(f"platform:          {platform.name}")
+    print(f"compute payload:   {args.payload:.1f} g")
+    print(f"max acceleration:  {f1.max_accel:.2f} m/s^2")
+    print(f"velocity ceiling:  {f1.velocity_ceiling:.2f} m/s")
+    print(f"knee-point:        {f1.knee_throughput_hz:.1f} Hz")
+    throughputs = np.linspace(2.0, 2.0 * f1.knee_throughput_hz, 12)
+    rows = [[f"{t:.1f}", f"{v:.2f}", f1.classify(t).value]
+            for t, v in zip(throughputs, f1.curve(throughputs))]
+    print(format_table(["action Hz", "Vsafe m/s", "verdict"], rows))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    policy = PolicyHyperparams(num_layers=args.layers,
+                               num_filters=args.filters)
+    rows = [[f"{r.pe_rows}x{r.pe_cols}", r.sram_kb,
+             f"{r.frames_per_second:.1f}", f"{r.soc_power_w:.2f}",
+             f"{r.pe_utilization:.0%}", "*" if r.is_pareto else ""]
+            for r in accelerator_frontier(policy=policy)]
+    print(format_table(["PEs", "SRAM KB", "FPS", "SoC W", "util", "Pareto"],
+                       rows, title=f"accelerator sweep for "
+                                   f"{policy.identifier}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="autopilot",
+        description="Automatic domain-specific SoC design for UAVs "
+                    "(MICRO 2022 reproduction)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    design = subparsers.add_parser("design",
+                                   help="run the full pipeline")
+    _add_common(design)
+    design.add_argument("--budget", type=int, default=100,
+                        help="Phase 2 evaluation budget")
+    design.add_argument("--output", help="write the report to a file")
+    design.set_defaults(func=cmd_design)
+
+    compare = subparsers.add_parser("compare",
+                                    help="compare against baselines")
+    _add_common(compare)
+    compare.add_argument("--budget", type=int, default=100)
+    compare.set_defaults(func=cmd_compare)
+
+    f1 = subparsers.add_parser("f1", help="print the F-1 roofline")
+    _add_common(f1)
+    f1.add_argument("--payload", type=float, default=24.0,
+                    help="compute payload weight (g)")
+    f1.set_defaults(func=cmd_f1)
+
+    sweep = subparsers.add_parser("sweep",
+                                  help="sweep the accelerator template")
+    sweep.add_argument("--layers", type=int, default=7,
+                       choices=sorted(LAYER_CHOICES))
+    sweep.add_argument("--filters", type=int, default=48,
+                       choices=sorted(FILTER_CHOICES))
+    sweep.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Phase 1 -- domain-specific front end (Fig. 1, left).
+
+Given the task specification, train and validate a family of E2E policy
+candidates (the Fig. 2a template swept over Table II's NN
+hyper-parameters) and record each validated policy's success rate in
+the Air Learning database.
+
+Two backends are available:
+
+* ``surrogate`` (default): the calibrated success-rate surrogate,
+  standing in for the paper's multi-day RL training farm -- covers all
+  27 template points instantly and reproduces Fig. 2b's shape;
+* ``trainer``: the real CEM trainer on the navigation simulator,
+  exercising the full train -> validate -> database path (used with
+  small hyper-parameter subsets; budgets are configurable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.airlearning.database import AirLearningDatabase
+from repro.airlearning.env import NavigationEnv
+from repro.airlearning.policy import MlpPolicy
+from repro.airlearning.surrogate import SuccessRateSurrogate
+from repro.airlearning.trainer import CemTrainer
+from repro.airlearning.evaluate import validate_policy
+from repro.core.spec import TaskSpec
+from repro.errors import ConfigError
+from repro.nn.template import PolicyHyperparams, enumerate_template_space
+
+
+@dataclass
+class Phase1Result:
+    """Output of the front end: the populated Air Learning database."""
+
+    database: AirLearningDatabase
+    trained: List[PolicyHyperparams] = field(default_factory=list)
+
+    def best_success_rate(self, task: TaskSpec) -> float:
+        """Best validated success rate available for the task's scenario."""
+        return self.database.best(task.scenario).success_rate
+
+
+class FrontEnd:
+    """Phase 1 driver."""
+
+    def __init__(self, backend: str = "surrogate", seed: int = 0,
+                 trainer: Optional[CemTrainer] = None,
+                 validation_episodes: int = 20):
+        if backend not in ("surrogate", "trainer"):
+            raise ConfigError("backend must be 'surrogate' or 'trainer'")
+        self.backend = backend
+        self.seed = seed
+        self.trainer = trainer or CemTrainer(seed=seed)
+        self.validation_episodes = validation_episodes
+
+    def run(self, task: TaskSpec,
+            hyperparams: Optional[Sequence[PolicyHyperparams]] = None,
+            database: Optional[AirLearningDatabase] = None) -> Phase1Result:
+        """Populate the database for the task's scenario.
+
+        Args:
+            task: The task specification.
+            hyperparams: Template points to train; defaults to the whole
+                Table II NN sub-space.
+            database: An existing database to extend (policies are reused
+                across UAVs, per the paper's phase-reuse argument).
+        """
+        points = list(hyperparams or enumerate_template_space())
+        db = database if database is not None else AirLearningDatabase()
+        result = Phase1Result(database=db)
+        for point in points:
+            if db.get(point, task.scenario) is not None:
+                continue  # reuse previous training runs
+            success = self._train_and_validate(point, task)
+            db.add(point, task.scenario, success)
+            result.trained.append(point)
+        return result
+
+    def _train_and_validate(self, point: PolicyHyperparams,
+                            task: TaskSpec) -> float:
+        if self.backend == "surrogate":
+            return SuccessRateSurrogate(seed=self.seed).success_rate(
+                point, task.scenario)
+        training = self.trainer.train(point, task.scenario)
+        env = NavigationEnv(task.scenario, seed=self.seed)
+        policy = MlpPolicy(point, env.observation_dim, env.num_actions)
+        policy.set_params(training.best_params)
+        validation = validate_policy(policy, task.scenario,
+                                     episodes=self.validation_episodes,
+                                     seed=self.seed)
+        return validation.success_rate

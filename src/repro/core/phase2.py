@@ -1,0 +1,130 @@
+"""Phase 2 -- domain-agnostic multi-objective HW-SW co-design (Fig. 1).
+
+Bayesian optimisation (or a pluggable alternative) searches the joint
+Table II space for the Pareto frontier of three objectives:
+
+* maximise validated task success rate (from the Phase 1 database);
+* minimise accelerator inference latency (SCALE-Sim model);
+* minimise SoC power (array + SRAM + DRAM + fixed components).
+
+The output is a set of candidate designs -- Pareto-optimal plus the
+full evaluated history -- that Phase 3 lowers onto the target UAV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Type
+
+import numpy as np
+
+from repro.airlearning.database import AirLearningDatabase
+from repro.core.spec import TaskSpec, assignment_to_design, build_design_space
+from repro.errors import ConfigError
+from repro.optim.base import Optimizer, OptimizationResult
+from repro.optim.bayesopt import SmsEgoBayesOpt
+from repro.optim.pareto import non_dominated_mask
+from repro.optim.space import Assignment, DesignSpace
+from repro.soc.dssoc import DssocDesign, DssocEvaluation, DssocEvaluator
+
+
+@dataclass(frozen=True)
+class CandidateDesign:
+    """One evaluated Phase 2 candidate."""
+
+    design: DssocDesign
+    evaluation: DssocEvaluation
+    success_rate: float
+
+    @property
+    def objectives(self) -> np.ndarray:
+        """(1 - success, latency_s, soc_power_w) -- all minimised."""
+        return np.array([
+            1.0 - self.success_rate,
+            self.evaluation.latency_seconds,
+            self.evaluation.soc_power_w,
+        ])
+
+    @property
+    def frames_per_second(self) -> float:
+        """Peak accelerator throughput."""
+        return self.evaluation.frames_per_second
+
+    @property
+    def soc_power_w(self) -> float:
+        """Total SoC power."""
+        return self.evaluation.soc_power_w
+
+    @property
+    def compute_weight_g(self) -> float:
+        """Compute payload weight."""
+        return self.evaluation.compute_weight_g
+
+
+@dataclass
+class Phase2Result:
+    """All Phase 2 candidates plus the raw optimisation record."""
+
+    candidates: List[CandidateDesign] = field(default_factory=list)
+    optimization: Optional[OptimizationResult] = None
+
+    def pareto_candidates(self) -> List[CandidateDesign]:
+        """The non-dominated candidates (the Pareto frontier)."""
+        if not self.candidates:
+            return []
+        objectives = np.vstack([c.objectives for c in self.candidates])
+        mask = non_dominated_mask(objectives)
+        return [c for c, keep in zip(self.candidates, mask) if keep]
+
+
+class MultiObjectiveDse:
+    """Phase 2 driver: wires the evaluator into a pluggable optimiser."""
+
+    def __init__(self, database: AirLearningDatabase,
+                 optimizer_cls: Type[Optimizer] = SmsEgoBayesOpt,
+                 space: Optional[DesignSpace] = None, seed: int = 0,
+                 optimizer_kwargs: Optional[dict] = None):
+        self.database = database
+        self.optimizer_cls = optimizer_cls
+        self.space = space or build_design_space()
+        self.seed = seed
+        self.optimizer_kwargs = dict(optimizer_kwargs or {})
+
+    def run(self, task: TaskSpec, budget: int = 120) -> Phase2Result:
+        """Spend ``budget`` unique evaluations and collect candidates."""
+        if budget <= 0:
+            raise ConfigError("budget must be positive")
+        evaluator = DssocEvaluator()
+        candidates: List[CandidateDesign] = []
+
+        def objectives(assignment: Assignment) -> Sequence[float]:
+            candidate = self._evaluate(assignment, task, evaluator)
+            candidates.append(candidate)
+            return candidate.objectives
+
+        optimizer = self.optimizer_cls(self.space, seed=self.seed,
+                                       **self.optimizer_kwargs)
+        # Reference point spans the practical objective ranges: total
+        # failure, 1 s latency, and a 50 W SoC all sit beyond any sane
+        # UAV design.
+        reference = [1.0, 1.0, 50.0]
+        record = optimizer.optimize(objectives, budget=budget,
+                                    reference=reference)
+        return Phase2Result(candidates=candidates, optimization=record)
+
+    def evaluate_design(self, design: DssocDesign,
+                        task: TaskSpec) -> CandidateDesign:
+        """Evaluate one explicit design point outside the search loop."""
+        evaluator = DssocEvaluator()
+        evaluation = evaluator.evaluate(design)
+        success = self.database.success_rate(design.policy, task.scenario)
+        return CandidateDesign(design=design, evaluation=evaluation,
+                               success_rate=success)
+
+    def _evaluate(self, assignment: Assignment, task: TaskSpec,
+                  evaluator: DssocEvaluator) -> CandidateDesign:
+        design = assignment_to_design(assignment)
+        evaluation = evaluator.evaluate(design)
+        success = self.database.success_rate(design.policy, task.scenario)
+        return CandidateDesign(design=design, evaluation=evaluation,
+                               success_rate=success)

@@ -1,0 +1,88 @@
+"""The AutoPilot pipeline: Phase 1 -> Phase 2 -> Phase 3 (Fig. 1).
+
+Usage:
+
+    >>> from repro import AutoPilot, TaskSpec, Scenario, NANO_ZHANG
+    >>> task = TaskSpec(platform=NANO_ZHANG, scenario=Scenario.DENSE)
+    >>> result = AutoPilot(seed=7).run(task, budget=80)
+    >>> result.selected.mission.num_missions  # doctest: +SKIP
+
+The pipeline reuses the Phase 1 database and Phase 2 candidate pool
+across UAVs and scenarios when asked (the paper's phase-reuse argument:
+"a bad design point for one UAV type can be a balanced design ... for
+another").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Type
+
+from repro.airlearning.database import AirLearningDatabase
+from repro.airlearning.scenarios import Scenario
+from repro.core.phase1 import FrontEnd, Phase1Result
+from repro.core.phase2 import MultiObjectiveDse, Phase2Result
+from repro.core.phase3 import BackEnd, Phase3Result, RankedDesign
+from repro.core.spec import TaskSpec
+from repro.optim.base import Optimizer
+from repro.optim.bayesopt import SmsEgoBayesOpt
+
+
+@dataclass
+class AutoPilotResult:
+    """Everything produced by one AutoPilot run."""
+
+    task: TaskSpec
+    phase1: Phase1Result
+    phase2: Phase2Result
+    phase3: Phase3Result
+
+    @property
+    def selected(self) -> RankedDesign:
+        """The AP design."""
+        return self.phase3.selected
+
+    @property
+    def num_missions(self) -> float:
+        """Mission count of the AP design."""
+        return self.selected.num_missions
+
+
+class AutoPilot:
+    """End-to-end AutoPilot methodology driver."""
+
+    def __init__(self, seed: int = 0, frontend_backend: str = "surrogate",
+                 optimizer_cls: Type[Optimizer] = SmsEgoBayesOpt,
+                 optimizer_kwargs: Optional[dict] = None,
+                 enable_finetuning: bool = True,
+                 weight_feedback: bool = True):
+        self.seed = seed
+        self.frontend = FrontEnd(backend=frontend_backend, seed=seed)
+        self.optimizer_cls = optimizer_cls
+        self.optimizer_kwargs = optimizer_kwargs
+        self.backend = BackEnd(enable_finetuning=enable_finetuning,
+                               weight_feedback=weight_feedback)
+        # Phase 1 results are reused across runs (keyed by scenario via
+        # the shared database); Phase 2 results by scenario as well,
+        # since only Phase 3 depends on the UAV.
+        self.database = AirLearningDatabase()
+        self._phase2_cache: Dict[Tuple[Scenario, int], Phase2Result] = {}
+
+    def run(self, task: TaskSpec, budget: int = 120,
+            reuse_phase2: bool = True) -> AutoPilotResult:
+        """Run the three phases for one task specification."""
+        phase1 = self.frontend.run(task, database=self.database)
+
+        cache_key = (task.scenario, budget)
+        phase2 = self._phase2_cache.get(cache_key) if reuse_phase2 else None
+        if phase2 is None:
+            dse = MultiObjectiveDse(database=self.database,
+                                    optimizer_cls=self.optimizer_cls,
+                                    seed=self.seed,
+                                    optimizer_kwargs=self.optimizer_kwargs)
+            phase2 = dse.run(task, budget=budget)
+            self._phase2_cache[cache_key] = phase2
+
+        phase3 = self.backend.run(phase2.candidates, task)
+        return AutoPilotResult(task=task, phase1=phase1, phase2=phase2,
+                               phase3=phase3)

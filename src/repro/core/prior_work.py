@@ -1,0 +1,102 @@
+"""Table I -- comparison with prior work on autonomous UAVs.
+
+Structured data behind the paper's qualitative prior-work comparison,
+rendered by the Table I/VI benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class PriorWorkRow:
+    """One row of Table I."""
+
+    name: str
+    end_to_end_autonomy: bool
+    hardware_acceleration: str
+    considers_sensor: bool
+    considers_uav_physics: bool
+    provides_methodology: bool
+    automated: bool
+    is_this_work: bool = False
+
+
+TABLE_I: Tuple[PriorWorkRow, ...] = (
+    PriorWorkRow(
+        name="Navion",
+        end_to_end_autonomy=False,
+        hardware_acceleration="Only VIO",
+        considers_sensor=False,
+        considers_uav_physics=False,
+        provides_methodology=False,
+        automated=False,
+    ),
+    PriorWorkRow(
+        name="Hadidi et al.",
+        end_to_end_autonomy=False,
+        hardware_acceleration="Only SLAM",
+        considers_sensor=False,
+        considers_uav_physics=False,
+        provides_methodology=True,
+        automated=False,
+    ),
+    PriorWorkRow(
+        name="RoboX",
+        end_to_end_autonomy=False,
+        hardware_acceleration="Only motion planning",
+        considers_sensor=False,
+        considers_uav_physics=True,
+        provides_methodology=True,
+        automated=True,
+    ),
+    PriorWorkRow(
+        name="MAVBench",
+        end_to_end_autonomy=True,
+        hardware_acceleration="None",
+        considers_sensor=False,
+        considers_uav_physics=False,
+        provides_methodology=False,
+        automated=False,
+    ),
+    PriorWorkRow(
+        name="PULP-DroNet",
+        end_to_end_autonomy=True,
+        hardware_acceleration="Full end-to-end stack",
+        considers_sensor=False,
+        considers_uav_physics=False,
+        provides_methodology=False,
+        automated=False,
+    ),
+    PriorWorkRow(
+        name="AutoPilot (this work)",
+        end_to_end_autonomy=True,
+        hardware_acceleration="Full end-to-end stack",
+        considers_sensor=True,
+        considers_uav_physics=True,
+        provides_methodology=True,
+        automated=True,
+        is_this_work=True,
+    ),
+)
+
+
+def render_table_i() -> str:
+    """Plain-text rendering of Table I."""
+    def mark(flag: bool) -> str:
+        return "yes" if flag else "no"
+
+    header = (f"{'Prior work':<24} {'E2E?':<5} {'HW accel':<24} "
+              f"{'Sensor':<7} {'Physics':<8} {'Method.':<8} {'Auto':<5}")
+    lines = [header, "-" * len(header)]
+    for row in TABLE_I:
+        lines.append(
+            f"{row.name:<24} {mark(row.end_to_end_autonomy):<5} "
+            f"{row.hardware_acceleration:<24.24} "
+            f"{mark(row.considers_sensor):<7} "
+            f"{mark(row.considers_uav_physics):<8} "
+            f"{mark(row.provides_methodology):<8} "
+            f"{mark(row.automated):<5}")
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Task specification and the joint design space (Table II).
+
+The user-facing entry point of AutoPilot is a high-level task
+specification: the autonomy task (deployment scenario), the target UAV,
+the sensor rate, and quality/budget knobs.  Phase 2 searches the joint
+NN x hardware space declared here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.nn.template import FILTER_CHOICES, LAYER_CHOICES, PolicyHyperparams
+from repro.airlearning.scenarios import Scenario
+from repro.optim.space import Assignment, DesignSpace, Dimension
+from repro.scalesim.config import (
+    PE_DIM_CHOICES,
+    SRAM_KB_CHOICES,
+    AcceleratorConfig,
+    Dataflow,
+)
+from repro.soc.dssoc import DssocDesign
+from repro.uav.platforms import UavPlatform
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """High-level specification handed to AutoPilot (Fig. 1, left).
+
+    Attributes:
+        platform: The target base UAV (Table IV).
+        scenario: Deployment scenario / obstacle density.
+        sensor_fps: Camera frame rate (30/60 per Table IV).
+        min_success_rate: Minimum acceptable validated success rate; 0
+            keeps every validated policy eligible.
+        success_tolerance: Phase 3 keeps candidates within this much of
+            the best available success rate for the scenario.
+        max_latency_s: Optional hard real-time bound on single-inference
+            latency (Section III-A's "real-time latency constraints");
+            None disables the filter.
+    """
+
+    platform: UavPlatform
+    scenario: Scenario
+    sensor_fps: float = 60.0
+    min_success_rate: float = 0.0
+    success_tolerance: float = 0.02
+    max_latency_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.sensor_fps <= 0:
+            raise ConfigError("sensor_fps must be positive")
+        if not 0.0 <= self.min_success_rate <= 1.0:
+            raise ConfigError("min_success_rate must be in [0, 1]")
+        if self.success_tolerance < 0:
+            raise ConfigError("success_tolerance must be non-negative")
+        if self.max_latency_s is not None and self.max_latency_s <= 0:
+            raise ConfigError("max_latency_s must be positive when set")
+
+
+def build_design_space(layer_choices=LAYER_CHOICES,
+                       filter_choices=FILTER_CHOICES,
+                       pe_choices=PE_DIM_CHOICES,
+                       sram_choices=SRAM_KB_CHOICES) -> DesignSpace:
+    """The joint Table II design space as a :class:`DesignSpace`."""
+    return DesignSpace([
+        Dimension("num_layers", tuple(layer_choices)),
+        Dimension("num_filters", tuple(filter_choices)),
+        Dimension("pe_rows", tuple(pe_choices)),
+        Dimension("pe_cols", tuple(pe_choices)),
+        Dimension("ifmap_sram_kb", tuple(sram_choices)),
+        Dimension("filter_sram_kb", tuple(sram_choices)),
+        Dimension("ofmap_sram_kb", tuple(sram_choices)),
+    ])
+
+
+def assignment_to_design(assignment: Assignment,
+                         dataflow: Dataflow = Dataflow.WEIGHT_STATIONARY,
+                         clock_hz: float = 200e6) -> DssocDesign:
+    """Materialise a design point from an optimiser assignment."""
+    policy = PolicyHyperparams(
+        num_layers=int(assignment["num_layers"]),
+        num_filters=int(assignment["num_filters"]),
+    )
+    accelerator = AcceleratorConfig(
+        pe_rows=int(assignment["pe_rows"]),
+        pe_cols=int(assignment["pe_cols"]),
+        ifmap_sram_kb=int(assignment["ifmap_sram_kb"]),
+        filter_sram_kb=int(assignment["filter_sram_kb"]),
+        ofmap_sram_kb=int(assignment["ofmap_sram_kb"]),
+        dataflow=dataflow,
+        clock_hz=clock_hz,
+    )
+    return DssocDesign(policy=policy, accelerator=accelerator)
+
+
+def design_to_assignment(design: DssocDesign) -> Assignment:
+    """Inverse of :func:`assignment_to_design`."""
+    return {
+        "num_layers": design.policy.num_layers,
+        "num_filters": design.policy.num_filters,
+        "pe_rows": design.accelerator.pe_rows,
+        "pe_cols": design.accelerator.pe_cols,
+        "ifmap_sram_kb": design.accelerator.ifmap_sram_kb,
+        "filter_sram_kb": design.accelerator.filter_sram_kb,
+        "ofmap_sram_kb": design.accelerator.ofmap_sram_kb,
+    }

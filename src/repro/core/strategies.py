@@ -1,0 +1,80 @@
+"""Design-selection strategies (Section V-B).
+
+From the same Phase 2 candidate pool, traditional architectural DSE
+picks by isolated compute metrics; AutoPilot picks by mission-level
+performance (Phase 3).  Each strategy below reproduces one column of
+the Fig. 7-10 comparison:
+
+* **HT** -- highest compute throughput;
+* **LP** -- lowest SoC power;
+* **HE** -- highest compute efficiency (FPS/W);
+* **AP** -- AutoPilot's full-system selection (see ``phase3``).
+
+All strategies first restrict to candidates meeting the task's success
+filter, so differences are attributable to the hardware choice alone.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.phase2 import CandidateDesign
+from repro.core.spec import TaskSpec
+from repro.errors import ConfigError
+
+
+def filter_by_success(candidates: List[CandidateDesign],
+                      task: TaskSpec) -> List[CandidateDesign]:
+    """Keep candidates meeting the spec: success band + latency bound.
+
+    The paper: "AutoPilot filters the generated SoC designs with the
+    highest success rate (based on the input specification)"; the input
+    specification may also carry a hard real-time latency constraint.
+    """
+    if not candidates:
+        return []
+    eligible = [c for c in candidates
+                if c.success_rate >= task.min_success_rate]
+    if not eligible:
+        raise ConfigError(
+            f"no candidate meets min_success_rate={task.min_success_rate}")
+    if task.max_latency_s is not None:
+        eligible = [c for c in eligible
+                    if c.evaluation.latency_seconds <= task.max_latency_s]
+        if not eligible:
+            raise ConfigError(
+                f"no candidate meets max_latency_s={task.max_latency_s}")
+    best = max(c.success_rate for c in eligible)
+    return [c for c in eligible
+            if c.success_rate >= best - task.success_tolerance]
+
+
+def select_high_throughput(candidates: List[CandidateDesign],
+                           task: TaskSpec) -> CandidateDesign:
+    """'HT': the traditional max-FPS pick."""
+    pool = filter_by_success(candidates, task)
+    return max(pool, key=lambda c: c.frames_per_second)
+
+
+def select_low_power(candidates: List[CandidateDesign],
+                     task: TaskSpec) -> CandidateDesign:
+    """'LP': the traditional min-power pick."""
+    pool = filter_by_success(candidates, task)
+    return min(pool, key=lambda c: c.soc_power_w)
+
+
+def select_high_efficiency(candidates: List[CandidateDesign],
+                           task: TaskSpec) -> CandidateDesign:
+    """'HE': the traditional max-FPS/W pick."""
+    pool = filter_by_success(candidates, task)
+    return max(pool,
+               key=lambda c: c.evaluation.compute_efficiency_fps_per_w)
+
+
+#: Registry of the traditional strategies, for tabulated comparisons.
+TRADITIONAL_STRATEGIES: Dict[str, Callable[[List[CandidateDesign], TaskSpec],
+                                           CandidateDesign]] = {
+    "HT": select_high_throughput,
+    "LP": select_low_power,
+    "HE": select_high_efficiency,
+}

@@ -1,0 +1,101 @@
+"""The Table VI taxonomy: AutoPilot generalised to other AV domains.
+
+Structured data behind the paper's Table VI, mapping each autonomous
+vehicle domain and autonomy paradigm to the frameworks serving each of
+the three AutoPilot phases.  Rendered by the Table VI benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class TaxonomyRow:
+    """One row of Table VI."""
+
+    domain: str
+    paradigm: str
+    phase1_front_ends: Tuple[str, ...]
+    phase2_hw_templates: Tuple[str, ...]
+    phase2_optimizers: Tuple[str, ...]
+    phase3_back_ends: Tuple[str, ...]
+    is_this_work: bool = False
+
+
+TABLE_VI: Tuple[TaxonomyRow, ...] = (
+    TaxonomyRow(
+        domain="UAV (our work)",
+        paradigm="E2E",
+        phase1_front_ends=("Air Learning",),
+        phase2_hw_templates=("Systolic arrays (SCALE-Sim)",),
+        phase2_optimizers=("Bayesian optimization",),
+        phase3_back_ends=("F-1 model",),
+        is_this_work=True,
+    ),
+    TaxonomyRow(
+        domain="UAVs",
+        paradigm="E2E",
+        phase1_front_ends=("PEDRA", "AirSim", "Gym-FC"),
+        phase2_hw_templates=("Systolic arrays", "Simba", "Edge-TPU",
+                             "Eyeriss", "Movidius", "MCU", "PULP", "Magnet"),
+        phase2_optimizers=("BO", "RL", "GA", "SA"),
+        phase3_back_ends=("F-1 model",),
+    ),
+    TaxonomyRow(
+        domain="UAVs",
+        paradigm="SPA",
+        phase1_front_ends=("MAVBench",),
+        phase2_hw_templates=("SLAM (Navion)", "OctoMap (OMU)",
+                             "Motion planning (RoboX)"),
+        phase2_optimizers=("BO", "RL", "GA", "SA"),
+        phase3_back_ends=("F-1 model",),
+    ),
+    TaxonomyRow(
+        domain="Self-driving cars",
+        paradigm="Hybrid (PPC+NN)",
+        phase1_front_ends=("CARLA", "Apollo", "AirSim"),
+        phase2_hw_templates=("Systolic arrays", "Simba", "Eyeriss",
+                             "EyeQ", "Tesla FSD", "Magnet"),
+        phase2_optimizers=("BO", "RL", "GA", "SA"),
+        phase3_back_ends=("Intel RSS", "Nvidia SFF"),
+    ),
+    TaxonomyRow(
+        domain="Articulated robots",
+        paradigm="E2E (NN-based)",
+        phase1_front_ends=("Robot farms (QT-Opt)", "Gazebo"),
+        phase2_hw_templates=("Systolic arrays", "Simba", "Eyeriss",
+                             "EyeQ", "Tesla FSD", "Magnet"),
+        phase2_optimizers=("BO", "RL", "GA", "SA"),
+        phase3_back_ends=("ANYpulator safety model",),
+    ),
+    TaxonomyRow(
+        domain="Articulated robots",
+        paradigm="SPA",
+        phase1_front_ends=("Gazebo",),
+        phase2_hw_templates=("SLAM", "OctoMap", "Murray et al.",
+                             "Robomorphic computing", "RACOD"),
+        phase2_optimizers=("BO", "RL", "GA", "SA"),
+        phase3_back_ends=("ANYpulator safety model",),
+    ),
+)
+
+
+def render_table_vi() -> str:
+    """Plain-text rendering of Table VI."""
+    lines = []
+    header = (f"{'Domain':<22} {'Paradigm':<18} {'Phase 1':<28} "
+              f"{'Phase 2 (HW)':<42} {'Optimizer':<16} {'Phase 3':<24}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in TABLE_VI:
+        marker = " *" if row.is_this_work else ""
+        lines.append(
+            f"{row.domain + marker:<22} {row.paradigm:<18} "
+            f"{', '.join(row.phase1_front_ends):<28.28} "
+            f"{', '.join(row.phase2_hw_templates):<42.42} "
+            f"{', '.join(row.phase2_optimizers):<16.16} "
+            f"{', '.join(row.phase3_back_ends):<24.24}")
+    lines.append("* = this work")
+    return "\n".join(lines)

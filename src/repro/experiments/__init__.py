@@ -1,0 +1,110 @@
+"""Experiment drivers reproducing each table and figure of the paper."""
+
+from repro.experiments.ablations import (
+    DataflowAblationRow,
+    FinetuneAblationRow,
+    OptimizerAblationRow,
+    Phase3AblationRow,
+    dataflow_ablation,
+    finetuning_ablation,
+    optimizer_ablation,
+    phase3_ablation,
+)
+from repro.experiments.battery import (
+    BatterySweepRow,
+    battery_sweep,
+    marginal_gain,
+)
+from repro.experiments.cost_model import ExecutionTimeEstimate, execution_time
+from repro.experiments.fig2b import Fig2bRow, all_scenarios, best_template, success_vs_params
+from repro.experiments.fig3b import Fig3bRow, accelerator_frontier
+from repro.experiments.fig4 import (
+    Fig4aRow,
+    Fig4bRow,
+    equal_throughput_designs,
+    knee_point_designs,
+    selected_label_fig4a,
+    selected_label_fig4b,
+)
+from repro.experiments.fig5 import (
+    Fig5Row,
+    class_average_speedups,
+    missions_comparison,
+)
+from repro.experiments.fig6 import Fig6Row, distinct_design_count, parameter_variation
+from repro.experiments.fig7_to_10 import DeepDive, StrategyReport, deep_dive
+from repro.experiments.fig11 import AgilityRow, agility_comparison, roofline_curves
+from repro.experiments.runner import (
+    DEFAULT_BUDGET,
+    DEFAULT_SEED,
+    ExperimentContext,
+    format_table,
+    global_context,
+)
+from repro.experiments.sensors import (
+    SENSOR_RATES_FPS,
+    SensorSensitivityRow,
+    sensor_sensitivity,
+)
+from repro.experiments.spa_extension import (
+    SPA_COMPUTE_TIERS,
+    SpaExtensionRow,
+    spa_extension_study,
+)
+from repro.experiments.table2 import DesignSpaceSummary, design_space_summary
+from repro.experiments.table5 import Table5Row, specialization_cost
+
+__all__ = [
+    "ExperimentContext",
+    "global_context",
+    "format_table",
+    "DEFAULT_BUDGET",
+    "DEFAULT_SEED",
+    "Fig2bRow",
+    "success_vs_params",
+    "all_scenarios",
+    "best_template",
+    "Fig3bRow",
+    "accelerator_frontier",
+    "Fig4aRow",
+    "Fig4bRow",
+    "equal_throughput_designs",
+    "knee_point_designs",
+    "selected_label_fig4a",
+    "selected_label_fig4b",
+    "Fig5Row",
+    "missions_comparison",
+    "class_average_speedups",
+    "Fig6Row",
+    "parameter_variation",
+    "distinct_design_count",
+    "DeepDive",
+    "StrategyReport",
+    "deep_dive",
+    "AgilityRow",
+    "agility_comparison",
+    "roofline_curves",
+    "DesignSpaceSummary",
+    "design_space_summary",
+    "Table5Row",
+    "specialization_cost",
+    "OptimizerAblationRow",
+    "optimizer_ablation",
+    "Phase3AblationRow",
+    "phase3_ablation",
+    "DataflowAblationRow",
+    "dataflow_ablation",
+    "FinetuneAblationRow",
+    "finetuning_ablation",
+    "SensorSensitivityRow",
+    "sensor_sensitivity",
+    "SENSOR_RATES_FPS",
+    "SpaExtensionRow",
+    "spa_extension_study",
+    "SPA_COMPUTE_TIERS",
+    "BatterySweepRow",
+    "battery_sweep",
+    "marginal_gain",
+    "ExecutionTimeEstimate",
+    "execution_time",
+]

@@ -1,0 +1,194 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+* **Optimizer choice** (Section VII: BO is replaceable by RL/GA/SA):
+  hypervolume attained per evaluation budget, BO vs NSGA-II vs SA vs
+  random search, on the real Phase 2 objective.
+* **Phase 3 on/off**: the paper's core claim -- domain-agnostic DSE
+  alone picks designs that lose on missions.
+* **Weight feedback on/off**: isolates the heatsink-weight coupling.
+* **Dataflow choice**: OS vs WS vs IS on the same workload/hardware.
+* **Fine-tuning**: frequency scaling toward the knee-point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Type
+
+from repro.airlearning.database import AirLearningDatabase
+from repro.airlearning.scenarios import Scenario
+from repro.core.phase1 import FrontEnd
+from repro.core.phase2 import MultiObjectiveDse
+from repro.core.phase3 import BackEnd
+from repro.core.spec import TaskSpec
+from repro.core.strategies import TRADITIONAL_STRATEGIES
+from repro.experiments.runner import ExperimentContext, global_context
+from repro.nn.template import PolicyHyperparams
+from repro.optim.annealing import SimulatedAnnealing
+from repro.optim.base import Optimizer
+from repro.optim.bayesopt import SmsEgoBayesOpt
+from repro.optim.genetic import NsgaII
+from repro.optim.random_search import RandomSearch
+from repro.optim.rl import ReinforceSearch
+from repro.scalesim.config import AcceleratorConfig, Dataflow
+from repro.soc.dssoc import DssocDesign, DssocEvaluator
+from repro.uav.platforms import NANO_ZHANG, UavPlatform
+
+#: Optimisers compared in the DSE ablation.
+OPTIMIZER_CLASSES: Sequence[Type[Optimizer]] = (
+    SmsEgoBayesOpt, NsgaII, SimulatedAnnealing, RandomSearch,
+    ReinforceSearch)
+
+
+@dataclass(frozen=True)
+class OptimizerAblationRow:
+    """Hypervolume attained by one optimiser at a fixed budget."""
+
+    optimizer: str
+    budget: int
+    final_hypervolume: float
+    pareto_size: int
+
+
+def optimizer_ablation(task: Optional[TaskSpec] = None, budget: int = 60,
+                       seed: int = 7) -> List[OptimizerAblationRow]:
+    """Compare Phase 2 optimisers on the same budget and objective."""
+    if task is None:
+        task = TaskSpec(platform=NANO_ZHANG, scenario=Scenario.DENSE)
+    database = AirLearningDatabase()
+    FrontEnd(backend="surrogate", seed=seed).run(task, database=database)
+
+    reference = [1.0, 1.0, 50.0]
+    rows = []
+    for optimizer_cls in OPTIMIZER_CLASSES:
+        dse = MultiObjectiveDse(database=database,
+                                optimizer_cls=optimizer_cls, seed=seed)
+        result = dse.run(task, budget=budget)
+        record = result.optimization
+        assert record is not None
+        rows.append(OptimizerAblationRow(
+            optimizer=optimizer_cls.name,
+            budget=budget,
+            final_hypervolume=record.final_hypervolume(reference),
+            pareto_size=len(result.pareto_candidates()),
+        ))
+    return rows
+
+
+@dataclass(frozen=True)
+class Phase3AblationRow:
+    """Missions with and without a Phase 3 ingredient."""
+
+    configuration: str
+    num_missions: float
+
+
+def phase3_ablation(platform: UavPlatform = NANO_ZHANG,
+                    scenario: Scenario = Scenario.DENSE,
+                    context: Optional[ExperimentContext] = None
+                    ) -> List[Phase3AblationRow]:
+    """Full Phase 3 vs: no fine-tuning, no weight feedback, and the
+    traditional selections (no Phase 3 at all)."""
+    ctx = context or global_context()
+    result = ctx.run(platform, scenario)
+    task = ctx.task(platform, scenario)
+    candidates = result.phase2.candidates
+    # All variants are re-scored by the *true* mission model (with
+    # weight feedback) so the comparison is apples-to-apples.
+    truth = BackEnd(enable_finetuning=False, weight_feedback=True)
+
+    rows = [Phase3AblationRow("full Phase 3 (AP)", result.num_missions)]
+
+    no_tune = BackEnd(enable_finetuning=False, weight_feedback=True)
+    rows.append(Phase3AblationRow(
+        "no fine-tuning",
+        no_tune.run(candidates, task).selected.num_missions))
+
+    blind = BackEnd(enable_finetuning=False, weight_feedback=False)
+    blind_choice = blind.run(candidates, task).selected.candidate
+    rows.append(Phase3AblationRow(
+        "no weight feedback",
+        truth.mission_for(blind_choice, task).num_missions))
+
+    for label, chooser in TRADITIONAL_STRATEGIES.items():
+        candidate = chooser(candidates, task)
+        rows.append(Phase3AblationRow(
+            f"no Phase 3 ({label})",
+            truth.mission_for(candidate, task).num_missions))
+    return rows
+
+
+@dataclass(frozen=True)
+class DataflowAblationRow:
+    """One dataflow's timing/traffic on a fixed design."""
+
+    dataflow: str
+    frames_per_second: float
+    soc_power_w: float
+    pe_utilization: float
+    dram_mb_per_frame: float
+
+
+def dataflow_ablation(policy: PolicyHyperparams = PolicyHyperparams(7, 48),
+                      pe_rows: int = 32, pe_cols: int = 32,
+                      sram_kb: int = 128) -> List[DataflowAblationRow]:
+    """OS vs WS vs IS on the same array and workload."""
+    evaluator = DssocEvaluator()
+    rows = []
+    for dataflow in Dataflow:
+        config = AcceleratorConfig(pe_rows=pe_rows, pe_cols=pe_cols,
+                                   ifmap_sram_kb=sram_kb,
+                                   filter_sram_kb=sram_kb,
+                                   ofmap_sram_kb=sram_kb,
+                                   dataflow=dataflow)
+        evaluation = evaluator.evaluate(DssocDesign(policy=policy,
+                                                    accelerator=config))
+        rows.append(DataflowAblationRow(
+            dataflow=dataflow.value,
+            frames_per_second=evaluation.frames_per_second,
+            soc_power_w=evaluation.soc_power_w,
+            pe_utilization=evaluation.report.overall_utilization,
+            dram_mb_per_frame=evaluation.report.total_dram_bytes / 1e6,
+        ))
+    return rows
+
+
+@dataclass(frozen=True)
+class FinetuneAblationRow:
+    """Effect of frequency fine-tuning on the selected design."""
+
+    configuration: str
+    clock_scale: float
+    frames_per_second: float
+    soc_power_w: float
+    num_missions: float
+
+
+def finetuning_ablation(platform: UavPlatform = NANO_ZHANG,
+                        scenario: Scenario = Scenario.DENSE,
+                        context: Optional[ExperimentContext] = None
+                        ) -> List[FinetuneAblationRow]:
+    """Selected design before and after architectural fine-tuning."""
+    ctx = context or global_context()
+    result = ctx.run(platform, scenario)
+    task = ctx.task(platform, scenario)
+    candidates = result.phase2.candidates
+
+    untuned = BackEnd(enable_finetuning=False).run(candidates, task).selected
+    tuned = BackEnd(enable_finetuning=True).run(candidates, task).selected
+    return [
+        FinetuneAblationRow(
+            configuration="before fine-tuning",
+            clock_scale=untuned.clock_scale,
+            frames_per_second=untuned.candidate.frames_per_second,
+            soc_power_w=untuned.candidate.soc_power_w,
+            num_missions=untuned.num_missions,
+        ),
+        FinetuneAblationRow(
+            configuration="after fine-tuning",
+            clock_scale=tuned.clock_scale,
+            frames_per_second=tuned.candidate.frames_per_second,
+            soc_power_w=tuned.candidate.soc_power_w,
+            num_missions=tuned.num_missions,
+        ),
+    ]

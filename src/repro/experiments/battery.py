@@ -1,0 +1,87 @@
+"""Battery-capacity SWaP study (Eq. 4 discussion, Section IV).
+
+Eq. 4 suggests two levers for more missions: raise V_safe or raise
+E_battery.  The paper notes the battery lever is "non-trivial since UAV
+size impacts the SWaP constraints": extra capacity is extra weight,
+which raises rotor power superlinearly and lowers the velocity ceiling,
+until added capacity stops paying and ultimately grounds the UAV.  This
+driver sweeps battery capacity (at Li-ion specific energy) with a fixed
+AutoPilot-class compute payload and quantifies that trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+from repro.errors import ConfigError
+from repro.uav.mission import evaluate_mission
+from repro.uav.platforms import NANO_ZHANG, UavPlatform
+
+#: Li-ion pack specific energy (Wh per kg).
+SPECIFIC_ENERGY_WH_PER_KG = 150.0
+
+
+@dataclass(frozen=True)
+class BatterySweepRow:
+    """Mission outcome at one battery scaling factor."""
+
+    capacity_scale: float
+    capacity_mah: float
+    added_weight_g: float
+    battery_energy_j: float
+    safe_velocity_m_s: float
+    num_missions: float
+    feasible: bool
+
+
+def battery_sweep(platform: UavPlatform = NANO_ZHANG,
+                  scales: Sequence[float] = (0.5, 1.0, 1.5, 2.0, 3.0,
+                                             4.0, 6.0),
+                  compute_weight_g: float = 24.0,
+                  compute_power_w: float = 0.7,
+                  compute_fps: float = 46.0,
+                  sensor_fps: float = 60.0) -> List[BatterySweepRow]:
+    """Sweep battery capacity, charging the extra pack weight."""
+    if not scales:
+        raise ConfigError("scales must be non-empty")
+    base_energy_wh = platform.battery_energy_j / 3600.0
+    rows = []
+    for scale in scales:
+        if scale <= 0:
+            raise ConfigError("capacity scales must be positive")
+        extra_wh = base_energy_wh * (scale - 1.0)
+        added_weight_g = max(0.0,
+                             extra_wh / SPECIFIC_ENERGY_WH_PER_KG * 1000.0)
+        scaled = replace(platform,
+                         battery_capacity_mah=platform.battery_capacity_mah
+                         * scale)
+        mission = evaluate_mission(
+            platform=scaled,
+            compute_weight_g=compute_weight_g + added_weight_g,
+            compute_power_w=compute_power_w,
+            compute_fps=compute_fps,
+            sensor_fps=sensor_fps,
+        )
+        rows.append(BatterySweepRow(
+            capacity_scale=scale,
+            capacity_mah=scaled.battery_capacity_mah,
+            added_weight_g=added_weight_g,
+            battery_energy_j=scaled.battery_energy_j,
+            safe_velocity_m_s=mission.safe_velocity_m_s,
+            num_missions=mission.num_missions,
+            feasible=mission.feasible,
+        ))
+    return rows
+
+
+def marginal_gain(rows: List[BatterySweepRow]) -> List[float]:
+    """Missions gained per unit capacity between consecutive scales."""
+    gains = []
+    for a, b in zip(rows, rows[1:]):
+        delta_capacity = b.capacity_scale - a.capacity_scale
+        if delta_capacity <= 0:
+            gains.append(0.0)
+            continue
+        gains.append((b.num_missions - a.num_missions) / delta_capacity)
+    return gains

@@ -1,0 +1,78 @@
+"""AutoPilot's own execution-time model (Section III-C).
+
+The paper: "One round of AutoPilot design flow takes 3 to 7 days.
+Phase-1 and Phase-2 take the most amount of total time, while Phase-3
+time is negligible.  However, Phase-1 can be parallelized using ...
+massively distributed RL frameworks."
+
+This model reproduces that accounting from per-step costs:
+
+* Phase 1: RL training of one policy to one million steps on a single
+  GPU worker (hours each), across the 27 template points, divided by
+  the number of parallel training workers;
+* Phase 2: one cycle-level accelerator simulation + power estimation
+  per DSE evaluation (minutes each, serial -- BO is sequential);
+* Phase 3: an F-1 mapping per candidate (milliseconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Calibrated per-step wall-clock costs of the paper's toolchain.
+TRAIN_HOURS_PER_POLICY = 10.0       # Air Learning, 1M steps, one GPU
+SIMULATION_MINUTES_PER_DESIGN = 15.0  # cycle-level sim + CACTI + DRAM
+BO_OVERHEAD_SECONDS_PER_ITER = 30.0
+F1_SECONDS_PER_CANDIDATE = 0.05
+
+_SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class ExecutionTimeEstimate:
+    """Wall-clock breakdown of one AutoPilot design round."""
+
+    phase1_days: float
+    phase2_days: float
+    phase3_days: float
+
+    @property
+    def total_days(self) -> float:
+        """End-to-end wall-clock days."""
+        return self.phase1_days + self.phase2_days + self.phase3_days
+
+    @property
+    def phase3_fraction(self) -> float:
+        """Phase 3's share of the total (the paper: negligible)."""
+        total = self.total_days
+        return self.phase3_days / total if total > 0 else 0.0
+
+
+def execution_time(num_policies: int = 27, dse_evaluations: int = 300,
+                   phase3_candidates: int = 150,
+                   training_workers: int = 4) -> ExecutionTimeEstimate:
+    """Estimate one AutoPilot round's wall-clock time.
+
+    Defaults model the paper's setup: the full 27-point template space,
+    a few hundred DSE evaluations ("prunes ~10^18 designs to ~100s of
+    candidates"), and a handful of parallel RL training workers.
+    """
+    if min(num_policies, dse_evaluations, phase3_candidates,
+           training_workers) < 1:
+        raise ConfigError("all counts must be at least 1")
+
+    import math
+    training_batches = math.ceil(num_policies / training_workers)
+    phase1_seconds = training_batches * TRAIN_HOURS_PER_POLICY * 3600.0
+    phase2_seconds = dse_evaluations * (
+        SIMULATION_MINUTES_PER_DESIGN * 60.0
+        + BO_OVERHEAD_SECONDS_PER_ITER)
+    phase3_seconds = phase3_candidates * F1_SECONDS_PER_CANDIDATE
+
+    return ExecutionTimeEstimate(
+        phase1_days=phase1_seconds / _SECONDS_PER_DAY,
+        phase2_days=phase2_seconds / _SECONDS_PER_DAY,
+        phase3_days=phase3_seconds / _SECONDS_PER_DAY,
+    )

@@ -1,0 +1,74 @@
+"""Fig. 11 -- UAV agility's impact on compute requirements.
+
+With both UAVs on 60 FPS sensors (to avoid being sensor-bound), the
+more agile nano-UAV needs ~46 Hz of action throughput to saturate its
+safe velocity while the DJI Spark needs only ~27 Hz -- so AutoPilot
+picks ~2x more compute throughput for the nano without hurting its
+physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.airlearning.scenarios import Scenario
+from repro.experiments.runner import ExperimentContext, global_context
+from repro.soc.weight import MOTHERBOARD_WEIGHT_G
+from repro.uav.f1_model import F1Model
+from repro.uav.platforms import DJI_SPARK, NANO_ZHANG, UavPlatform
+
+
+@dataclass(frozen=True)
+class AgilityRow:
+    """Knee-point and selected throughput for one UAV."""
+
+    platform: str
+    max_accel_m_s2: float
+    knee_throughput_hz: float
+    velocity_ceiling_m_s: float
+    selected_fps: float
+    selected_design: str
+
+
+def agility_comparison(platforms: Tuple[UavPlatform, ...] = (DJI_SPARK,
+                                                             NANO_ZHANG),
+                       scenario: Scenario = Scenario.DENSE,
+                       sensor_fps: float = 60.0,
+                       context: Optional[ExperimentContext] = None
+                       ) -> List[AgilityRow]:
+    """Knee-points and AutoPilot selections for the Fig. 11 platforms."""
+    ctx = context or global_context()
+    rows = []
+    for platform in platforms:
+        result = ctx.run(platform, scenario)
+        selected = result.selected
+        f1 = F1Model(platform=platform,
+                     compute_weight_g=selected.mission.compute_weight_g,
+                     sensor_fps=sensor_fps)
+        rows.append(AgilityRow(
+            platform=platform.name,
+            max_accel_m_s2=f1.max_accel,
+            knee_throughput_hz=f1.knee_throughput_hz,
+            velocity_ceiling_m_s=f1.velocity_ceiling,
+            selected_fps=selected.candidate.frames_per_second,
+            selected_design=selected.candidate.design.describe(),
+        ))
+    return rows
+
+
+def roofline_curves(platforms: Tuple[UavPlatform, ...] = (DJI_SPARK,
+                                                          NANO_ZHANG),
+                    payload_g: float = MOTHERBOARD_WEIGHT_G,
+                    sensor_fps: float = 60.0
+                    ) -> List[Tuple[str, np.ndarray, np.ndarray]]:
+    """(name, throughput, v_safe) series for the Fig. 11a rooflines."""
+    throughputs = np.linspace(1.0, 120.0, 120)
+    curves = []
+    for platform in platforms:
+        f1 = F1Model(platform=platform, compute_weight_g=payload_g,
+                     sensor_fps=sensor_fps)
+        curves.append((platform.name, throughputs, f1.curve(throughputs)))
+    return curves

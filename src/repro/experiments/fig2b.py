@@ -1,0 +1,66 @@
+"""Fig. 2b -- E2E model parameters vs. task-level success rate.
+
+Sweeps the full Fig. 2a template space (Table II's NN sub-space) and
+reports, per scenario, the parameter count and validated success rate of
+every candidate policy.  The paper's claims reproduced here: success
+spans 60-91%, and deeper/wider templates trade parameters for success
+with a scenario-dependent optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.airlearning.scenarios import ALL_SCENARIOS, Scenario
+from repro.airlearning.surrogate import SuccessRateSurrogate
+from repro.nn.template import (
+    PolicyHyperparams,
+    build_policy_network,
+    enumerate_template_space,
+)
+
+
+@dataclass(frozen=True)
+class Fig2bRow:
+    """One point of the Fig. 2b scatter."""
+
+    scenario: str
+    num_layers: int
+    num_filters: int
+    parameters: int
+    macs: int
+    success_rate: float
+
+
+def success_vs_params(scenario: Scenario, seed: int = 0) -> List[Fig2bRow]:
+    """All template points for one scenario, ordered by parameter count."""
+    surrogate = SuccessRateSurrogate(seed=seed)
+    rows = []
+    for point in enumerate_template_space():
+        network = build_policy_network(point)
+        rows.append(Fig2bRow(
+            scenario=scenario.value,
+            num_layers=point.num_layers,
+            num_filters=point.num_filters,
+            parameters=network.total_params,
+            macs=network.total_macs,
+            success_rate=surrogate.success_rate(point, scenario),
+        ))
+    return sorted(rows, key=lambda r: r.parameters)
+
+
+def all_scenarios(seed: int = 0) -> List[Fig2bRow]:
+    """The full Fig. 2b dataset across scenarios."""
+    rows: List[Fig2bRow] = []
+    for scenario in ALL_SCENARIOS:
+        rows.extend(success_vs_params(scenario, seed=seed))
+    return rows
+
+
+def best_template(scenario: Scenario, seed: int = 0) -> PolicyHyperparams:
+    """The highest-success template for a scenario (Fig. 6 anchors)."""
+    rows = success_vs_params(scenario, seed=seed)
+    best = max(rows, key=lambda r: r.success_rate)
+    return PolicyHyperparams(num_layers=best.num_layers,
+                             num_filters=best.num_filters)

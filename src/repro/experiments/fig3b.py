@@ -1,0 +1,68 @@
+"""Fig. 3b -- accelerator template sweep: performance/power frontier.
+
+Varies the PE array and scratchpad sizes of the Fig. 3a template for a
+fixed policy network and reports throughput and SoC power per design,
+flagging the Pareto-optimal subset -- the "enumerating the number of
+PEs, SRAM sizes gives an acceptable trade-off" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.nn.template import PolicyHyperparams
+from repro.optim.pareto import non_dominated_mask
+from repro.scalesim.config import AcceleratorConfig
+from repro.soc.dssoc import DssocDesign, DssocEvaluator
+
+#: Default sweep grids (subset of Table II for a readable figure).
+DEFAULT_PE_DIMS: Sequence[int] = (8, 16, 32, 64, 128, 256)
+DEFAULT_SRAM_KB: Sequence[int] = (32, 128, 512, 2048)
+
+
+@dataclass(frozen=True)
+class Fig3bRow:
+    """One accelerator design point in the frontier sweep."""
+
+    pe_rows: int
+    pe_cols: int
+    sram_kb: int
+    frames_per_second: float
+    soc_power_w: float
+    pe_utilization: float
+    is_pareto: bool
+
+
+def accelerator_frontier(policy: PolicyHyperparams = PolicyHyperparams(7, 48),
+                         pe_dims: Sequence[int] = DEFAULT_PE_DIMS,
+                         sram_kb: Sequence[int] = DEFAULT_SRAM_KB) -> List[Fig3bRow]:
+    """Sweep square arrays x uniform SRAM sizes for one policy."""
+    evaluator = DssocEvaluator()
+    raw = []
+    for dim in pe_dims:
+        for sram in sram_kb:
+            config = AcceleratorConfig(pe_rows=dim, pe_cols=dim,
+                                       ifmap_sram_kb=sram,
+                                       filter_sram_kb=sram,
+                                       ofmap_sram_kb=sram)
+            evaluation = evaluator.evaluate(DssocDesign(policy=policy,
+                                                        accelerator=config))
+            raw.append((dim, dim, sram, evaluation))
+
+    # Pareto in (maximise fps, minimise power) -> minimise (-fps, power).
+    objectives = np.array([[-e.frames_per_second, e.soc_power_w]
+                           for _, _, _, e in raw])
+    mask = non_dominated_mask(objectives)
+    return [
+        Fig3bRow(
+            pe_rows=rows, pe_cols=cols, sram_kb=sram,
+            frames_per_second=evaluation.frames_per_second,
+            soc_power_w=evaluation.soc_power_w,
+            pe_utilization=evaluation.report.overall_utilization,
+            is_pareto=bool(flag),
+        )
+        for (rows, cols, sram, evaluation), flag in zip(raw, mask)
+    ]

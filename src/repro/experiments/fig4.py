@@ -1,0 +1,105 @@
+"""Fig. 4 -- how the F-1 model selects among design candidates.
+
+The paper illustrates two selection effects with synthetic candidates:
+
+* **Fig. 4a** -- designs 'A', 'B', 'C' share the same compute throughput
+  at increasing TDP; higher TDP means a heavier heatsink, which lowers
+  the velocity ceiling, so the lowest-power design wins;
+* **Fig. 4b** -- designs 'X' (under-provisioned), 'O' (at the
+  knee-point) and 'A' (over-provisioned) on one roofline; 'O' is the
+  minimum throughput that maximises safe velocity.
+
+This driver reproduces both constructions quantitatively on the
+nano-UAV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.soc.weight import compute_weight
+from repro.uav.f1_model import F1Model, ProvisioningVerdict
+from repro.uav.mission import evaluate_mission
+from repro.uav.platforms import NANO_ZHANG, UavPlatform
+
+
+@dataclass(frozen=True)
+class Fig4aRow:
+    """One equal-throughput, increasing-TDP design (Fig. 4a)."""
+
+    label: str
+    tdp_w: float
+    compute_weight_g: float
+    velocity_ceiling_m_s: float
+    num_missions: float
+
+
+@dataclass(frozen=True)
+class Fig4bRow:
+    """One design along a single roofline (Fig. 4b)."""
+
+    label: str
+    action_throughput_hz: float
+    safe_velocity_m_s: float
+    verdict: str
+    num_missions: float
+
+
+def equal_throughput_designs(platform: UavPlatform = NANO_ZHANG,
+                             throughput_hz: float = 46.0,
+                             tdps_w=(0.7, 3.0, 8.0),
+                             sensor_fps: float = 60.0) -> List[Fig4aRow]:
+    """Fig. 4a: same throughput, increasing TDP -> lowering ceilings."""
+    rows = []
+    for label, tdp in zip("ABC", tdps_w):
+        weight = compute_weight(tdp).total_g
+        f1 = F1Model(platform=platform, compute_weight_g=weight,
+                     sensor_fps=sensor_fps)
+        mission = evaluate_mission(platform, weight, tdp, throughput_hz,
+                                   sensor_fps)
+        rows.append(Fig4aRow(
+            label=label,
+            tdp_w=tdp,
+            compute_weight_g=weight,
+            velocity_ceiling_m_s=f1.velocity_ceiling,
+            num_missions=mission.num_missions,
+        ))
+    return rows
+
+
+def knee_point_designs(platform: UavPlatform = NANO_ZHANG,
+                       power_w: float = 0.7,
+                       sensor_fps: float = 90.0) -> List[Fig4bRow]:
+    """Fig. 4b: under-/knee-/over-provisioned points on one roofline."""
+    weight = compute_weight(power_w).total_g
+    f1 = F1Model(platform=platform, compute_weight_g=weight,
+                 sensor_fps=sensor_fps)
+    knee = f1.knee_throughput_hz
+    rows = []
+    for label, throughput in (("X", 0.4 * knee), ("O", knee),
+                              ("A", 1.8 * knee)):
+        mission = evaluate_mission(platform, weight, power_w, throughput,
+                                   sensor_fps)
+        rows.append(Fig4bRow(
+            label=label,
+            action_throughput_hz=mission.action_throughput_hz,
+            safe_velocity_m_s=mission.safe_velocity_m_s,
+            verdict=mission.verdict.value,
+            num_missions=mission.num_missions,
+        ))
+    return rows
+
+
+def selected_label_fig4a(rows: List[Fig4aRow]) -> str:
+    """The design AutoPilot would pick from the Fig. 4a trio."""
+    return max(rows, key=lambda r: r.num_missions).label
+
+
+def selected_label_fig4b(rows: List[Fig4bRow]) -> str:
+    """The design AutoPilot would pick from the Fig. 4b trio."""
+    balanced = [r for r in rows
+                if r.verdict == ProvisioningVerdict.BALANCED.value]
+    if balanced:
+        return max(balanced, key=lambda r: r.num_missions).label
+    return max(rows, key=lambda r: r.num_missions).label

@@ -1,0 +1,78 @@
+"""Fig. 5 -- missions: AutoPilot vs TX2 / Xavier NX / PULP-DroNet.
+
+For each of the nine (UAV x scenario) combinations, runs the full
+AutoPilot pipeline and evaluates the three baselines under the Eq. 1-4
+mission model.  The paper's headline: AutoPilot designs deliver up to
+2.25x (nano), 1.62x (micro) and 1.43x (mini) more missions than the
+mean of the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.airlearning.scenarios import ALL_SCENARIOS, Scenario
+from repro.baselines.computers import FIG5_BASELINES
+from repro.experiments.runner import ExperimentContext, global_context
+from repro.uav.platforms import ALL_PLATFORMS, UavPlatform
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    """One (UAV, scenario) cell of Fig. 5."""
+
+    platform: str
+    uav_class: str
+    scenario: str
+    autopilot_missions: float
+    baseline_missions: Dict[str, float]
+
+    @property
+    def baseline_mean(self) -> float:
+        """Mean missions across the baselines (the paper's comparator)."""
+        values = list(self.baseline_missions.values())
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def speedup_over_mean(self) -> float:
+        """AutoPilot missions over the baseline mean."""
+        mean = self.baseline_mean
+        return self.autopilot_missions / mean if mean > 0 else float("inf")
+
+
+def missions_comparison(context: Optional[ExperimentContext] = None,
+                        platforms=ALL_PLATFORMS,
+                        scenarios=ALL_SCENARIOS) -> List[Fig5Row]:
+    """The full Fig. 5 grid."""
+    ctx = context or global_context()
+    rows = []
+    for platform in platforms:
+        for scenario in scenarios:
+            rows.append(_one_cell(ctx, platform, scenario))
+    return rows
+
+
+def _one_cell(ctx: ExperimentContext, platform: UavPlatform,
+              scenario: Scenario) -> Fig5Row:
+    result = ctx.run(platform, scenario)
+    baselines = {
+        baseline.name: ctx.baseline_mission(baseline, platform,
+                                            scenario).num_missions
+        for baseline in FIG5_BASELINES
+    }
+    return Fig5Row(
+        platform=platform.name,
+        uav_class=platform.uav_class.value,
+        scenario=scenario.value,
+        autopilot_missions=result.num_missions,
+        baseline_missions=baselines,
+    )
+
+
+def class_average_speedups(rows: List[Fig5Row]) -> Dict[str, float]:
+    """Average AutoPilot-over-baseline-mean speedup per UAV class."""
+    by_class: Dict[str, List[float]] = {}
+    for row in rows:
+        by_class.setdefault(row.uav_class, []).append(row.speedup_over_mean)
+    return {cls: sum(vals) / len(vals) for cls, vals in by_class.items()}

@@ -1,0 +1,68 @@
+"""Fig. 6 -- DSSoC architectural parameter variation across scenarios.
+
+Collects the AutoPilot-selected design for each of the nine (UAV x
+scenario) combinations and normalises every architectural parameter to
+its minimum across the nine, visualising why no single DSSoC fits all
+deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.airlearning.scenarios import ALL_SCENARIOS
+from repro.experiments.runner import ExperimentContext, global_context
+from repro.uav.platforms import ALL_PLATFORMS
+
+#: The parameters visualised on the Fig. 6 radar.
+PARAM_NAMES = ("num_layers", "num_filters", "pe_rows", "pe_cols",
+               "ifmap_sram_kb", "filter_sram_kb", "ofmap_sram_kb")
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    """The selected design parameters for one (UAV, scenario) combo."""
+
+    platform: str
+    scenario: str
+    params: Dict[str, float]
+    normalized: Dict[str, float]
+
+
+def parameter_variation(context: Optional[ExperimentContext] = None,
+                        platforms=ALL_PLATFORMS,
+                        scenarios=ALL_SCENARIOS) -> List[Fig6Row]:
+    """Selected-parameter table, normalised to per-parameter minima."""
+    ctx = context or global_context()
+    raw: List[Dict[str, float]] = []
+    labels = []
+    for platform in platforms:
+        for scenario in scenarios:
+            result = ctx.run(platform, scenario)
+            design = result.selected.candidate.design
+            raw.append({
+                "num_layers": design.policy.num_layers,
+                "num_filters": design.policy.num_filters,
+                "pe_rows": design.accelerator.pe_rows,
+                "pe_cols": design.accelerator.pe_cols,
+                "ifmap_sram_kb": design.accelerator.ifmap_sram_kb,
+                "filter_sram_kb": design.accelerator.filter_sram_kb,
+                "ofmap_sram_kb": design.accelerator.ofmap_sram_kb,
+            })
+            labels.append((platform.name, scenario.value))
+
+    minima = {name: min(r[name] for r in raw) for name in PARAM_NAMES}
+    rows = []
+    for (platform_name, scenario_name), params in zip(labels, raw):
+        normalized = {name: params[name] / minima[name]
+                      for name in PARAM_NAMES}
+        rows.append(Fig6Row(platform=platform_name, scenario=scenario_name,
+                            params=params, normalized=normalized))
+    return rows
+
+
+def distinct_design_count(rows: List[Fig6Row]) -> int:
+    """How many distinct DSSoC designs the nine combinations need."""
+    seen = {tuple(sorted(row.params.items())) for row in rows}
+    return len(seen)

@@ -1,0 +1,117 @@
+"""Figs. 7-10 -- the nano-UAV deep dive: HT / LP / HE vs. AP.
+
+From one Phase 2 run for the nano-UAV, select designs by each
+traditional strategy plus AutoPilot's full-system Phase 3, and compare:
+
+* Fig. 7: the Pareto frontier, each design's throughput, power,
+  efficiency, weight and resulting safe velocity;
+* Figs. 8-10: mission counts (paper: AP beats HT by 2.25x, LP by 1.8x,
+  HE by 1.3x) and the F-1 curves explaining each pitfall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.airlearning.scenarios import Scenario
+from repro.core.phase2 import CandidateDesign
+from repro.core.strategies import TRADITIONAL_STRATEGIES
+from repro.experiments.runner import ExperimentContext, global_context
+from repro.uav.f1_model import F1Model
+from repro.uav.mission import MissionReport
+from repro.uav.platforms import NANO_ZHANG, UavPlatform
+
+#: The deep-dive scenario (dense obstacles: the hardest policy).
+DEEP_DIVE_SCENARIO = Scenario.DENSE
+
+
+@dataclass(frozen=True)
+class StrategyReport:
+    """One labelled design (HT/LP/HE/AP) with its mission evaluation."""
+
+    label: str
+    candidate: CandidateDesign
+    mission: MissionReport
+
+    @property
+    def frames_per_second(self) -> float:
+        """Peak compute throughput."""
+        return self.candidate.frames_per_second
+
+    @property
+    def soc_power_w(self) -> float:
+        """SoC power."""
+        return self.candidate.soc_power_w
+
+    @property
+    def efficiency_fps_per_w(self) -> float:
+        """Compute efficiency."""
+        return self.candidate.evaluation.compute_efficiency_fps_per_w
+
+    @property
+    def compute_weight_g(self) -> float:
+        """Compute payload weight."""
+        return self.candidate.compute_weight_g
+
+    @property
+    def num_missions(self) -> float:
+        """Missions on a full charge."""
+        return self.mission.num_missions
+
+
+@dataclass
+class DeepDive:
+    """All Figs. 7-10 data for one platform."""
+
+    platform: UavPlatform
+    scenario: Scenario
+    strategies: Dict[str, StrategyReport]
+    pareto_points: List[Tuple[float, float]]  # (fps, soc_power_w)
+
+    def missions_ratio(self, over: str) -> float:
+        """AP missions over another strategy's missions."""
+        ap = self.strategies["AP"].num_missions
+        other = self.strategies[over].num_missions
+        return ap / other if other > 0 else float("inf")
+
+    def f1_curve(self, label: str,
+                 throughputs: Optional[np.ndarray] = None
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """The F-1 roofline (throughput, safe velocity) for one design."""
+        report = self.strategies[label]
+        f1 = F1Model(platform=self.platform,
+                     compute_weight_g=report.compute_weight_g,
+                     sensor_fps=report.mission.sensor_fps)
+        if throughputs is None:
+            throughputs = np.linspace(1.0, 120.0, 60)
+        return throughputs, f1.curve(throughputs)
+
+
+def deep_dive(platform: UavPlatform = NANO_ZHANG,
+              scenario: Scenario = DEEP_DIVE_SCENARIO,
+              context: Optional[ExperimentContext] = None) -> DeepDive:
+    """Run the Figs. 7-10 comparison for one platform."""
+    ctx = context or global_context()
+    result = ctx.run(platform, scenario)
+    task = ctx.task(platform, scenario)
+    backend = ctx.autopilot.backend
+    candidates = result.phase2.candidates
+
+    strategies: Dict[str, StrategyReport] = {}
+    for label, chooser in TRADITIONAL_STRATEGIES.items():
+        candidate = chooser(candidates, task)
+        strategies[label] = StrategyReport(
+            label=label, candidate=candidate,
+            mission=backend.mission_for(candidate, task))
+    selected = result.selected
+    strategies["AP"] = StrategyReport(label="AP",
+                                      candidate=selected.candidate,
+                                      mission=selected.mission)
+
+    pareto = [(c.frames_per_second, c.soc_power_w)
+              for c in result.phase2.pareto_candidates()]
+    return DeepDive(platform=platform, scenario=scenario,
+                    strategies=strategies, pareto_points=pareto)

@@ -1,0 +1,62 @@
+"""Sensor frame-rate sensitivity (Section V-C setup, Table IV rates).
+
+The F-1 pipeline rate is ``min(sensor FPS, compute FPS)``: a 30 FPS
+camera caps an agile nano-UAV below its ~46 Hz knee, while 60/90 FPS
+sensors leave compute as the binding constraint.  This driver
+quantifies how the sensor choice moves the mission count for a fixed
+AutoPilot design -- the cyber-physical coupling Table IV's 30/60 FPS
+column exists to expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.airlearning.scenarios import Scenario
+from repro.experiments.runner import ExperimentContext, global_context
+from repro.uav.mission import evaluate_mission
+from repro.uav.platforms import NANO_ZHANG, UavPlatform
+
+#: Sensor rates from the OV9755 datasheet / Table IV.
+SENSOR_RATES_FPS: Sequence[float] = (30.0, 60.0, 90.0)
+
+
+@dataclass(frozen=True)
+class SensorSensitivityRow:
+    """Mission outcome of one (sensor rate) choice for a fixed design."""
+
+    sensor_fps: float
+    action_throughput_hz: float
+    safe_velocity_m_s: float
+    num_missions: float
+    sensor_bound: bool
+
+
+def sensor_sensitivity(platform: UavPlatform = NANO_ZHANG,
+                       scenario: Scenario = Scenario.DENSE,
+                       rates: Sequence[float] = SENSOR_RATES_FPS,
+                       context: Optional[ExperimentContext] = None
+                       ) -> List[SensorSensitivityRow]:
+    """Re-evaluate the AutoPilot design under different sensor rates."""
+    ctx = context or global_context()
+    result = ctx.run(platform, scenario)
+    candidate = result.selected.candidate
+
+    rows = []
+    for rate in rates:
+        mission = evaluate_mission(
+            platform=platform,
+            compute_weight_g=candidate.compute_weight_g,
+            compute_power_w=candidate.soc_power_w,
+            compute_fps=candidate.frames_per_second,
+            sensor_fps=rate,
+        )
+        rows.append(SensorSensitivityRow(
+            sensor_fps=rate,
+            action_throughput_hz=mission.action_throughput_hz,
+            safe_velocity_m_s=mission.safe_velocity_m_s,
+            num_missions=mission.num_missions,
+            sensor_bound=rate < candidate.frames_per_second,
+        ))
+    return rows

@@ -1,0 +1,74 @@
+"""SPA-paradigm generalisation study (Section VII, Table VI).
+
+Demonstrates the methodology swap the paper describes for SPA autonomy:
+Phase 1 validates the Sense-Plan-Act stack in the same simulator, and
+Phase 3's F-1 analysis consumes the SPA compute model's action
+throughput instead of the NN accelerator's frame rate.  We compare
+compute budgets (MCU-class to application-class) by where their SPA
+action throughput lands relative to the knee, and the resulting
+missions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.airlearning.scenarios import Scenario
+from repro.errors import ConfigError
+from repro.spa.agent import SpaComputeModel, spa_success_rate
+from repro.uav.mission import evaluate_mission
+from repro.uav.platforms import NANO_ZHANG, UavPlatform
+
+#: Representative SPA compute tiers: (name, sustained ops/s, power W,
+#: payload weight g).  The ops rates are scalar-equivalent throughput on
+#: mapping/planning kernels.
+SPA_COMPUTE_TIERS: Sequence[Tuple[str, float, float, float]] = (
+    ("MCU-class (Cortex-M)", 40e3, 0.02, 20.0),
+    ("MPU-class (Cortex-A)", 200e3, 0.8, 22.0),
+    ("Accelerated (OMU/RoboX-like)", 2e6, 0.4, 21.0),
+)
+
+
+@dataclass(frozen=True)
+class SpaExtensionRow:
+    """SPA outcome on one compute tier."""
+
+    compute: str
+    success_rate: float
+    action_throughput_hz: float
+    safe_velocity_m_s: float
+    num_missions: float
+    verdict: str
+
+
+def spa_extension_study(platform: UavPlatform = NANO_ZHANG,
+                        scenario: Scenario = Scenario.DENSE,
+                        episodes: int = 6, seed: int = 3,
+                        sensor_fps: float = 60.0,
+                        tiers=SPA_COMPUTE_TIERS) -> List[SpaExtensionRow]:
+    """Validate the SPA stack once, then cost it on each compute tier."""
+    if episodes < 1:
+        raise ConfigError("episodes must be positive")
+    success, workload = spa_success_rate(scenario, episodes=episodes,
+                                         seed=seed)
+    rows = []
+    for name, ops_per_second, power_w, weight_g in tiers:
+        model = SpaComputeModel(ops_per_second=ops_per_second)
+        throughput = model.action_throughput_hz(workload)
+        mission = evaluate_mission(
+            platform=platform,
+            compute_weight_g=weight_g,
+            compute_power_w=power_w,
+            compute_fps=throughput,
+            sensor_fps=sensor_fps,
+        )
+        rows.append(SpaExtensionRow(
+            compute=name,
+            success_rate=success,
+            action_throughput_hz=mission.action_throughput_hz,
+            safe_velocity_m_s=mission.safe_velocity_m_s,
+            num_missions=mission.num_missions,
+            verdict=mission.verdict.value,
+        ))
+    return rows

@@ -1,0 +1,38 @@
+"""Table II -- the searched design space and its size.
+
+Enumerates the template-level space (27 NN points x 8^2 PE x 8^3 SRAM =
+~8.8 M points) and documents the paper's ~10^18 figure, which counts
+lower-level implementation parameters (dataflows, mappings, frequencies,
+technology) the template holds fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.spec import build_design_space
+from repro.nn.template import FILTER_CHOICES, LAYER_CHOICES
+from repro.scalesim.config import PE_DIM_CHOICES, SRAM_KB_CHOICES
+
+
+@dataclass(frozen=True)
+class DesignSpaceSummary:
+    """Sizes of each sub-space and the joint space."""
+
+    nn_points: int
+    hardware_points: int
+    joint_points: int
+
+    @property
+    def matches_paper_structure(self) -> bool:
+        """The joint space is the product of the two sub-spaces."""
+        return self.joint_points == self.nn_points * self.hardware_points
+
+
+def design_space_summary() -> DesignSpaceSummary:
+    """Compute the Table II space sizes from the declared choices."""
+    nn = len(LAYER_CHOICES) * len(FILTER_CHOICES)
+    hardware = (len(PE_DIM_CHOICES) ** 2) * (len(SRAM_KB_CHOICES) ** 3)
+    joint = build_design_space().size()
+    return DesignSpaceSummary(nn_points=nn, hardware_points=hardware,
+                              joint_points=joint)

@@ -1,0 +1,41 @@
+"""E2E policy-network templates and accelerator workload lowering."""
+
+from repro.nn.layers import ConvLayer, DenseLayer, GemmShape, PoolLayer
+from repro.nn.model_zoo import DRONET_REPORTED_PARAMS, build_dronet
+from repro.nn.template import (
+    FILTER_CHOICES,
+    LAYER_CHOICES,
+    NUM_ACTIONS,
+    STATE_DIM,
+    PolicyHyperparams,
+    PolicyNetwork,
+    build_policy_network,
+    enumerate_template_space,
+    template_space_size,
+)
+from repro.nn.workload import (
+    LayerWorkload,
+    NetworkWorkload,
+    lower_network,
+)
+
+__all__ = [
+    "ConvLayer",
+    "DenseLayer",
+    "PoolLayer",
+    "GemmShape",
+    "PolicyHyperparams",
+    "PolicyNetwork",
+    "build_policy_network",
+    "enumerate_template_space",
+    "template_space_size",
+    "LAYER_CHOICES",
+    "FILTER_CHOICES",
+    "NUM_ACTIONS",
+    "STATE_DIM",
+    "LayerWorkload",
+    "NetworkWorkload",
+    "lower_network",
+    "build_dronet",
+    "DRONET_REPORTED_PARAMS",
+]

@@ -1,0 +1,68 @@
+"""Reference networks used for comparison baselines.
+
+The paper compares against PULP-DroNet, which runs the DroNet topology
+(Loquercio et al., 2018).  We reconstruct DroNet at shape level so that
+"AutoPilot E2E models are 109x-121x larger than DroNet" style comparisons
+can be measured rather than asserted, and so the PULP baseline can be
+driven with the network it was actually built for.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nn.layers import ConvLayer, DenseLayer, PoolLayer
+from repro.nn.template import Layer, PolicyHyperparams, PolicyNetwork
+
+
+def build_dronet() -> PolicyNetwork:
+    """Shape-level reconstruction of DroNet (ResNet-8, 200x200 grayscale).
+
+    DroNet: conv 5x5/2 -> 3 residual blocks (32, 64, 128 channels, each
+    two 3x3 convs, first at stride 2) -> two FC outputs (steering +
+    collision).  Skip-connection 1x1 convs are included; batch-norm
+    parameters are omitted (negligible).  Total comes to ~320k
+    parameters, matching the published figure.
+    """
+    layers: List[Layer] = []
+    height, width, channels = 200, 200, 1
+
+    conv1 = ConvLayer(name="conv1", in_height=height, in_width=width,
+                      in_channels=channels, num_filters=32, kernel_size=5,
+                      stride=2)
+    layers.append(conv1)
+    pool = PoolLayer(name="pool1", in_height=conv1.out_height,
+                     in_width=conv1.out_width, in_channels=32, pool_size=3,
+                     stride=2)
+    layers.append(pool)
+    height, width, channels = pool.out_height, pool.out_width, 32
+
+    for block_index, block_channels in enumerate((32, 64, 128), start=1):
+        conv_a = ConvLayer(name=f"res{block_index}a", in_height=height,
+                           in_width=width, in_channels=channels,
+                           num_filters=block_channels, kernel_size=3, stride=2)
+        layers.append(conv_a)
+        conv_b = ConvLayer(name=f"res{block_index}b",
+                           in_height=conv_a.out_height,
+                           in_width=conv_a.out_width,
+                           in_channels=block_channels,
+                           num_filters=block_channels, kernel_size=3, stride=1)
+        layers.append(conv_b)
+        skip = ConvLayer(name=f"res{block_index}s", in_height=height,
+                         in_width=width, in_channels=channels,
+                         num_filters=block_channels, kernel_size=1, stride=2)
+        layers.append(skip)
+        height, width, channels = conv_b.out_height, conv_b.out_width, block_channels
+
+    flat = height * width * channels
+    layers.append(DenseLayer(name="fc_steer", in_features=flat, out_features=1))
+    layers.append(DenseLayer(name="fc_coll", in_features=flat, out_features=1))
+
+    # DroNet sits outside the Table II template; tag it with the smallest
+    # template point purely so it can flow through the same tooling.
+    hyperparams = PolicyHyperparams(num_layers=8, num_filters=32)
+    return PolicyNetwork(hyperparams=hyperparams, layers=tuple(layers))
+
+
+#: Published DroNet parameter count, used for ratio reporting.
+DRONET_REPORTED_PARAMS = 320_000

@@ -1,0 +1,139 @@
+"""Shared optimiser interface and result records.
+
+Every optimiser consumes a :class:`~repro.optim.space.DesignSpace` and a
+black-box evaluation function mapping an assignment to an objective
+vector (minimisation convention), spends a fixed evaluation budget, and
+returns the full history plus the Pareto subset -- so optimisers are
+directly comparable in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.optim.hypervolume import hypervolume
+from repro.optim.pareto import non_dominated_mask
+from repro.optim.space import Assignment, DesignSpace
+
+#: Black-box evaluation: assignment -> objective vector (to minimise).
+ObjectiveFn = Callable[[Assignment], Sequence[float]]
+
+
+@dataclass
+class Evaluation:
+    """One evaluated design point."""
+
+    assignment: Assignment
+    objectives: np.ndarray
+
+
+@dataclass
+class OptimizationResult:
+    """History and summary of one optimisation run."""
+
+    evaluations: List[Evaluation] = field(default_factory=list)
+    hypervolume_trace: List[float] = field(default_factory=list)
+
+    @property
+    def objective_matrix(self) -> np.ndarray:
+        """All evaluated objective vectors as an (n x d) array."""
+        if not self.evaluations:
+            return np.zeros((0, 0))
+        return np.vstack([e.objectives for e in self.evaluations])
+
+    def pareto_evaluations(self) -> List[Evaluation]:
+        """The non-dominated subset of the history, in evaluation order."""
+        if not self.evaluations:
+            return []
+        mask = non_dominated_mask(self.objective_matrix)
+        return [e for e, keep in zip(self.evaluations, mask) if keep]
+
+    def final_hypervolume(self, reference: Sequence[float]) -> float:
+        """Hypervolume of the final Pareto set."""
+        if not self.evaluations:
+            return 0.0
+        return hypervolume(self.objective_matrix, reference)
+
+
+class CachingEvaluator:
+    """Wraps the objective function with deduplication and history.
+
+    All optimisers route evaluations through this wrapper so that (a) a
+    design point is never evaluated twice, and (b) the evaluation budget
+    counts *unique* simulator invocations, matching how the paper counts
+    DSE cost.
+    """
+
+    def __init__(self, space: DesignSpace, objective_fn: ObjectiveFn,
+                 budget: int,
+                 reference: Optional[Sequence[float]] = None):
+        if budget <= 0:
+            raise ConfigError("budget must be positive")
+        self.space = space
+        self.objective_fn = objective_fn
+        self.budget = budget
+        self.reference = None if reference is None else np.asarray(reference,
+                                                                   dtype=float)
+        self.result = OptimizationResult()
+        self._cache: Dict[Tuple[object, ...], np.ndarray] = {}
+
+    @property
+    def evaluations_used(self) -> int:
+        """Unique evaluations spent so far."""
+        return len(self._cache)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the budget is spent."""
+        return self.evaluations_used >= self.budget
+
+    def seen(self, assignment: Assignment) -> bool:
+        """True when the point was already evaluated."""
+        return self.space.key(assignment) in self._cache
+
+    def evaluate(self, assignment: Assignment) -> np.ndarray:
+        """Evaluate (or return cached) objectives for an assignment."""
+        key = self.space.key(assignment)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if self.exhausted:
+            raise ConfigError("evaluation budget exhausted")
+        objectives = np.asarray(self.objective_fn(assignment), dtype=float)
+        if objectives.ndim != 1:
+            raise ConfigError("objective function must return a 1-D vector")
+        self._cache[key] = objectives
+        self.result.evaluations.append(
+            Evaluation(assignment=dict(assignment), objectives=objectives))
+        if self.reference is not None:
+            self.result.hypervolume_trace.append(
+                hypervolume(self.result.objective_matrix, self.reference))
+        return objectives
+
+
+class Optimizer:
+    """Base class: subclasses implement :meth:`run`."""
+
+    name = "base"
+
+    def __init__(self, space: DesignSpace, seed: int = 0):
+        self.space = space
+        self.seed = seed
+
+    def optimize(self, objective_fn: ObjectiveFn, budget: int,
+                 reference: Optional[Sequence[float]] = None) -> OptimizationResult:
+        """Spend ``budget`` unique evaluations minimising all objectives."""
+        evaluator = CachingEvaluator(self.space, objective_fn, budget,
+                                     reference=reference)
+        rng = np.random.default_rng(self.seed)
+        self.run(evaluator, rng)
+        return evaluator.result
+
+    def run(self, evaluator: CachingEvaluator,
+            rng: np.random.Generator) -> None:
+        """Subclass hook: drive evaluations until the budget is spent."""
+        raise NotImplementedError

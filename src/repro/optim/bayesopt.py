@@ -1,0 +1,151 @@
+"""Multi-objective Bayesian optimisation with SMS-EGO acquisition.
+
+This is the optimiser AutoPilot's Phase 2 uses (Section III-B): one
+Gaussian process per objective (SE kernel), and the S-Metric-Selection
+EGO acquisition (Ponweiser et al., PPSN 2008), which scores a candidate
+by the *hypervolume contribution* of its lower-confidence-bound estimate
+to the current Pareto front, penalising candidates whose LCB is
+(epsilon-)dominated.  Candidates are drawn from a random pool of unseen
+design points each iteration -- exact maximisation over a categorical
+product space is neither possible nor needed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.optim.base import CachingEvaluator, Optimizer
+from repro.optim.gp import GaussianProcess
+from repro.optim.hypervolume import hypervolume
+from repro.optim.pareto import non_dominated_mask
+from repro.optim.space import Assignment, DesignSpace
+
+
+class SmsEgoBayesOpt(Optimizer):
+    """SMS-EGO multi-objective Bayesian optimiser.
+
+    Args:
+        space: The categorical design space.
+        seed: RNG seed.
+        num_initial: Random points before model-based selection starts.
+        pool_size: Unseen candidates scored per iteration.
+        kappa: LCB exploration weight (mu - kappa * sigma).
+        gain: SMS-EGO epsilon-dominance penalty steepness.
+        reference_margin: Fractional margin used to derive the internal
+            hypervolume reference point from observed objective ranges.
+    """
+
+    name = "bayesopt"
+
+    def __init__(self, space: DesignSpace, seed: int = 0,
+                 num_initial: int = 12, pool_size: int = 256,
+                 kappa: float = 1.0, gain: float = 1.0,
+                 reference_margin: float = 0.1):
+        super().__init__(space, seed)
+        if num_initial < 2:
+            raise ConfigError("num_initial must be at least 2")
+        if pool_size < 1:
+            raise ConfigError("pool_size must be positive")
+        self.num_initial = num_initial
+        self.pool_size = pool_size
+        self.kappa = kappa
+        self.gain = gain
+        self.reference_margin = reference_margin
+
+    # ------------------------------------------------------------------
+    def run(self, evaluator: CachingEvaluator,
+            rng: np.random.Generator) -> None:
+        self._initial_sampling(evaluator, rng)
+        while not evaluator.exhausted:
+            candidate = self._propose(evaluator, rng)
+            if candidate is None:
+                break
+            evaluator.evaluate(candidate)
+
+    # ------------------------------------------------------------------
+    def _initial_sampling(self, evaluator: CachingEvaluator,
+                          rng: np.random.Generator) -> None:
+        target = min(self.num_initial, evaluator.budget,
+                     evaluator.space.size())
+        misses = 0
+        while evaluator.evaluations_used < target:
+            point = evaluator.space.sample(rng, 1)[0]
+            if evaluator.seen(point):
+                misses += 1
+                if misses > 100 * target:
+                    break
+                continue
+            misses = 0
+            evaluator.evaluate(point)
+
+    def _candidate_pool(self, evaluator: CachingEvaluator,
+                        rng: np.random.Generator) -> List[Assignment]:
+        pool: List[Assignment] = []
+        seen_keys = set()
+        attempts = 0
+        while len(pool) < self.pool_size and attempts < 20 * self.pool_size:
+            attempts += 1
+            point = evaluator.space.sample(rng, 1)[0]
+            key = evaluator.space.key(point)
+            if key in seen_keys or evaluator.seen(point):
+                continue
+            seen_keys.add(key)
+            pool.append(point)
+        return pool
+
+    def _propose(self, evaluator: CachingEvaluator,
+                 rng: np.random.Generator) -> Optional[Assignment]:
+        pool = self._candidate_pool(evaluator, rng)
+        if not pool:
+            return None
+
+        history = evaluator.result.evaluations
+        x_train = np.vstack([evaluator.space.encode(e.assignment)
+                             for e in history])
+        objectives = np.vstack([e.objectives for e in history])
+        num_objectives = objectives.shape[1]
+
+        x_pool = np.vstack([evaluator.space.encode(p) for p in pool])
+        means = np.empty((len(pool), num_objectives))
+        stds = np.empty((len(pool), num_objectives))
+        for j in range(num_objectives):
+            gp = GaussianProcess()
+            gp.fit(x_train, objectives[:, j])
+            means[:, j], stds[:, j] = gp.predict(x_pool)
+
+        lcb = means - self.kappa * stds
+        front = objectives[non_dominated_mask(objectives)]
+        reference = self._reference_point(objectives)
+        base_hv = hypervolume(front, reference)
+
+        scores = np.empty(len(pool))
+        for i in range(len(pool)):
+            scores[i] = self._sms_ego_score(lcb[i], front, reference, base_hv)
+        best = int(np.argmax(scores))
+        return pool[best]
+
+    def _reference_point(self, objectives: np.ndarray) -> np.ndarray:
+        worst = objectives.max(axis=0)
+        best = objectives.min(axis=0)
+        span = np.maximum(worst - best, 1e-9)
+        return worst + self.reference_margin * span
+
+    def _sms_ego_score(self, point: np.ndarray, front: np.ndarray,
+                       reference: np.ndarray, base_hv: float) -> float:
+        """SMS-EGO: hypervolume gain, or a dominance penalty if dominated."""
+        clipped = np.minimum(point, reference - 1e-12)
+        extended = hypervolume(np.vstack([front, clipped[None, :]]), reference)
+        gain = max(0.0, extended - base_hv)
+        if gain > 0:
+            return gain
+        # Epsilon-dominance penalty: negative, growing with how deeply the
+        # candidate is dominated by the closest front point.
+        excess = point[None, :] - front
+        dominated_by = np.all(excess >= 0, axis=1)
+        if not np.any(dominated_by):
+            return 0.0
+        depth = excess[dominated_by].sum(axis=1).min()
+        return -self.gain * (1.0 + float(depth))

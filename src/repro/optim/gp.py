@@ -1,0 +1,145 @@
+"""Gaussian-process regression with a squared-exponential kernel.
+
+The paper's Phase 2 builds one GP per objective ("the widely-used
+squared exponential kernel is used due to its simplicity") and drives an
+SMS-EGO acquisition over the GP posterior.  This implementation keeps
+the hyper-parameter story deliberately simple and robust: inputs are
+normalised to [0, 1]^d by the caller, the output is standardised
+internally, the lengthscale comes from the median heuristic (optionally
+refined by a small grid search on the log marginal likelihood), and a
+jittered Cholesky factorisation gives numerically stable posteriors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def se_kernel(x1: np.ndarray, x2: np.ndarray, lengthscale: float,
+              variance: float) -> np.ndarray:
+    """Squared-exponential (RBF) kernel matrix between two point sets."""
+    if lengthscale <= 0 or variance <= 0:
+        raise ConfigError("kernel hyper-parameters must be positive")
+    a = np.asarray(x1, dtype=float)
+    b = np.asarray(x2, dtype=float)
+    sq = (np.sum(a ** 2, axis=1)[:, None] + np.sum(b ** 2, axis=1)[None, :]
+          - 2.0 * a @ b.T)
+    np.maximum(sq, 0.0, out=sq)
+    return variance * np.exp(-0.5 * sq / lengthscale ** 2)
+
+
+def _median_heuristic(x: np.ndarray) -> float:
+    """Median pairwise distance; a standard lengthscale initialiser."""
+    n = x.shape[0]
+    if n < 2:
+        return 1.0
+    diffs = x[:, None, :] - x[None, :, :]
+    dists = np.sqrt(np.sum(diffs ** 2, axis=-1))
+    upper = dists[np.triu_indices(n, k=1)]
+    positive = upper[upper > 0]
+    if positive.size == 0:
+        return 1.0
+    return float(np.median(positive))
+
+
+@dataclass
+class GaussianProcess:
+    """GP regressor with SE kernel and fixed observation noise.
+
+    Attributes:
+        noise: Observation noise standard deviation (on standardised y).
+        lengthscale: SE kernel lengthscale; fitted if None.
+        tune_lengthscale: Refine the median heuristic by maximising the
+            log marginal likelihood over a small multiplicative grid.
+    """
+
+    noise: float = 1e-3
+    lengthscale: Optional[float] = None
+    tune_lengthscale: bool = True
+
+    def __post_init__(self) -> None:
+        if self.noise <= 0:
+            raise ConfigError("noise must be positive")
+        self._x: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        self._chol: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._fitted_lengthscale = 1.0
+        self._variance = 1.0
+
+    @property
+    def fitted_lengthscale(self) -> float:
+        """The lengthscale in effect after :meth:`fit`."""
+        return self._fitted_lengthscale
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        """Fit the GP to observations (x: n x d, y: n)."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ConfigError("x and y must have matching lengths")
+        if x.shape[0] == 0:
+            raise ConfigError("cannot fit a GP to zero observations")
+
+        self._y_mean = float(np.mean(y))
+        self._y_std = float(np.std(y))
+        if self._y_std < 1e-12:
+            self._y_std = 1.0
+        y_std = (y - self._y_mean) / self._y_std
+
+        base = self.lengthscale or _median_heuristic(x)
+        candidates = [base]
+        if self.tune_lengthscale and self.lengthscale is None:
+            candidates = [base * f for f in (0.25, 0.5, 1.0, 2.0, 4.0)]
+
+        best: Tuple[float, float, np.ndarray, np.ndarray] | None = None
+        for ls in candidates:
+            try:
+                chol, alpha = self._factorise(x, y_std, ls)
+            except np.linalg.LinAlgError:
+                continue
+            lml = self._log_marginal(y_std, chol, alpha)
+            if best is None or lml > best[0]:
+                best = (lml, ls, chol, alpha)
+        if best is None:
+            raise ConfigError("GP factorisation failed for all lengthscales")
+
+        _, self._fitted_lengthscale, self._chol, self._alpha = best
+        self._x = x
+        return self
+
+    def _factorise(self, x: np.ndarray, y_std: np.ndarray,
+                   lengthscale: float) -> Tuple[np.ndarray, np.ndarray]:
+        k = se_kernel(x, x, lengthscale, self._variance)
+        k[np.diag_indices_from(k)] += self.noise ** 2 + 1e-8
+        chol = np.linalg.cholesky(k)
+        alpha = np.linalg.solve(chol.T, np.linalg.solve(chol, y_std))
+        return chol, alpha
+
+    @staticmethod
+    def _log_marginal(y_std: np.ndarray, chol: np.ndarray,
+                      alpha: np.ndarray) -> float:
+        n = y_std.shape[0]
+        return float(-0.5 * y_std @ alpha
+                     - np.sum(np.log(np.diag(chol)))
+                     - 0.5 * n * np.log(2 * np.pi))
+
+    def predict(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation at query points (m x d)."""
+        if self._x is None or self._chol is None or self._alpha is None:
+            raise ConfigError("predict() called before fit()")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        k_star = se_kernel(self._x, x, self._fitted_lengthscale, self._variance)
+        mean_std = k_star.T @ self._alpha
+        v = np.linalg.solve(self._chol, k_star)
+        var = self._variance - np.sum(v ** 2, axis=0)
+        np.maximum(var, 1e-12, out=var)
+        mean = mean_std * self._y_std + self._y_mean
+        std = np.sqrt(var) * self._y_std
+        return mean, std

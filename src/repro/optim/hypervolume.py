@@ -1,0 +1,104 @@
+"""Hypervolume computation (minimisation convention).
+
+SMS-EGO scores candidates by the hypervolume enclosed between the Pareto
+set and a fixed reference point that all points must dominate.  We
+implement:
+
+* an exact 2-D sweep (O(n log n));
+* an exact recursive slicing algorithm for d >= 3 (WFG-style without
+  the advanced pruning -- fine for the Pareto-set sizes BO produces).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.optim.pareto import non_dominated_mask
+
+
+def _validate(points: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    pts = np.asarray(points, dtype=float)
+    ref = np.asarray(reference, dtype=float)
+    if pts.ndim != 2:
+        raise ValueError("points must be 2-D (n x d)")
+    if ref.shape != (pts.shape[1],):
+        raise ValueError(
+            f"reference dim {ref.shape} does not match points dim {pts.shape[1]}")
+    # Points at or beyond the reference contribute nothing; drop them.
+    keep = np.all(pts < ref, axis=1)
+    return pts[keep]
+
+
+def hypervolume(points: np.ndarray, reference: Sequence[float]) -> float:
+    """Exact hypervolume of ``points`` w.r.t. ``reference`` (minimisation).
+
+    Points not strictly dominating the reference are ignored.  Dominated
+    points are harmless (they add no volume) but are pruned for speed.
+    """
+    ref = np.asarray(reference, dtype=float)
+    pts = _validate(points, ref)
+    if pts.shape[0] == 0:
+        return 0.0
+    d = pts.shape[1]
+    if d == 1:
+        return float(ref[0] - pts[:, 0].min())
+    if d == 2:
+        return _hypervolume_2d(pts, ref)
+    # Pruning once at the top level keeps the recursion small; the 2-D
+    # base case is robust to dominated points, so slabs need no pruning.
+    pts = pts[non_dominated_mask(pts)]
+    return _hypervolume_recursive(pts, ref)
+
+
+def _hypervolume_2d(points: np.ndarray, reference: np.ndarray) -> float:
+    """Sweep over the first objective; tolerates dominated points."""
+    order = np.argsort(points[:, 0], kind="stable")
+    xs = points[order, 0]
+    ys = points[order, 1]
+    # After sorting by x, only strictly-decreasing y values add area.
+    running_min = np.minimum.accumulate(ys)
+    total = 0.0
+    prev_y = reference[1]
+    for x, y in zip(xs, running_min):
+        if y < prev_y:
+            total += (reference[0] - x) * (prev_y - y)
+            prev_y = y
+    return float(total)
+
+
+def _hypervolume_recursive(points: np.ndarray, reference: np.ndarray) -> float:
+    """Slice along the last objective and integrate (d-1)-volumes."""
+    last = points.shape[1] - 1
+    order = np.argsort(points[:, last], kind="stable")
+    pts = points[order]
+    total = 0.0
+    for i in range(pts.shape[0]):
+        z_lo = pts[i, last]
+        z_hi = pts[i + 1, last] if i + 1 < pts.shape[0] else reference[last]
+        depth = z_hi - z_lo
+        if depth <= 0:
+            continue
+        slab = pts[: i + 1, :last]
+        if last == 2:
+            slab_volume = _hypervolume_2d(slab, reference[:2])
+        else:
+            slab_volume = hypervolume(slab, reference[:last])
+        total += depth * slab_volume
+    return float(total)
+
+
+def hypervolume_contribution(points: np.ndarray, candidate: Sequence[float],
+                             reference: Sequence[float]) -> float:
+    """Hypervolume gained by adding ``candidate`` to ``points``.
+
+    This is the quantity SMS-EGO maximises; zero when the candidate is
+    dominated by the current set or lies beyond the reference.
+    """
+    pts = np.asarray(points, dtype=float)
+    cand = np.asarray(candidate, dtype=float).reshape(1, -1)
+    base = hypervolume(pts, reference)
+    extended = hypervolume(np.vstack([pts, cand]) if pts.size else cand,
+                           reference)
+    return max(0.0, extended - base)

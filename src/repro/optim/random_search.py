@@ -1,0 +1,29 @@
+"""Uniform random search baseline for the DSE ablation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import CachingEvaluator, Optimizer
+
+
+class RandomSearch(Optimizer):
+    """Samples unseen points uniformly until the budget is spent."""
+
+    name = "random"
+
+    def run(self, evaluator: CachingEvaluator,
+            rng: np.random.Generator) -> None:
+        space_size = evaluator.space.size()
+        misses = 0
+        while not evaluator.exhausted:
+            point = evaluator.space.sample(rng, 1)[0]
+            if evaluator.seen(point):
+                misses += 1
+                # The space may be smaller than the budget; bail out once
+                # resampling stops finding new points.
+                if misses > 50 * max(1, space_size):
+                    break
+                continue
+            misses = 0
+            evaluator.evaluate(point)

@@ -1,0 +1,138 @@
+"""RL-based design-space exploration (pluggable Phase 2 optimiser).
+
+Section VII lists reinforcement learning [81] among the drop-in
+replacements for Bayesian optimisation.  This implementation is a
+REINFORCE-style categorical-policy search: one independent softmax
+distribution per design dimension, updated with the policy gradient on
+a hypervolume-improvement reward with a moving-average baseline.
+This mirrors how RL-based DSE is typically instantiated for
+architecture search (e.g. Apollo [38]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.optim.base import CachingEvaluator, Optimizer
+from repro.optim.hypervolume import hypervolume
+from repro.optim.pareto import non_dominated_mask
+from repro.optim.space import Assignment
+
+
+class ReinforceSearch(Optimizer):
+    """Policy-gradient search over the categorical design space."""
+
+    name = "rl"
+
+    def __init__(self, space, seed: int = 0, learning_rate: float = 0.30,
+                 batch_size: int = 4, baseline_decay: float = 0.8,
+                 entropy_bonus: float = 0.01):
+        super().__init__(space, seed)
+        if learning_rate <= 0:
+            raise ConfigError("learning_rate must be positive")
+        if batch_size < 1:
+            raise ConfigError("batch_size must be at least 1")
+        if not 0.0 <= baseline_decay < 1.0:
+            raise ConfigError("baseline_decay must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.baseline_decay = baseline_decay
+        self.entropy_bonus = entropy_bonus
+
+    # ------------------------------------------------------------------
+    def run(self, evaluator: CachingEvaluator,
+            rng: np.random.Generator) -> None:
+        logits: Dict[str, np.ndarray] = {
+            dim.name: np.zeros(len(dim.values))
+            for dim in evaluator.space.dimensions
+        }
+        baseline = 0.0
+        baseline_initialised = False
+
+        while not evaluator.exhausted:
+            batch: List[tuple[Assignment, Dict[str, int], float]] = []
+            for _ in range(self.batch_size):
+                if evaluator.exhausted:
+                    break
+                assignment, choices = self._sample(logits, evaluator, rng)
+                if assignment is None:
+                    return  # space exhausted
+                before = self._front_hypervolume(evaluator)
+                evaluator.evaluate(assignment)
+                after = self._front_hypervolume(evaluator)
+                reward = after - before
+                batch.append((assignment, choices, reward))
+
+            if not batch:
+                return
+            rewards = np.array([b[2] for b in batch])
+            if not baseline_initialised:
+                baseline = float(rewards.mean())
+                baseline_initialised = True
+            for _, choices, reward in batch:
+                advantage = reward - baseline
+                self._update(logits, choices, advantage)
+            baseline = (self.baseline_decay * baseline
+                        + (1 - self.baseline_decay) * float(rewards.mean()))
+
+    # ------------------------------------------------------------------
+    def _sample(self, logits: Dict[str, np.ndarray],
+                evaluator: CachingEvaluator,
+                rng: np.random.Generator):
+        """Sample an unseen assignment from the current policy."""
+        for _ in range(200):
+            assignment: Assignment = {}
+            choices: Dict[str, int] = {}
+            for dim in evaluator.space.dimensions:
+                probs = _softmax(logits[dim.name])
+                index = int(rng.choice(len(dim.values), p=probs))
+                assignment[dim.name] = dim.values[index]
+                choices[dim.name] = index
+            if not evaluator.seen(assignment):
+                return assignment, choices
+        # The policy has collapsed onto seen points; fall back to a
+        # uniform probe so the budget is still spent productively.
+        for _ in range(200):
+            probe = evaluator.space.sample(rng, 1)[0]
+            if not evaluator.seen(probe):
+                choices = {dim.name: dim.index_of(probe[dim.name])
+                           for dim in evaluator.space.dimensions}
+                return probe, choices
+        return None, None
+
+    def _update(self, logits: Dict[str, np.ndarray],
+                choices: Dict[str, int], advantage: float) -> None:
+        for name, index in choices.items():
+            probs = _softmax(logits[name])
+            gradient = -probs
+            gradient[index] += 1.0
+            entropy_grad = -probs * (np.log(probs + 1e-12)
+                                     + _entropy(probs))
+            logits[name] += self.learning_rate * (advantage * gradient
+                                                  + self.entropy_bonus
+                                                  * entropy_grad)
+
+    @staticmethod
+    def _front_hypervolume(evaluator: CachingEvaluator) -> float:
+        objectives = evaluator.result.objective_matrix
+        if objectives.size == 0:
+            return 0.0
+        if evaluator.reference is not None:
+            reference = evaluator.reference
+        else:
+            reference = objectives.max(axis=0) + 1e-9
+        front = objectives[non_dominated_mask(objectives)]
+        return hypervolume(front, reference)
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max()
+    exp = np.exp(shifted)
+    return exp / exp.sum()
+
+
+def _entropy(probs: np.ndarray) -> float:
+    return float(-(probs * np.log(probs + 1e-12)).sum())

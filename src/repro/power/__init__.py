@@ -1,0 +1,36 @@
+"""Power models: CACTI-like SRAM, Micron-like DRAM, PE array, scaling."""
+
+from repro.power.cacti import SramModel, sram_model
+from repro.power.dram import DramPowerReport, dram_power
+from repro.power.pe import (
+    IDLE_ENERGY_PJ,
+    MAC_ENERGY_PJ,
+    ArrayPowerReport,
+    array_power,
+)
+from repro.power.soc_power import AcceleratorPowerBreakdown, accelerator_power
+from repro.power.technology import (
+    REFERENCE_NODE_NM,
+    SUPPORTED_NODES_NM,
+    ScalingFactors,
+    frequency_power_factor,
+    node_scaling,
+)
+
+__all__ = [
+    "SramModel",
+    "sram_model",
+    "DramPowerReport",
+    "dram_power",
+    "ArrayPowerReport",
+    "array_power",
+    "MAC_ENERGY_PJ",
+    "IDLE_ENERGY_PJ",
+    "AcceleratorPowerBreakdown",
+    "accelerator_power",
+    "ScalingFactors",
+    "node_scaling",
+    "frequency_power_factor",
+    "REFERENCE_NODE_NM",
+    "SUPPORTED_NODES_NM",
+]

@@ -1,0 +1,56 @@
+"""Die-area model for the DSSoC (form-factor sanity checking).
+
+Phase 1's task spec includes physical constraints, and Table III quotes
+the camera's form factor (6.24 mm x 3.84 mm); a nano-UAV DSSoC must be
+a small die.  This model estimates accelerator area from published
+28 nm densities:
+
+* PE (int8 MAC + pipeline registers): ~2000 um^2;
+* SRAM macro density: ~0.45 mm^2 per MB (high-density 6T);
+* fixed SoC overhead (MCUs, MIPI, NoC, PHYs): ~1.2 mm^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.scalesim.config import AcceleratorConfig
+
+#: Calibrated 28 nm densities.
+PE_AREA_UM2 = 2000.0
+SRAM_MM2_PER_MB = 0.45
+FIXED_OVERHEAD_MM2 = 1.2
+
+#: OV9755 camera module footprint (Table III), a reference envelope.
+CAMERA_FOOTPRINT_MM2 = 6.24 * 3.84
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Estimated die area of a DSSoC configuration."""
+
+    pe_array_mm2: float
+    sram_mm2: float
+    overhead_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        """Total estimated die area."""
+        return self.pe_array_mm2 + self.sram_mm2 + self.overhead_mm2
+
+    @property
+    def fits_camera_footprint(self) -> bool:
+        """Whether the die is no larger than the camera module."""
+        return self.total_mm2 <= CAMERA_FOOTPRINT_MM2
+
+
+def soc_area(config: AcceleratorConfig) -> AreaReport:
+    """Estimate the DSSoC die area for an accelerator configuration."""
+    if config.num_pes <= 0:
+        raise ConfigError("configuration has no PEs")
+    pe_mm2 = config.num_pes * PE_AREA_UM2 / 1e6
+    sram_mb = config.total_sram_kb / 1024.0
+    sram_mm2 = sram_mb * SRAM_MM2_PER_MB
+    return AreaReport(pe_array_mm2=pe_mm2, sram_mm2=sram_mm2,
+                      overhead_mm2=FIXED_OVERHEAD_MM2)

@@ -1,0 +1,70 @@
+"""CACTI-style SRAM energy/leakage model.
+
+The paper feeds SCALE-Sim's SRAM traces into CACTI-P to obtain per-access
+energy and leakage for each scratchpad size.  We reproduce the *shape* of
+CACTI's outputs with a parametric model calibrated to published 28 nm
+mobile-SRAM numbers (Li et al., DAC 2019 [48]; CACTI-P [49]):
+
+* dynamic energy per access grows roughly with the square root of
+  capacity (longer bitlines/wordlines as banks grow);
+* leakage power grows linearly with capacity.
+
+Anchors: a 32 KB array costs ~5 pJ/access and leaks ~0.15 mW; a 4 MB
+array costs ~55 pJ/access and leaks ~20 mW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Reference process for the calibrated constants below.
+REFERENCE_NODE_NM = 28
+
+#: Dynamic-energy model: E(pJ) = _E_BASE_PJ + _E_SCALE_PJ * sqrt(capacity_kb).
+_E_BASE_PJ = 2.0
+_E_SCALE_PJ = 0.80
+
+#: Leakage model: P(mW) = _LEAK_MW_PER_KB * capacity_kb.
+_LEAK_MW_PER_KB = 0.005
+
+
+@dataclass(frozen=True)
+class SramModel:
+    """Energy/leakage characteristics of one scratchpad instance.
+
+    Attributes:
+        capacity_kb: Array capacity in KB.
+        read_energy_pj: Dynamic energy per read access (one element).
+        write_energy_pj: Dynamic energy per write access (one element).
+        leakage_w: Static leakage power in watts.
+    """
+
+    capacity_kb: int
+    read_energy_pj: float
+    write_energy_pj: float
+    leakage_w: float
+
+    def access_energy_joules(self, reads: int, writes: int) -> float:
+        """Total dynamic energy (J) for a given access mix."""
+        if reads < 0 or writes < 0:
+            raise ConfigError("access counts must be non-negative")
+        pj = reads * self.read_energy_pj + writes * self.write_energy_pj
+        return pj * 1e-12
+
+
+def sram_model(capacity_kb: int) -> SramModel:
+    """Build the calibrated model for a scratchpad of the given capacity."""
+    if capacity_kb <= 0:
+        raise ConfigError(f"capacity_kb must be positive, got {capacity_kb}")
+    read_pj = _E_BASE_PJ + _E_SCALE_PJ * (capacity_kb ** 0.5)
+    # Writes cost slightly more than reads (bitline full-swing drive).
+    write_pj = 1.1 * read_pj
+    leakage_w = _LEAK_MW_PER_KB * capacity_kb / 1000.0
+    return SramModel(
+        capacity_kb=capacity_kb,
+        read_energy_pj=read_pj,
+        write_energy_pj=write_pj,
+        leakage_w=leakage_w,
+    )

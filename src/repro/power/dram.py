@@ -1,0 +1,52 @@
+"""DRAM power model (Micron power-calculator substitute).
+
+The paper estimates DRAM power from SCALE-Sim's DRAM traces using the
+Micron DDR4 power calculator.  That spreadsheet decomposes power into a
+traffic-proportional dynamic part (activate + read/write burst energy)
+and a standby/background part.  We reproduce that decomposition with
+published LPDDR4-class energy-per-bit numbers appropriate for a UAV SoC:
+roughly 20-40 pJ/byte end-to-end, plus tens of mW of background power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Energy per byte moved (pJ), covering activate, IO and burst energy.
+READ_ENERGY_PJ_PER_BYTE = 28.0
+WRITE_ENERGY_PJ_PER_BYTE = 32.0
+
+#: Background (standby + refresh) power in watts for a single-die LPDDR part.
+BACKGROUND_POWER_W = 0.035
+
+
+@dataclass(frozen=True)
+class DramPowerReport:
+    """DRAM energy/power for one inference at a given frame rate."""
+
+    read_bytes: int
+    write_bytes: int
+    dynamic_energy_j: float
+    background_power_w: float
+
+    def average_power_w(self, frames_per_second: float) -> float:
+        """Average DRAM power when running inference back-to-back."""
+        if frames_per_second < 0:
+            raise ConfigError("frames_per_second must be non-negative")
+        return self.dynamic_energy_j * frames_per_second + self.background_power_w
+
+
+def dram_power(read_bytes: int, write_bytes: int) -> DramPowerReport:
+    """Energy for a given traffic mix plus the standby floor."""
+    if read_bytes < 0 or write_bytes < 0:
+        raise ConfigError("traffic byte counts must be non-negative")
+    dynamic_pj = (read_bytes * READ_ENERGY_PJ_PER_BYTE
+                  + write_bytes * WRITE_ENERGY_PJ_PER_BYTE)
+    return DramPowerReport(
+        read_bytes=read_bytes,
+        write_bytes=write_bytes,
+        dynamic_energy_j=dynamic_pj * 1e-12,
+        background_power_w=BACKGROUND_POWER_W,
+    )

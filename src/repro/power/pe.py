@@ -1,0 +1,77 @@
+"""Processing-element (MAC array) energy model.
+
+Following the paper, systolic-array power is estimated by multiplying the
+array size by a per-PE energy (modelled on the 28 nm mobile-accelerator
+data of Li et al. [48]).  Each PE-cycle costs:
+
+* ``MAC_ENERGY_PJ`` when performing a useful multiply-accumulate;
+* ``IDLE_ENERGY_PJ`` otherwise (clock tree, pipeline registers) -- this
+  is why over-provisioned arrays burn power even at low utilisation,
+  the effect behind the paper's high-throughput-design pitfall (Fig. 8);
+* plus a per-PE leakage floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Reference process for the constants below.
+REFERENCE_NODE_NM = 28
+
+#: Energy of one useful MAC, including local register traffic (pJ).
+MAC_ENERGY_PJ = 4.0
+
+#: Energy of one idle PE-cycle (clocked but not computing) (pJ).
+IDLE_ENERGY_PJ = 1.5
+
+#: Static leakage per PE (W).
+PE_LEAKAGE_W = 2e-6
+
+
+@dataclass(frozen=True)
+class ArrayPowerReport:
+    """Energy/power of the PE array for one inference."""
+
+    num_pes: int
+    total_cycles: int
+    macs: int
+    dynamic_energy_j: float
+    leakage_w: float
+
+    def average_power_w(self, frames_per_second: float,
+                        clock_hz: float) -> float:
+        """Average array power running back-to-back inference.
+
+        Between frames the array idles; idle cycles outside the inference
+        window are charged at the idle energy as well, so a fast design on
+        a slow frame clock still pays its clocking floor.
+        """
+        if frames_per_second < 0:
+            raise ConfigError("frames_per_second must be non-negative")
+        inference_power = self.dynamic_energy_j * frames_per_second
+        busy_fraction = min(1.0, (self.total_cycles * frames_per_second)
+                            / clock_hz if clock_hz > 0 else 1.0)
+        idle_gap_power = ((1.0 - busy_fraction) * self.num_pes
+                          * IDLE_ENERGY_PJ * 1e-12 * clock_hz)
+        return inference_power + idle_gap_power + self.leakage_w
+
+
+def array_power(num_pes: int, total_cycles: int, macs: int) -> ArrayPowerReport:
+    """Energy of one inference on an array of ``num_pes`` PEs."""
+    if num_pes <= 0:
+        raise ConfigError("num_pes must be positive")
+    if total_cycles < 0 or macs < 0:
+        raise ConfigError("cycles and macs must be non-negative")
+    pe_cycles = num_pes * total_cycles
+    useful = min(macs, pe_cycles)
+    idle = pe_cycles - useful
+    dynamic_pj = useful * MAC_ENERGY_PJ + idle * IDLE_ENERGY_PJ
+    return ArrayPowerReport(
+        num_pes=num_pes,
+        total_cycles=total_cycles,
+        macs=macs,
+        dynamic_energy_j=dynamic_pj * 1e-12,
+        leakage_w=num_pes * PE_LEAKAGE_W,
+    )

@@ -1,0 +1,106 @@
+"""Accelerator-subsystem power aggregation.
+
+Combines the PE-array, scratchpad (CACTI-like) and DRAM (Micron-like)
+models over a simulation report to produce the accelerator power at a
+given operating frame rate -- the quantity AutoPilot's Phase 2 minimises.
+The fixed SoC components (MCU, sensor, MIPI) are added by
+:mod:`repro.soc.dssoc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.power.cacti import sram_model
+from repro.power.dram import dram_power
+from repro.power.pe import array_power
+from repro.scalesim.config import AcceleratorConfig
+from repro.scalesim.report import RunReport
+
+
+@dataclass(frozen=True)
+class AcceleratorPowerBreakdown:
+    """Average power (W) of each accelerator sub-block at a frame rate."""
+
+    frames_per_second: float
+    array_w: float
+    ifmap_sram_w: float
+    filter_sram_w: float
+    ofmap_sram_w: float
+    dram_w: float
+    energy_per_inference_j: float
+
+    @property
+    def sram_w(self) -> float:
+        """Total scratchpad power."""
+        return self.ifmap_sram_w + self.filter_sram_w + self.ofmap_sram_w
+
+    @property
+    def total_w(self) -> float:
+        """Total accelerator-subsystem power."""
+        return self.array_w + self.sram_w + self.dram_w
+
+
+def accelerator_power(report: RunReport, config: AcceleratorConfig,
+                      frames_per_second: float | None = None) -> AcceleratorPowerBreakdown:
+    """Average accelerator power at ``frames_per_second``.
+
+    When ``frames_per_second`` is omitted, the accelerator is assumed to
+    run back-to-back at its own throughput (the Phase 2 convention).
+    """
+    if frames_per_second is None:
+        frames_per_second = report.frames_per_second
+    if frames_per_second < 0:
+        raise ConfigError("frames_per_second must be non-negative")
+    achievable = report.frames_per_second
+    if achievable > 0:
+        frames_per_second = min(frames_per_second, achievable)
+
+    # --- PE array ---------------------------------------------------------
+    array_report = array_power(
+        num_pes=config.num_pes,
+        total_cycles=report.total_cycles,
+        macs=report.total_macs,
+    )
+    array_w = array_report.average_power_w(frames_per_second, config.clock_hz)
+
+    # --- Scratchpads ------------------------------------------------------
+    ifmap_reads = sum(l.mapping.ifmap_sram_reads for l in report.layers)
+    ifmap_writes = sum(l.traffic.dram_ifmap_read_bytes for l in report.layers)
+    filter_reads = sum(l.mapping.filter_sram_reads for l in report.layers)
+    filter_writes = sum(l.traffic.dram_filter_read_bytes for l in report.layers)
+    ofmap_writes = sum(l.mapping.ofmap_sram_writes for l in report.layers)
+    ofmap_reads = sum(l.mapping.ofmap_sram_reads for l in report.layers)
+
+    ifmap_sram = sram_model(config.ifmap_sram_kb)
+    filter_sram = sram_model(config.filter_sram_kb)
+    ofmap_sram = sram_model(config.ofmap_sram_kb)
+
+    ifmap_energy = ifmap_sram.access_energy_joules(ifmap_reads, ifmap_writes)
+    filter_energy = filter_sram.access_energy_joules(filter_reads, filter_writes)
+    ofmap_energy = ofmap_sram.access_energy_joules(ofmap_reads, ofmap_writes)
+
+    ifmap_w = ifmap_energy * frames_per_second + ifmap_sram.leakage_w
+    filter_w = filter_energy * frames_per_second + filter_sram.leakage_w
+    ofmap_w = ofmap_energy * frames_per_second + ofmap_sram.leakage_w
+
+    # --- DRAM -------------------------------------------------------------
+    read_bytes = sum(l.traffic.dram_read_bytes for l in report.layers)
+    write_bytes = sum(l.traffic.dram_write_bytes for l in report.layers)
+    dram_report = dram_power(read_bytes, write_bytes)
+    dram_w = dram_report.average_power_w(frames_per_second)
+
+    per_inference = (array_report.dynamic_energy_j + ifmap_energy
+                     + filter_energy + ofmap_energy
+                     + dram_report.dynamic_energy_j)
+
+    return AcceleratorPowerBreakdown(
+        frames_per_second=frames_per_second,
+        array_w=array_w,
+        ifmap_sram_w=ifmap_w,
+        filter_sram_w=filter_w,
+        ofmap_sram_w=ofmap_w,
+        dram_w=dram_w,
+        energy_per_inference_j=per_inference,
+    )

@@ -1,0 +1,124 @@
+"""Scratchpad/DRAM traffic model for the accelerator.
+
+SCALE-Sim assumes double-buffered scratchpads: while one buffer feeds the
+array, the other prefetches, so DRAM transfers overlap compute and only
+stall the array when the interface bandwidth is the bottleneck.  This
+module computes, per layer:
+
+* DRAM read traffic for the ifmap and filter operands, accounting for
+  re-fetch when an operand exceeds its (half, i.e. usable) scratchpad;
+* DRAM write (and partial-sum read-back) traffic for the ofmap;
+* the bandwidth-limited cycle count to compare against compute cycles.
+
+The re-fetch model follows the classic loop-tiling result: when neither
+operand fits on chip, the better of the two loop orientations is chosen
+(stream the smaller-refetch-cost operand in the inner loop).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.nn.workload import LayerWorkload
+from repro.scalesim.config import AcceleratorConfig
+from repro.scalesim.dataflow import MappingStats
+
+
+@dataclass(frozen=True)
+class TrafficStats:
+    """DRAM traffic and bandwidth-limited timing for one layer."""
+
+    dram_ifmap_read_bytes: int
+    dram_filter_read_bytes: int
+    dram_ofmap_write_bytes: int
+    dram_psum_read_bytes: int
+    dram_psum_write_bytes: int
+    dram_cycles: int
+    first_fill_cycles: int
+
+    @property
+    def dram_read_bytes(self) -> int:
+        """Total bytes read from DRAM."""
+        return (self.dram_ifmap_read_bytes + self.dram_filter_read_bytes
+                + self.dram_psum_read_bytes)
+
+    @property
+    def dram_write_bytes(self) -> int:
+        """Total bytes written to DRAM."""
+        return self.dram_ofmap_write_bytes + self.dram_psum_write_bytes
+
+    @property
+    def dram_total_bytes(self) -> int:
+        """Total DRAM traffic in bytes."""
+        return self.dram_read_bytes + self.dram_write_bytes
+
+
+def _usable(capacity_bytes: int) -> int:
+    """Usable scratchpad bytes under double buffering (half the capacity)."""
+    return max(1, capacity_bytes // 2)
+
+
+def analyze_traffic(layer: LayerWorkload, mapping: MappingStats,
+                    config: AcceleratorConfig) -> TrafficStats:
+    """Compute DRAM traffic and bandwidth-limited cycles for one layer."""
+    ifmap_bytes = layer.ifmap_bytes
+    filter_bytes = layer.filter_bytes
+    ofmap_bytes = layer.ofmap_bytes
+
+    ifmap_capacity = _usable(config.ifmap_sram_bytes)
+    filter_capacity = _usable(config.filter_sram_bytes)
+    ofmap_capacity = _usable(config.ofmap_sram_bytes)
+
+    ifmap_fits = ifmap_bytes <= ifmap_capacity
+    filter_fits = filter_bytes <= filter_capacity
+
+    if ifmap_fits or filter_fits:
+        # One operand is resident: both are fetched exactly once.
+        dram_ifmap = ifmap_bytes
+        dram_filter = filter_bytes
+    else:
+        # Neither fits: pick the loop orientation with less re-fetch.
+        filter_chunks = math.ceil(filter_bytes / filter_capacity)
+        ifmap_chunks = math.ceil(ifmap_bytes / ifmap_capacity)
+        refetch_ifmap = ifmap_bytes * filter_chunks + filter_bytes
+        refetch_filter = filter_bytes * ifmap_chunks + ifmap_bytes
+        if refetch_ifmap <= refetch_filter:
+            dram_ifmap = ifmap_bytes * filter_chunks
+            dram_filter = filter_bytes
+        else:
+            dram_ifmap = ifmap_bytes
+            dram_filter = filter_bytes * ifmap_chunks
+
+    # Partial sums never round-trip DRAM: the WS/IS schedule chunks the
+    # output rows so that each output tile is fully accumulated across its
+    # K-folds while resident in the ofmap scratchpad (the accumulate
+    # energy is charged as ofmap SRAM reads by the dataflow model).  The
+    # fields are retained for alternative schedules and ablation.
+    psum_write = 0
+    psum_read = 0
+    # Unused here but kept to document that ofmap capacity shapes the
+    # chunking, not the DRAM traffic.
+    del ofmap_capacity
+
+    total_bytes = (dram_ifmap + dram_filter + ofmap_bytes
+                   + psum_read + psum_write)
+    bandwidth = config.dram_bandwidth_bytes_per_cycle
+    dram_cycles = math.ceil(total_bytes / bandwidth)
+
+    # Before the first fold can start, the first tiles of both read
+    # operands must land on chip; this is the non-overlappable prologue.
+    first_fill_bytes = (min(ifmap_capacity, ifmap_bytes)
+                        + min(filter_capacity, filter_bytes))
+    first_fill_cycles = math.ceil(min(first_fill_bytes, dram_ifmap + dram_filter)
+                                  / bandwidth)
+
+    return TrafficStats(
+        dram_ifmap_read_bytes=dram_ifmap,
+        dram_filter_read_bytes=dram_filter,
+        dram_ofmap_write_bytes=ofmap_bytes,
+        dram_psum_read_bytes=psum_read,
+        dram_psum_write_bytes=psum_write,
+        dram_cycles=dram_cycles,
+        first_fill_cycles=first_fill_cycles,
+    )

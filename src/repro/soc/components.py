@@ -1,0 +1,61 @@
+"""Fixed DSSoC components (Table III).
+
+The AutoPilot DSSoC template fixes everything except the NN accelerator:
+two ultra-low-power Cortex-M (ARMv8-M) cores running the PID flight
+controller bare-metal, an OV9755 RGB camera, and a MIPI CSI camera
+interface.  Their power numbers are taken directly from Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class FixedComponent:
+    """A fixed (non-searched) SoC component."""
+
+    name: str
+    peak_power_w: float
+    functionality: str
+
+
+#: ARMv8-M Cortex-M33 class MCU: 0.38 mW at 100 MHz in 28 nm (Table III).
+MCU_CORE = FixedComponent(
+    name="ARMv8-M MCU core",
+    peak_power_w=0.38e-3,
+    functionality="Flight controller stack, driver stack",
+)
+
+#: The template instantiates two MCU cores (Fig. 3a).
+NUM_MCU_CORES = 2
+
+#: OV9755 720p RGB sensor: 100 mW, 30-90 FPS (Table III).
+CAMERA_SENSOR = FixedComponent(
+    name="OV9755 RGB sensor",
+    peak_power_w=100e-3,
+    functionality="Sensor",
+)
+
+#: Supported sensor frame rates (FPS); Table IV uses 30 or 60.
+SENSOR_FRAMERATE_CHOICES: Tuple[int, ...] = (30, 60, 90)
+
+#: MIPI CSI receiver: 22 mW at 62.6 MHz (Table III).
+SENSOR_INTERFACE = FixedComponent(
+    name="MIPI CSI interface",
+    peak_power_w=22e-3,
+    functionality="Camera interface",
+)
+
+
+def fixed_components_power_w() -> float:
+    """Total power of the always-on fixed components."""
+    return (NUM_MCU_CORES * MCU_CORE.peak_power_w
+            + CAMERA_SENSOR.peak_power_w
+            + SENSOR_INTERFACE.peak_power_w)
+
+
+def fixed_components() -> Tuple[FixedComponent, ...]:
+    """The fixed component list, for reporting."""
+    return (MCU_CORE, CAMERA_SENSOR, SENSOR_INTERFACE)

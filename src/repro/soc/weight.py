@@ -1,0 +1,76 @@
+"""Compute payload weight model (Section III-C).
+
+The onboard computer weighs: a motherboard/PCB carrying the SoC (a fixed
+20 g, typical of Raspberry Pi / Coral-class boards per the paper) plus a
+passive aluminium heatsink sized to the SoC's TDP.
+
+The heatsink is sized the way the Celsia heat-sink calculator does:
+required thermal resistance R = dT / TDP, and for natural convection the
+needed volume is inversely proportional to R (V ~ C / R).  The weight is
+the volume times aluminium density times a fin fill factor.  Constants
+are calibrated so the paper's anchor designs land where reported: an
+8.24 W design carries ~65 g of compute payload and a 0.7 W design ~24 g.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import ALUMINIUM_DENSITY_G_PER_CM3
+
+#: PCB + electrical components weight (g), per the paper's analysis.
+MOTHERBOARD_WEIGHT_G = 20.0
+
+#: Junction temperature limit and ambient (deg C) for sizing.
+T_MAX_C = 85.0
+T_AMBIENT_C = 25.0
+
+#: Natural-convection constant: volume_cm3 = CONVECTION_CM3_K_PER_W / R.
+#: With dT = 60 K this yields ~2.03 cm3 of heatsink per watt.
+CONVECTION_CM3_K_PER_W = 122.0
+
+#: Fraction of the heatsink bounding volume that is solid aluminium.
+FIN_FILL_FACTOR = 1.0
+
+
+@dataclass(frozen=True)
+class ComputeWeight:
+    """Weight breakdown of the onboard computer."""
+
+    tdp_w: float
+    heatsink_volume_cm3: float
+    heatsink_weight_g: float
+    motherboard_weight_g: float
+
+    @property
+    def total_g(self) -> float:
+        """Total compute payload weight in grams."""
+        return self.heatsink_weight_g + self.motherboard_weight_g
+
+
+def heatsink_volume_cm3(tdp_w: float,
+                        t_max_c: float = T_MAX_C,
+                        t_ambient_c: float = T_AMBIENT_C) -> float:
+    """Heatsink volume needed to sink ``tdp_w`` under natural convection."""
+    if tdp_w < 0:
+        raise ConfigError("tdp_w must be non-negative")
+    if t_max_c <= t_ambient_c:
+        raise ConfigError("t_max_c must exceed t_ambient_c")
+    if tdp_w == 0:
+        return 0.0
+    thermal_resistance = (t_max_c - t_ambient_c) / tdp_w
+    return CONVECTION_CM3_K_PER_W / thermal_resistance
+
+
+def compute_weight(tdp_w: float,
+                   motherboard_weight_g: float = MOTHERBOARD_WEIGHT_G) -> ComputeWeight:
+    """Total onboard-computer weight for a given TDP."""
+    volume = heatsink_volume_cm3(tdp_w)
+    heatsink_g = volume * ALUMINIUM_DENSITY_G_PER_CM3 * FIN_FILL_FACTOR
+    return ComputeWeight(
+        tdp_w=tdp_w,
+        heatsink_volume_cm3=volume,
+        heatsink_weight_g=heatsink_g,
+        motherboard_weight_g=motherboard_weight_g,
+    )

@@ -1,0 +1,26 @@
+"""Sense-Plan-Act autonomy pipeline (Section VII extension)."""
+
+from repro.spa.agent import (
+    SpaAgent,
+    SpaComputeModel,
+    SpaWorkloadStats,
+    run_spa_episode,
+    spa_success_rate,
+)
+from repro.spa.control import ControlCommand, PurePursuitController
+from repro.spa.mapping import MappingStats, OccupancyGrid
+from repro.spa.planning import AStarPlanner, PlanResult
+
+__all__ = [
+    "OccupancyGrid",
+    "MappingStats",
+    "AStarPlanner",
+    "PlanResult",
+    "PurePursuitController",
+    "ControlCommand",
+    "SpaAgent",
+    "SpaWorkloadStats",
+    "SpaComputeModel",
+    "run_spa_episode",
+    "spa_success_rate",
+]

@@ -1,0 +1,155 @@
+"""The Sense-Plan-Act agent and its compute cost model.
+
+Ties the mapping, planning and control stages into an agent that flies
+the same navigation environment as the E2E policies -- Section VII's
+"UAV with SPA autonomy algorithms" row made concrete.  Unlike the E2E
+policy, the SPA stack assumes localisation: it reads the UAV pose from
+the environment, exactly as real SPA pipelines consume a state
+estimate.
+
+Per-decision work counters feed :class:`SpaComputeModel`, which turns
+the kernel mix into an action throughput for a given compute budget --
+the quantity Phase 3's F-1 analysis needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.airlearning.env import NavigationEnv
+from repro.errors import ConfigError, SimulationError
+from repro.spa.control import PurePursuitController
+from repro.spa.mapping import MappingStats, OccupancyGrid
+from repro.spa.planning import AStarPlanner, PlanResult
+
+#: Estimated scalar operations per unit of kernel work.
+OPS_PER_CELL_UPDATE = 12.0
+OPS_PER_NODE_EXPANSION = 48.0
+OPS_PER_CONTROL_STEP = 200.0
+
+
+@dataclass
+class SpaWorkloadStats:
+    """Accumulated per-decision kernel work."""
+
+    decisions: int = 0
+    cells_updated: int = 0
+    nodes_expanded: int = 0
+
+    def record(self, mapping: MappingStats, plan: PlanResult) -> None:
+        """Add one decision's work."""
+        self.decisions += 1
+        self.cells_updated += mapping.cells_updated
+        self.nodes_expanded += plan.nodes_expanded
+
+    @property
+    def mean_ops_per_decision(self) -> float:
+        """Average scalar operations per sense-plan-act decision."""
+        if self.decisions == 0:
+            return 0.0
+        total = (self.cells_updated * OPS_PER_CELL_UPDATE
+                 + self.nodes_expanded * OPS_PER_NODE_EXPANSION
+                 + self.decisions * OPS_PER_CONTROL_STEP)
+        return total / self.decisions
+
+
+@dataclass(frozen=True)
+class SpaComputeModel:
+    """Maps the SPA kernel mix onto a compute budget.
+
+    ``ops_per_second`` is the sustained scalar-equivalent rate of the
+    onboard computer on mapping/planning kernels.
+    """
+
+    ops_per_second: float
+
+    def __post_init__(self) -> None:
+        if self.ops_per_second <= 0:
+            raise ConfigError("ops_per_second must be positive")
+
+    def action_throughput_hz(self, workload: SpaWorkloadStats) -> float:
+        """Decisions per second achievable on this compute budget."""
+        ops = workload.mean_ops_per_decision
+        if ops <= 0:
+            return 0.0
+        return self.ops_per_second / ops
+
+
+class SpaAgent:
+    """Occupancy-grid mapping + A* planning + pure-pursuit control."""
+
+    def __init__(self, replan_every: int = 5,
+                 grid_resolution_m: float = 0.75):
+        if replan_every < 1:
+            raise ConfigError("replan_every must be at least 1")
+        self.replan_every = replan_every
+        self.grid_resolution_m = grid_resolution_m
+        self.planner = AStarPlanner(inflation_cells=1)
+        self.controller = PurePursuitController()
+        self.grid: OccupancyGrid | None = None
+        self.workload = SpaWorkloadStats()
+        self._path: list = []
+        self._steps_since_plan = 0
+
+    def reset(self, env: NavigationEnv) -> None:
+        """Bind to a freshly reset environment."""
+        if env.arena is None:
+            raise SimulationError("reset the environment before the agent")
+        self.grid = OccupancyGrid(env.arena.size_m,
+                                  resolution_m=self.grid_resolution_m)
+        self._path = []
+        self._steps_since_plan = self.replan_every  # force first plan
+
+    def act(self, env: NavigationEnv) -> int:
+        """One sense-plan-act decision."""
+        if self.grid is None or env.arena is None or env.state is None:
+            raise SimulationError("agent not reset / env not running")
+        state = env.state
+
+        # Sense: integrate the raycast scan into the map.
+        angles = env.sensor.ray_angles(state.heading)
+        distances = env.sensor.sense(env.arena, state.x, state.y,
+                                     state.heading) * env.sensor.max_range_m
+        mapping_stats = self.grid.integrate_scan(
+            state.x, state.y, angles, distances, env.sensor.max_range_m)
+
+        # Plan: replan periodically (or when the path ran out).
+        self._steps_since_plan += 1
+        plan = PlanResult()
+        if self._steps_since_plan >= self.replan_every or not self._path:
+            plan = self.planner.plan(self.grid, (state.x, state.y),
+                                     env.arena.goal)
+            if plan.found:
+                self._path = plan.path
+            self._steps_since_plan = 0
+        self.workload.record(mapping_stats, plan)
+
+        # Act: pure pursuit along the current path (fall back to the
+        # goal direction when no path is known yet).
+        path = self._path or [env.arena.goal]
+        return self.controller.discrete_action(state.x, state.y,
+                                               state.heading, path)
+
+
+def run_spa_episode(env: NavigationEnv, agent: SpaAgent) -> bool:
+    """Fly one episode; returns success."""
+    env.reset()
+    agent.reset(env)
+    done = False
+    success = False
+    while not done:
+        step = env.step(agent.act(env))
+        done = step.done
+        success = step.success
+    return success
+
+
+def spa_success_rate(scenario, episodes: int = 10, seed: int = 0,
+                     agent: SpaAgent | None = None) -> tuple[float, SpaWorkloadStats]:
+    """Validated SPA success rate plus the accumulated kernel workload."""
+    if episodes < 1:
+        raise ConfigError("episodes must be positive")
+    env = NavigationEnv(scenario, seed=seed)
+    agent = agent or SpaAgent()
+    successes = sum(run_spa_episode(env, agent) for _ in range(episodes))
+    return successes / episodes, agent.workload

@@ -1,0 +1,76 @@
+"""Pure-pursuit control stage of the Sense-Plan-Act pipeline.
+
+Converts the planned path into the same discrete (speed, yaw-rate)
+commands the E2E policy emits, so the SPA agent drops into the
+navigation environment unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.airlearning.dynamics import SPEED_LEVELS, YAW_RATE_LEVELS
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ControlCommand:
+    """The controller's continuous command before discretisation."""
+
+    speed: float
+    yaw_rate: float
+
+
+class PurePursuitController:
+    """Tracks the path by steering at a lookahead point."""
+
+    def __init__(self, lookahead_m: float = 2.0, cruise_speed: float = 2.0,
+                 yaw_gain: float = 2.0):
+        if lookahead_m <= 0 or cruise_speed <= 0 or yaw_gain <= 0:
+            raise ConfigError("controller parameters must be positive")
+        self.lookahead_m = lookahead_m
+        self.cruise_speed = cruise_speed
+        self.yaw_gain = yaw_gain
+
+    def command(self, x: float, y: float, heading: float,
+                path: List[Tuple[float, float]]) -> ControlCommand:
+        """Continuous command toward the lookahead point."""
+        if not path:
+            return ControlCommand(speed=0.0, yaw_rate=0.0)
+        target = self._lookahead_point(x, y, path)
+        bearing = math.atan2(target[1] - y, target[0] - x)
+        error = self._wrap(bearing - heading)
+        yaw_rate = self.yaw_gain * error
+        # Slow down for sharp turns.
+        speed = self.cruise_speed * max(0.2, math.cos(error))
+        return ControlCommand(speed=max(0.0, speed), yaw_rate=yaw_rate)
+
+    def discrete_action(self, x: float, y: float, heading: float,
+                        path: List[Tuple[float, float]]) -> int:
+        """Snap the continuous command onto the 25-action grid."""
+        command = self.command(x, y, heading, path)
+        speed_index = int(np.argmin([abs(command.speed - s)
+                                     for s in SPEED_LEVELS]))
+        yaw_index = int(np.argmin([abs(command.yaw_rate - r)
+                                   for r in YAW_RATE_LEVELS]))
+        return speed_index * len(YAW_RATE_LEVELS) + yaw_index
+
+    # ------------------------------------------------------------------
+    def _lookahead_point(self, x: float, y: float,
+                         path: List[Tuple[float, float]]) -> Tuple[float, float]:
+        for point in path:
+            if math.hypot(point[0] - x, point[1] - y) >= self.lookahead_m:
+                return point
+        return path[-1]
+
+    @staticmethod
+    def _wrap(angle: float) -> float:
+        while angle > math.pi:
+            angle -= 2.0 * math.pi
+        while angle < -math.pi:
+            angle += 2.0 * math.pi
+        return angle

@@ -1,0 +1,112 @@
+"""Occupancy-grid mapping stage of the Sense-Plan-Act pipeline.
+
+Section VII sketches how AutoPilot extends to SPA autonomy: the
+front end validates an SPA algorithm and Phase 2 swaps the systolic
+template for mapping/planning accelerators.  This module provides the
+*mapping* stage: an occupancy grid (Elfes [23]) updated from raycast
+returns with the standard log-odds rule, plus an operation counter so
+the stage can be costed on a DSSoC.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Log-odds increments for occupied/free observations and clamping.
+LOG_ODDS_OCCUPIED = 0.85
+LOG_ODDS_FREE = -0.4
+LOG_ODDS_MIN = -4.0
+LOG_ODDS_MAX = 4.0
+
+#: Occupancy probability above which a cell is treated as an obstacle.
+OCCUPIED_THRESHOLD = 0.65
+
+
+@dataclass
+class MappingStats:
+    """Work counters for one update (drives the SPA latency model)."""
+
+    cells_updated: int = 0
+    rays_traced: int = 0
+
+    def merge(self, other: "MappingStats") -> None:
+        """Accumulate another update's counters."""
+        self.cells_updated += other.cells_updated
+        self.rays_traced += other.rays_traced
+
+
+class OccupancyGrid:
+    """A log-odds occupancy grid over a square arena."""
+
+    def __init__(self, arena_size_m: float, resolution_m: float = 0.5):
+        if arena_size_m <= 0 or resolution_m <= 0:
+            raise ConfigError("arena size and resolution must be positive")
+        self.arena_size_m = arena_size_m
+        self.resolution_m = resolution_m
+        self.cells = int(math.ceil(arena_size_m / resolution_m))
+        self._log_odds = np.zeros((self.cells, self.cells))
+
+    # ------------------------------------------------------------------
+    def to_cell(self, x: float, y: float) -> tuple[int, int]:
+        """World coordinates -> (row, col) cell index, clamped to grid."""
+        col = int(np.clip(x / self.resolution_m, 0, self.cells - 1))
+        row = int(np.clip(y / self.resolution_m, 0, self.cells - 1))
+        return row, col
+
+    def to_world(self, row: int, col: int) -> tuple[float, float]:
+        """Cell index -> world coordinates of the cell centre."""
+        return ((col + 0.5) * self.resolution_m,
+                (row + 0.5) * self.resolution_m)
+
+    def occupancy(self, row: int, col: int) -> float:
+        """Occupancy probability of a cell."""
+        return 1.0 / (1.0 + math.exp(-self._log_odds[row, col]))
+
+    def is_occupied(self, row: int, col: int) -> bool:
+        """Whether a cell is above the obstacle threshold."""
+        return self.occupancy(row, col) >= OCCUPIED_THRESHOLD
+
+    def occupied_mask(self) -> np.ndarray:
+        """Boolean obstacle mask of the whole grid."""
+        probs = 1.0 / (1.0 + np.exp(-self._log_odds))
+        return probs >= OCCUPIED_THRESHOLD
+
+    # ------------------------------------------------------------------
+    def integrate_ray(self, x: float, y: float, angle: float,
+                      distance_m: float, max_range_m: float) -> MappingStats:
+        """Integrate one range return: free along the ray, hit at the end."""
+        stats = MappingStats(rays_traced=1)
+        steps = max(1, int(distance_m / (self.resolution_m * 0.5)))
+        for step in range(steps):
+            t = (step / steps) * distance_m
+            row, col = self.to_cell(x + t * math.cos(angle),
+                                    y + t * math.sin(angle))
+            self._update(row, col, LOG_ODDS_FREE)
+            stats.cells_updated += 1
+        if distance_m < max_range_m * 0.999:
+            row, col = self.to_cell(x + distance_m * math.cos(angle),
+                                    y + distance_m * math.sin(angle))
+            self._update(row, col, LOG_ODDS_OCCUPIED)
+            stats.cells_updated += 1
+        return stats
+
+    def integrate_scan(self, x: float, y: float, angles: np.ndarray,
+                       distances_m: np.ndarray,
+                       max_range_m: float) -> MappingStats:
+        """Integrate a full sensor scan."""
+        if len(angles) != len(distances_m):
+            raise ConfigError("angles and distances must align")
+        stats = MappingStats()
+        for angle, distance in zip(angles, distances_m):
+            stats.merge(self.integrate_ray(x, y, float(angle),
+                                           float(distance), max_range_m))
+        return stats
+
+    def _update(self, row: int, col: int, delta: float) -> None:
+        value = self._log_odds[row, col] + delta
+        self._log_odds[row, col] = min(LOG_ODDS_MAX, max(LOG_ODDS_MIN, value))

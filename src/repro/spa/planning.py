@@ -1,0 +1,119 @@
+"""Grid A* motion planning stage of the Sense-Plan-Act pipeline.
+
+An 8-connected A* over the occupancy grid with obstacle inflation,
+plus expansion counters so the stage can be costed on a DSSoC (motion
+planning is the stage RoboX [70] accelerates).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.spa.mapping import OccupancyGrid
+
+#: 8-connected neighbourhood and step costs.
+_NEIGHBORS = ((-1, 0, 1.0), (1, 0, 1.0), (0, -1, 1.0), (0, 1, 1.0),
+              (-1, -1, math.sqrt(2)), (-1, 1, math.sqrt(2)),
+              (1, -1, math.sqrt(2)), (1, 1, math.sqrt(2)))
+
+
+@dataclass
+class PlanResult:
+    """A plan plus the work done to produce it."""
+
+    path: List[Tuple[float, float]] = field(default_factory=list)
+    nodes_expanded: int = 0
+
+    @property
+    def found(self) -> bool:
+        """Whether a path to the goal was found."""
+        return bool(self.path)
+
+    @property
+    def length_m(self) -> float:
+        """Euclidean length of the planned path."""
+        return sum(math.hypot(b[0] - a[0], b[1] - a[1])
+                   for a, b in zip(self.path, self.path[1:]))
+
+
+class AStarPlanner:
+    """8-connected grid A* with obstacle inflation."""
+
+    def __init__(self, inflation_cells: int = 1):
+        if inflation_cells < 0:
+            raise ConfigError("inflation_cells must be non-negative")
+        self.inflation_cells = inflation_cells
+
+    def plan(self, grid: OccupancyGrid, start: Tuple[float, float],
+             goal: Tuple[float, float]) -> PlanResult:
+        """Plan from world-frame start to goal over the grid."""
+        blocked = self._inflate(grid.occupied_mask())
+        start_cell = grid.to_cell(*start)
+        goal_cell = grid.to_cell(*goal)
+        # Never let the endpoints be blocked by inflation noise.
+        blocked[start_cell] = False
+        blocked[goal_cell] = False
+
+        result = PlanResult()
+        open_heap: List[Tuple[float, int, Tuple[int, int]]] = []
+        heapq.heappush(open_heap, (0.0, 0, start_cell))
+        g_cost = {start_cell: 0.0}
+        parent: dict = {start_cell: None}
+        tie = 0
+
+        while open_heap:
+            _, _, cell = heapq.heappop(open_heap)
+            result.nodes_expanded += 1
+            if cell == goal_cell:
+                result.path = self._reconstruct(grid, parent, cell)
+                return result
+            for d_row, d_col, step in _NEIGHBORS:
+                neighbor = (cell[0] + d_row, cell[1] + d_col)
+                if not (0 <= neighbor[0] < grid.cells
+                        and 0 <= neighbor[1] < grid.cells):
+                    continue
+                if blocked[neighbor]:
+                    continue
+                candidate = g_cost[cell] + step
+                if candidate < g_cost.get(neighbor, float("inf")):
+                    g_cost[neighbor] = candidate
+                    parent[neighbor] = cell
+                    tie += 1
+                    priority = candidate + self._heuristic(neighbor,
+                                                           goal_cell)
+                    heapq.heappush(open_heap, (priority, tie, neighbor))
+        return result  # no path
+
+    # ------------------------------------------------------------------
+    def _inflate(self, mask: np.ndarray) -> np.ndarray:
+        if self.inflation_cells == 0:
+            return mask.copy()
+        inflated = mask.copy()
+        for _ in range(self.inflation_cells):
+            grown = inflated.copy()
+            grown[1:, :] |= inflated[:-1, :]
+            grown[:-1, :] |= inflated[1:, :]
+            grown[:, 1:] |= inflated[:, :-1]
+            grown[:, :-1] |= inflated[:, 1:]
+            inflated = grown
+        return inflated
+
+    @staticmethod
+    def _heuristic(cell: Tuple[int, int], goal: Tuple[int, int]) -> float:
+        return math.hypot(cell[0] - goal[0], cell[1] - goal[1])
+
+    @staticmethod
+    def _reconstruct(grid: OccupancyGrid, parent: dict,
+                     cell: Optional[Tuple[int, int]]) -> List[Tuple[float, float]]:
+        path = []
+        while cell is not None:
+            path.append(grid.to_world(*cell))
+            cell = parent[cell]
+        path.reverse()
+        return path

@@ -1,0 +1,90 @@
+"""Mission-level performance model (Eq. 1-4).
+
+The domain-specific evaluation metric is the *number of missions* a UAV
+completes on one battery charge:
+
+    N = E_battery * V_safe / ((P_rotors + P_compute + P_others) * D)
+
+where V_safe comes from the F-1 model at the design's action throughput,
+P_rotors from momentum theory at the loaded mass, and P_compute is the
+SoC power.  A design whose payload the UAV cannot lift scores zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.uav.f1_model import F1Model, ProvisioningVerdict
+from repro.uav.physics import can_lift, rotor_power_w
+from repro.uav.platforms import UavPlatform
+
+
+@dataclass(frozen=True)
+class MissionReport:
+    """Full mission-level evaluation of one compute design on one UAV."""
+
+    platform_name: str
+    compute_weight_g: float
+    compute_power_w: float
+    compute_fps: float
+    sensor_fps: float
+    action_throughput_hz: float
+    safe_velocity_m_s: float
+    velocity_ceiling_m_s: float
+    knee_throughput_hz: float
+    rotor_power_w: float
+    other_power_w: float
+    mission_time_s: float
+    mission_energy_j: float
+    num_missions: float
+    verdict: ProvisioningVerdict
+    feasible: bool
+
+    @property
+    def total_power_w(self) -> float:
+        """P_rotors + P_compute + P_others."""
+        return self.rotor_power_w + self.compute_power_w + self.other_power_w
+
+
+def evaluate_mission(platform: UavPlatform, compute_weight_g: float,
+                     compute_power_w: float, compute_fps: float,
+                     sensor_fps: float = 60.0) -> MissionReport:
+    """Evaluate Eq. 1-4 for one compute design on one platform."""
+    if compute_power_w < 0:
+        raise ConfigError("compute_power_w must be non-negative")
+
+    f1 = F1Model(platform=platform, compute_weight_g=compute_weight_g,
+                 sensor_fps=sensor_fps)
+    feasible = can_lift(platform, compute_weight_g)
+    v_safe = f1.safe_velocity(compute_fps) if feasible else 0.0
+    rotors = rotor_power_w(platform, compute_weight_g) if feasible else 0.0
+
+    if feasible and v_safe > 0:
+        mission_time = platform.mission_distance_m / v_safe
+        total_power = rotors + compute_power_w + platform.other_power_w
+        mission_energy = total_power * mission_time
+        num_missions = platform.battery_energy_j / mission_energy
+    else:
+        mission_time = float("inf")
+        mission_energy = float("inf")
+        num_missions = 0.0
+
+    return MissionReport(
+        platform_name=platform.name,
+        compute_weight_g=compute_weight_g,
+        compute_power_w=compute_power_w,
+        compute_fps=compute_fps,
+        sensor_fps=sensor_fps,
+        action_throughput_hz=f1.action_throughput_hz(compute_fps),
+        safe_velocity_m_s=v_safe,
+        velocity_ceiling_m_s=f1.velocity_ceiling if feasible else 0.0,
+        knee_throughput_hz=f1.knee_throughput_hz if feasible else 0.0,
+        rotor_power_w=rotors,
+        other_power_w=platform.other_power_w,
+        mission_time_s=mission_time,
+        mission_energy_j=mission_energy,
+        num_missions=num_missions,
+        verdict=f1.classify(compute_fps),
+        feasible=feasible,
+    )

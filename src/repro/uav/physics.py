@@ -1,0 +1,65 @@
+"""UAV flight physics: thrust-to-weight, acceleration and rotor power.
+
+Two relationships drive the cyber-physical coupling in AutoPilot:
+
+* **Agility**: the maximum acceleration available for braking/dodging is
+  set by the thrust-to-weight ratio, ``a_max = T/m - g`` -- extra
+  payload directly reduces agility (Section V-C);
+* **Rotor power**: momentum theory gives hover power
+  ``P = (m g)^{3/2} / (sqrt(2 rho A) * FoM)`` -- extra payload raises
+  the 95%-of-battery rotor power superlinearly (MAVBench's observation
+  that rotors dominate the energy budget).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+from repro.uav.platforms import UavPlatform
+from repro.units import AIR_DENSITY, GRAVITY, grams_to_kg
+
+#: Rotor figure of merit (ratio of ideal to actual induced power).
+FIGURE_OF_MERIT = 0.6
+
+#: Average flight power relative to hover (forward flight, manoeuvres).
+FLIGHT_POWER_FACTOR = 1.15
+
+
+def total_mass_kg(platform: UavPlatform, payload_g: float) -> float:
+    """Total takeoff mass: base UAV plus the compute payload."""
+    if payload_g < 0:
+        raise ConfigError("payload_g must be non-negative")
+    return grams_to_kg(platform.base_weight_g + payload_g)
+
+
+def thrust_to_weight(platform: UavPlatform, payload_g: float) -> float:
+    """Thrust-to-weight ratio at the given payload."""
+    mass = total_mass_kg(platform, payload_g)
+    return platform.max_thrust_n / (mass * GRAVITY)
+
+
+def max_acceleration(platform: UavPlatform, payload_g: float) -> float:
+    """Maximum braking/dodging acceleration (m/s^2); 0 if it cannot lift."""
+    mass = total_mass_kg(platform, payload_g)
+    accel = platform.max_thrust_n / mass - GRAVITY
+    return max(0.0, accel)
+
+
+def can_lift(platform: UavPlatform, payload_g: float) -> bool:
+    """Whether the UAV can hover with this payload (with 5% margin)."""
+    return thrust_to_weight(platform, payload_g) > 1.05
+
+
+def hover_power_w(platform: UavPlatform, payload_g: float) -> float:
+    """Momentum-theory hover power for the loaded UAV."""
+    mass = total_mass_kg(platform, payload_g)
+    weight = mass * GRAVITY
+    ideal = weight ** 1.5 / math.sqrt(2.0 * AIR_DENSITY
+                                      * platform.rotor_disk_area_m2)
+    return ideal / FIGURE_OF_MERIT
+
+
+def rotor_power_w(platform: UavPlatform, payload_g: float) -> float:
+    """Average rotor power in mission flight (P_rotors in Eq. 2)."""
+    return hover_power_w(platform, payload_g) * FLIGHT_POWER_FACTOR

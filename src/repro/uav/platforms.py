@@ -1,0 +1,139 @@
+"""Base UAV systems (Table IV).
+
+The paper evaluates one representative UAV per size class, keeping the
+base system (frame, battery, flight controller, rotors) fixed while
+AutoPilot designs the autonomy components:
+
+* **AscTec Pelican** -- mini-UAV, 6250 mAh, 1650 g base weight;
+* **DJI Spark** -- micro-UAV, 1480 mAh, 300 g base weight;
+* **Zhang et al. [89]** -- nano-UAV, 500 mAh, 50 g base weight.
+
+Quantities the paper leaves implicit (battery voltage, maximum thrust,
+rotor disk area, sensing range) are filled in from the public platform
+specifications, calibrated so the F-1 knee-points land where Fig. 11
+reports them: ~46 FPS for the nano-UAV and ~27 FPS for the DJI Spark.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+from repro.units import mah_to_joules
+
+
+class UavClass(enum.Enum):
+    """UAV size category."""
+
+    MINI = "mini"
+    MICRO = "micro"
+    NANO = "nano"
+
+
+@dataclass(frozen=True)
+class UavPlatform:
+    """A fixed base UAV system (everything except the autonomy payload).
+
+    Attributes:
+        name: Platform name.
+        uav_class: Size category.
+        battery_capacity_mah: Battery rating (fixed, Table IV).
+        battery_voltage_v: Nominal pack voltage.
+        base_weight_g: Frame + battery + rotors + flight controller (g).
+        max_thrust_n: Combined maximum rotor thrust (N).
+        rotor_disk_area_m2: Total propeller disk area (m^2), for the
+            momentum-theory rotor power model.
+        sense_distance_m: Usable obstacle-detection range of the RGB
+            pipeline, which sets the F-1 stopping-distance budget.
+        mission_distance_m: Representative mission length D_operation.
+        other_power_w: P_others -- ESCs, radios, flight controller board.
+        flight_controller: Description (fixed PID stack per Table IV).
+    """
+
+    name: str
+    uav_class: UavClass
+    battery_capacity_mah: float
+    battery_voltage_v: float
+    base_weight_g: float
+    max_thrust_n: float
+    rotor_disk_area_m2: float
+    sense_distance_m: float
+    mission_distance_m: float
+    other_power_w: float
+    flight_controller: str = "PID controller @ 100 kHz"
+
+    def __post_init__(self) -> None:
+        for field in ("battery_capacity_mah", "battery_voltage_v",
+                      "base_weight_g", "max_thrust_n", "rotor_disk_area_m2",
+                      "sense_distance_m", "mission_distance_m"):
+            if getattr(self, field) <= 0:
+                raise ConfigError(f"{self.name}: {field} must be positive")
+        if self.other_power_w < 0:
+            raise ConfigError(f"{self.name}: other_power_w must be >= 0")
+
+    @property
+    def battery_energy_j(self) -> float:
+        """E_battery in joules."""
+        return mah_to_joules(self.battery_capacity_mah, self.battery_voltage_v)
+
+
+ASCTEC_PELICAN = UavPlatform(
+    name="AscTec Pelican",
+    uav_class=UavClass.MINI,
+    battery_capacity_mah=6250.0,
+    battery_voltage_v=11.1,
+    base_weight_g=1650.0,
+    max_thrust_n=32.0,
+    rotor_disk_area_m2=0.2027,   # 4x 10-inch propellers
+    sense_distance_m=6.0,
+    mission_distance_m=200.0,
+    other_power_w=3.0,
+)
+
+DJI_SPARK = UavPlatform(
+    name="DJI Spark",
+    uav_class=UavClass.MICRO,
+    battery_capacity_mah=1480.0,
+    battery_voltage_v=11.4,
+    base_weight_g=300.0,
+    max_thrust_n=8.2,
+    rotor_disk_area_m2=0.0452,   # 4x 4.7-inch propellers
+    sense_distance_m=4.0,
+    mission_distance_m=150.0,
+    other_power_w=1.5,
+)
+
+NANO_ZHANG = UavPlatform(
+    name="Zhang et al. nano-UAV",
+    uav_class=UavClass.NANO,
+    battery_capacity_mah=500.0,
+    battery_voltage_v=3.7,
+    base_weight_g=50.0,
+    max_thrust_n=2.4,
+    rotor_disk_area_m2=0.0133,   # 4x 65-mm propellers
+    sense_distance_m=2.0,
+    mission_distance_m=100.0,
+    other_power_w=0.3,
+)
+
+#: All Table IV platforms, in paper order.
+ALL_PLATFORMS: Tuple[UavPlatform, ...] = (ASCTEC_PELICAN, DJI_SPARK, NANO_ZHANG)
+
+_REGISTRY: Dict[str, UavPlatform] = {p.name: p for p in ALL_PLATFORMS}
+_BY_CLASS: Dict[UavClass, UavPlatform] = {p.uav_class: p for p in ALL_PLATFORMS}
+
+
+def platform_by_name(name: str) -> UavPlatform:
+    """Look up a Table IV platform by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise ConfigError(
+            f"unknown platform {name!r}; known: {sorted(_REGISTRY)}") from exc
+
+
+def platform_by_class(uav_class: UavClass) -> UavPlatform:
+    """The representative platform of a size class (Table IV)."""
+    return _BY_CLASS[uav_class]

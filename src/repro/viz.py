@@ -1,0 +1,122 @@
+"""Terminal-friendly plotting for experiment artefacts.
+
+The paper's figures are scatter/line plots; the benchmark harness
+regenerates their *data* and renders it as ASCII plots so the `results/`
+artefacts are self-contained (no plotting dependencies).  Supports
+scatter plots with labelled points (Pareto frontiers, design candidates)
+and line plots (F-1 rooflines).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+#: Default canvas size (characters).
+DEFAULT_WIDTH = 64
+DEFAULT_HEIGHT = 20
+
+
+def _scale(values: Sequence[float], lo: float, hi: float,
+           cells: int) -> List[int]:
+    span = hi - lo
+    if span <= 0:
+        return [0 for _ in values]
+    out = []
+    for value in values:
+        cell = int((value - lo) / span * (cells - 1))
+        out.append(min(cells - 1, max(0, cell)))
+    return out
+
+
+def _bounds(values: Sequence[float],
+            log_scale: bool = False) -> Tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if log_scale:
+        if lo <= 0:
+            raise ConfigError("log-scale axes need positive values")
+        return math.log10(lo), math.log10(hi)
+    if lo == hi:
+        return lo - 0.5, hi + 0.5
+    return lo, hi
+
+
+def ascii_scatter(points: Sequence[Tuple[float, float]],
+                  labels: Optional[Sequence[str]] = None,
+                  width: int = DEFAULT_WIDTH, height: int = DEFAULT_HEIGHT,
+                  x_label: str = "x", y_label: str = "y",
+                  log_x: bool = False, log_y: bool = False,
+                  marker: str = "o") -> str:
+    """Render a scatter plot; labelled points use their first character."""
+    if not points:
+        raise ConfigError("scatter needs at least one point")
+    if labels is not None and len(labels) != len(points):
+        raise ConfigError("labels must align with points")
+    if width < 8 or height < 4:
+        raise ConfigError("canvas too small")
+
+    if log_x and any(p[0] <= 0 for p in points):
+        raise ConfigError("log-scale axes need positive values")
+    if log_y and any(p[1] <= 0 for p in points):
+        raise ConfigError("log-scale axes need positive values")
+    xs = [math.log10(p[0]) if log_x else p[0] for p in points]
+    ys = [math.log10(p[1]) if log_y else p[1] for p in points]
+    x_lo, x_hi = _bounds(xs)
+    y_lo, y_hi = _bounds(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    cols = _scale(xs, x_lo, x_hi, width)
+    rows = _scale(ys, y_lo, y_hi, height)
+    for index, (col, row) in enumerate(zip(cols, rows)):
+        glyph = marker
+        if labels is not None and labels[index]:
+            glyph = labels[index][0]
+        grid[height - 1 - row][col] = glyph
+
+    raw_y_lo = min(p[1] for p in points)
+    raw_y_hi = max(p[1] for p in points)
+    raw_x_lo = min(p[0] for p in points)
+    raw_x_hi = max(p[0] for p in points)
+    lines = [f"{y_label} (top={raw_y_hi:.3g}, bottom={raw_y_lo:.3g})"
+             + (" [log]" if log_y else "")]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {raw_x_lo:.3g} .. {raw_x_hi:.3g}"
+                 + (" [log]" if log_x else ""))
+    return "\n".join(lines)
+
+
+def ascii_line(series: Sequence[Tuple[str, Sequence[float], Sequence[float]]],
+               width: int = DEFAULT_WIDTH, height: int = DEFAULT_HEIGHT,
+               x_label: str = "x", y_label: str = "y") -> str:
+    """Render one or more (name, xs, ys) series; each uses its first char."""
+    if not series:
+        raise ConfigError("line plot needs at least one series")
+    all_x = [x for _, xs, _ in series for x in xs]
+    all_y = [y for _, _, ys in series for y in ys]
+    if not all_x:
+        raise ConfigError("series are empty")
+    x_lo, x_hi = _bounds(all_x)
+    y_lo, y_hi = _bounds(all_y)
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, xs, ys in series:
+        if len(xs) != len(ys):
+            raise ConfigError(f"series {name!r} has mismatched lengths")
+        glyph = name[0] if name else "*"
+        cols = _scale(list(xs), x_lo, x_hi, width)
+        rows = _scale(list(ys), y_lo, y_hi, height)
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = glyph
+
+    lines = [f"{y_label} (top={max(all_y):.3g}, bottom={min(all_y):.3g})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    legend = ", ".join(f"{name[0]}={name}" for name, _, _ in series if name)
+    lines.append(f" {x_label}: {min(all_x):.3g} .. {max(all_x):.3g}"
+                 f"   [{legend}]")
+    return "\n".join(lines)

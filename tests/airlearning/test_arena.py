@@ -1,0 +1,103 @@
+"""Unit tests for arena generation and geometry."""
+
+import math
+
+import pytest
+
+from repro.airlearning.arena import Arena, ArenaGenerator, Obstacle
+from repro.airlearning.scenarios import ALL_SCENARIOS, Scenario, scenario_spec
+
+
+class TestObstacle:
+    def test_distance_to_surface(self):
+        obstacle = Obstacle(x=0.0, y=0.0, radius=1.0)
+        assert obstacle.distance_to(3.0, 4.0) == pytest.approx(4.0)
+
+    def test_contains_inside_and_out(self):
+        obstacle = Obstacle(x=0.0, y=0.0, radius=1.0)
+        assert obstacle.contains(0.5, 0.0)
+        assert not obstacle.contains(2.0, 0.0)
+
+    def test_contains_with_margin(self):
+        obstacle = Obstacle(x=0.0, y=0.0, radius=1.0)
+        assert obstacle.contains(1.2, 0.0, margin=0.3)
+
+
+class TestArena:
+    def make_arena(self):
+        return Arena(size_m=10.0, obstacles=(Obstacle(5.0, 5.0, 1.0),),
+                     start=(1.0, 1.0), goal=(9.0, 9.0))
+
+    def test_bounds(self):
+        arena = self.make_arena()
+        assert arena.in_bounds(5.0, 5.0)
+        assert not arena.in_bounds(-0.1, 5.0)
+        assert not arena.in_bounds(5.0, 10.1)
+
+    def test_wall_collision(self):
+        arena = self.make_arena()
+        assert arena.collides(0.05, 5.0)
+
+    def test_obstacle_collision(self):
+        arena = self.make_arena()
+        assert arena.collides(5.0, 5.0)
+        assert not arena.collides(2.0, 5.0)
+
+    def test_goal_distance(self):
+        arena = self.make_arena()
+        assert arena.goal_distance(9.0, 9.0) == 0.0
+        assert arena.goal_distance(9.0, 6.0) == pytest.approx(3.0)
+
+
+class TestArenaGenerator:
+    @pytest.mark.parametrize("scenario", ALL_SCENARIOS)
+    def test_obstacle_counts_within_spec(self, scenario):
+        spec = scenario_spec(scenario)
+        generator = ArenaGenerator(scenario, seed=3)
+        for _ in range(10):
+            arena = generator.generate()
+            count = len(arena.obstacles)
+            assert spec.num_fixed_obstacles < count + 1
+            assert count <= spec.max_total_obstacles
+
+    def test_fixed_obstacles_are_deterministic(self):
+        a = ArenaGenerator(Scenario.DENSE, seed=1).generate()
+        b = ArenaGenerator(Scenario.DENSE, seed=2).generate()
+        fixed_a = a.obstacles[:4]
+        fixed_b = b.obstacles[:4]
+        assert [(o.x, o.y) for o in fixed_a] == [(o.x, o.y) for o in fixed_b]
+
+    def test_same_seed_same_sequence(self):
+        gen1 = ArenaGenerator(Scenario.MEDIUM, seed=42)
+        gen2 = ArenaGenerator(Scenario.MEDIUM, seed=42)
+        for _ in range(5):
+            a, b = gen1.generate(), gen2.generate()
+            assert a.start == b.start
+            assert a.goal == b.goal
+            assert len(a.obstacles) == len(b.obstacles)
+
+    def test_different_seeds_randomize(self):
+        a = ArenaGenerator(Scenario.LOW, seed=1).generate()
+        b = ArenaGenerator(Scenario.LOW, seed=2).generate()
+        assert a.goal != b.goal
+
+    def test_domain_randomization_across_episodes(self):
+        generator = ArenaGenerator(Scenario.LOW, seed=7)
+        goals = {generator.generate().goal for _ in range(8)}
+        assert len(goals) > 1
+
+    @pytest.mark.parametrize("scenario", ALL_SCENARIOS)
+    def test_start_and_goal_collision_free(self, scenario):
+        generator = ArenaGenerator(scenario, seed=5)
+        for _ in range(10):
+            arena = generator.generate()
+            assert not arena.collides(*arena.start)
+            assert not arena.collides(*arena.goal)
+
+    def test_goal_not_trivially_close(self):
+        generator = ArenaGenerator(Scenario.LOW, seed=9)
+        for _ in range(10):
+            arena = generator.generate()
+            distance = math.hypot(arena.goal[0] - arena.start[0],
+                                  arena.goal[1] - arena.start[1])
+            assert distance > 2.0

@@ -1,0 +1,93 @@
+"""Unit tests for the point-mass dynamics."""
+
+import math
+
+import pytest
+
+from repro.airlearning.dynamics import (
+    NUM_ACTIONS,
+    SPEED_LEVELS,
+    YAW_RATE_LEVELS,
+    PointMassDynamics,
+    UavState,
+    decode_action,
+)
+from repro.errors import ConfigError
+
+
+class TestActionDecoding:
+    def test_action_set_is_25(self):
+        assert NUM_ACTIONS == 25
+
+    def test_all_actions_decode(self):
+        decoded = {decode_action(a) for a in range(NUM_ACTIONS)}
+        assert len(decoded) == NUM_ACTIONS
+
+    def test_decoding_covers_grid(self):
+        speeds = {decode_action(a)[0] for a in range(NUM_ACTIONS)}
+        yaws = {decode_action(a)[1] for a in range(NUM_ACTIONS)}
+        assert speeds == set(SPEED_LEVELS)
+        assert yaws == set(YAW_RATE_LEVELS)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            decode_action(-1)
+        with pytest.raises(ConfigError):
+            decode_action(NUM_ACTIONS)
+
+
+class TestPointMassDynamics:
+    def straight_action(self, speed_index=4):
+        # Highest speed, zero yaw rate (middle of the yaw levels).
+        return speed_index * len(YAW_RATE_LEVELS) + 2
+
+    def test_speed_converges_to_command(self):
+        dynamics = PointMassDynamics(dt=0.1)
+        state = UavState(x=0.0, y=0.0, heading=0.0, speed=0.0)
+        for _ in range(100):
+            state = dynamics.step(state, self.straight_action())
+        assert state.speed == pytest.approx(SPEED_LEVELS[-1], abs=0.05)
+
+    def test_straight_motion_along_heading(self):
+        dynamics = PointMassDynamics(dt=0.1)
+        state = UavState(x=0.0, y=0.0, heading=0.0, speed=2.0)
+        state = dynamics.step(state, self.straight_action())
+        assert state.x > 0.0
+        assert state.y == pytest.approx(0.0)
+
+    def test_yaw_integrates(self):
+        dynamics = PointMassDynamics(dt=0.1)
+        state = UavState(x=0.0, y=0.0, heading=0.0, speed=0.0)
+        turn_action = 2 * len(YAW_RATE_LEVELS) + 4  # max positive yaw
+        state = dynamics.step(state, turn_action)
+        assert state.heading == pytest.approx(YAW_RATE_LEVELS[-1] * 0.1)
+
+    def test_heading_wraps(self):
+        dynamics = PointMassDynamics(dt=0.1)
+        state = UavState(x=0.0, y=0.0, heading=2 * math.pi - 0.01, speed=0.0)
+        turn_action = 2 * len(YAW_RATE_LEVELS) + 4
+        state = dynamics.step(state, turn_action)
+        assert 0.0 <= state.heading < 2 * math.pi
+
+    def test_zero_speed_command_decelerates(self):
+        dynamics = PointMassDynamics(dt=0.1)
+        state = UavState(x=0.0, y=0.0, heading=0.0, speed=2.0)
+        stop_action = 0 * len(YAW_RATE_LEVELS) + 2
+        next_state = dynamics.step(state, stop_action)
+        assert next_state.speed < state.speed
+
+    def test_velocity_components(self):
+        state = UavState(x=0.0, y=0.0, heading=math.pi / 2, speed=1.0)
+        vx, vy = state.velocity
+        assert vx == pytest.approx(0.0, abs=1e-12)
+        assert vy == pytest.approx(1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            PointMassDynamics(dt=0.0)
+        with pytest.raises(ConfigError):
+            PointMassDynamics(speed_tau=0.0)
+
+    def test_as_array(self):
+        state = UavState(x=1.0, y=2.0, heading=0.5, speed=1.5)
+        assert list(state.as_array()) == [1.0, 2.0, 0.5, 1.5]

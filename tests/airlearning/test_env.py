@@ -1,0 +1,106 @@
+"""Unit tests for the navigation environment."""
+
+import numpy as np
+import pytest
+
+from repro.airlearning.env import (
+    COLLISION_PENALTY,
+    GOAL_RADIUS_M,
+    SUCCESS_REWARD,
+    NavigationEnv,
+)
+from repro.airlearning.scenarios import Scenario
+from repro.errors import SimulationError
+
+
+class TestLifecycle:
+    def test_step_before_reset_raises(self):
+        env = NavigationEnv(Scenario.LOW, seed=0)
+        with pytest.raises(SimulationError):
+            env.step(0)
+
+    def test_reset_returns_observation(self):
+        env = NavigationEnv(Scenario.LOW, seed=0)
+        obs = env.reset()
+        assert obs.shape == (env.observation_dim,)
+
+    def test_observation_dim_is_rays_plus_extras(self):
+        env = NavigationEnv(Scenario.LOW, seed=0)
+        assert env.observation_dim == env.sensor.num_rays + 4
+
+    def test_num_actions(self):
+        env = NavigationEnv(Scenario.LOW, seed=0)
+        assert env.num_actions == 25
+
+    def test_episode_terminates_within_max_steps(self):
+        env = NavigationEnv(Scenario.LOW, seed=0, max_steps=50)
+        env.reset()
+        for step_index in range(50):
+            result = env.step(12)  # mid speed, straight
+            if result.done:
+                break
+        assert result.done
+
+    def test_determinism_under_seed(self):
+        def rollout(seed):
+            env = NavigationEnv(Scenario.MEDIUM, seed=seed)
+            obs = env.reset()
+            trace = [obs.copy()]
+            for action in [12, 12, 22, 7, 12]:
+                trace.append(env.step(action).observation.copy())
+            return np.vstack(trace)
+
+        assert np.allclose(rollout(5), rollout(5))
+        assert not np.allclose(rollout(5), rollout(6))
+
+
+class TestRewardsAndTermination:
+    def test_progress_rewarded(self):
+        env = NavigationEnv(Scenario.LOW, seed=1)
+        env.reset()
+        # The heading is initialised toward the goal; flying straight
+        # at top speed makes progress.
+        result = env.step(22)  # top speed, straight
+        assert result.reward > -1.0
+
+    def test_success_on_reaching_goal(self):
+        env = NavigationEnv(Scenario.LOW, seed=2)
+        env.reset()
+        # Teleport the UAV next to the goal and take one slow step.
+        goal_x, goal_y = env.arena.goal
+        env.state.x = goal_x - 0.2
+        env.state.y = goal_y
+        env._prev_goal_distance = env.arena.goal_distance(env.state.x,
+                                                          env.state.y)
+        result = env.step(12)
+        assert result.success
+        assert result.done
+        assert result.reward > SUCCESS_REWARD / 2
+
+    def test_collision_penalised_and_terminal(self):
+        env = NavigationEnv(Scenario.LOW, seed=3)
+        env.reset()
+        # Teleport next to a wall and drive into it.
+        env.state.x = 0.2
+        env.state.y = env.arena.size_m / 2
+        env.state.heading = np.pi  # facing the wall
+        env.state.speed = 2.0
+        result = env.step(22)
+        assert result.collided
+        assert result.done
+        assert result.reward < COLLISION_PENALTY / 2
+
+    def test_goal_radius_constant_sane(self):
+        assert 0.0 < GOAL_RADIUS_M < 5.0
+
+    def test_observation_values_bounded(self):
+        env = NavigationEnv(Scenario.DENSE, seed=4)
+        obs = env.reset()
+        for _ in range(20):
+            result = env.step(int(np.random.default_rng(0).integers(25)))
+            obs = result.observation
+            assert np.isfinite(obs).all()
+            if result.done:
+                break
+        rays = obs[:env.sensor.num_rays]
+        assert (rays >= 0.0).all() and (rays <= 1.0).all()

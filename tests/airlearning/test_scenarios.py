@@ -1,0 +1,39 @@
+"""Unit tests for scenario definitions."""
+
+from repro.airlearning.scenarios import (
+    ALL_SCENARIOS,
+    Scenario,
+    scenario_spec,
+)
+
+
+class TestScenarios:
+    def test_three_scenarios(self):
+        assert len(ALL_SCENARIOS) == 3
+        assert set(ALL_SCENARIOS) == {Scenario.LOW, Scenario.MEDIUM,
+                                      Scenario.DENSE}
+
+    def test_low_has_no_fixed_obstacles(self):
+        spec = scenario_spec(Scenario.LOW)
+        assert spec.num_fixed_obstacles == 0
+        assert spec.max_random_obstacles == 4
+
+    def test_medium_matches_paper(self):
+        # Four fixed plus up to three random (Section V-A).
+        spec = scenario_spec(Scenario.MEDIUM)
+        assert spec.num_fixed_obstacles == 4
+        assert spec.max_random_obstacles == 3
+
+    def test_dense_matches_paper(self):
+        # Four fixed plus up to five random (Section V-A).
+        spec = scenario_spec(Scenario.DENSE)
+        assert spec.num_fixed_obstacles == 4
+        assert spec.max_random_obstacles == 5
+
+    def test_density_ordering(self):
+        totals = [scenario_spec(s).max_total_obstacles for s in ALL_SCENARIOS]
+        assert totals == sorted(totals)
+
+    def test_every_spec_has_description(self):
+        for scenario in ALL_SCENARIOS:
+            assert scenario_spec(scenario).description

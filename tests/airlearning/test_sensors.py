@@ -1,0 +1,83 @@
+"""Unit tests for the raycast sensor."""
+
+import math
+
+import pytest
+
+from repro.airlearning.arena import Arena, Obstacle
+from repro.airlearning.sensors import RaycastSensor
+from repro.errors import ConfigError
+
+
+def empty_arena(size=20.0):
+    return Arena(size_m=size, obstacles=(), start=(1.0, 1.0),
+                 goal=(19.0, 19.0))
+
+
+class TestRaycastSensor:
+    def test_reading_count_and_range(self):
+        sensor = RaycastSensor(num_rays=12)
+        readings = sensor.sense(empty_arena(), 10.0, 10.0, 0.0)
+        assert readings.shape == (12,)
+        assert (readings >= 0.0).all()
+        assert (readings <= 1.0).all()
+
+    def test_wall_distance_exact(self):
+        sensor = RaycastSensor(num_rays=1, max_range_m=8.0)
+        # Facing +x from (15, 10) in a 20 m arena: wall at 5 m.
+        readings = sensor.sense(empty_arena(), 15.0, 10.0, 0.0)
+        assert readings[0] == pytest.approx(5.0 / 8.0)
+
+    def test_open_space_saturates_at_max_range(self):
+        sensor = RaycastSensor(num_rays=1, max_range_m=4.0)
+        readings = sensor.sense(empty_arena(), 10.0, 10.0, 0.0)
+        assert readings[0] == pytest.approx(1.0)
+
+    def test_obstacle_distance_exact(self):
+        arena = Arena(size_m=20.0, obstacles=(Obstacle(14.0, 10.0, 1.0),),
+                      start=(1.0, 1.0), goal=(19.0, 19.0))
+        sensor = RaycastSensor(num_rays=1, max_range_m=8.0)
+        readings = sensor.sense(arena, 10.0, 10.0, 0.0)
+        assert readings[0] == pytest.approx(3.0 / 8.0)
+
+    def test_obstacle_behind_is_invisible(self):
+        arena = Arena(size_m=20.0, obstacles=(Obstacle(5.0, 10.0, 1.0),),
+                      start=(1.0, 1.0), goal=(19.0, 19.0))
+        sensor = RaycastSensor(num_rays=1, max_range_m=4.0)
+        readings = sensor.sense(arena, 10.0, 10.0, 0.0)  # facing +x
+        assert readings[0] == pytest.approx(1.0)
+
+    def test_heading_rotates_rays(self):
+        arena = Arena(size_m=20.0, obstacles=(Obstacle(10.0, 14.0, 1.0),),
+                      start=(1.0, 1.0), goal=(19.0, 19.0))
+        sensor = RaycastSensor(num_rays=1, max_range_m=8.0)
+        facing_up = sensor.sense(arena, 10.0, 10.0, math.pi / 2)
+        facing_right = sensor.sense(arena, 10.0, 10.0, 0.0)
+        assert facing_up[0] < facing_right[0]
+
+    def test_fov_spans_symmetric_offsets(self):
+        sensor = RaycastSensor(num_rays=5, fov_rad=math.pi)
+        angles = sensor.ray_angles(0.0)
+        assert angles[0] == pytest.approx(-math.pi / 2)
+        assert angles[-1] == pytest.approx(math.pi / 2)
+        assert angles[2] == pytest.approx(0.0)
+
+    def test_single_ray_points_forward(self):
+        sensor = RaycastSensor(num_rays=1)
+        assert sensor.ray_angles(1.2)[0] == pytest.approx(1.2)
+
+    def test_ray_inside_obstacle_reads_near_zero(self):
+        arena = Arena(size_m=20.0, obstacles=(Obstacle(10.0, 10.0, 2.0),),
+                      start=(1.0, 1.0), goal=(19.0, 19.0))
+        sensor = RaycastSensor(num_rays=1, max_range_m=8.0)
+        readings = sensor.sense(arena, 10.0, 10.0, 0.0)
+        # Exit point of the circle is 2 m ahead.
+        assert readings[0] == pytest.approx(2.0 / 8.0)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigError):
+            RaycastSensor(num_rays=0)
+        with pytest.raises(ConfigError):
+            RaycastSensor(fov_rad=0.0)
+        with pytest.raises(ConfigError):
+            RaycastSensor(max_range_m=-1.0)

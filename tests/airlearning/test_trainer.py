@@ -1,0 +1,66 @@
+"""Tests for the CEM trainer (small budgets, deterministic seeds)."""
+
+import numpy as np
+import pytest
+
+from repro.airlearning.env import NavigationEnv
+from repro.airlearning.evaluate import validate_policy
+from repro.airlearning.policy import MlpPolicy
+from repro.airlearning.scenarios import Scenario
+from repro.airlearning.trainer import CemTrainer
+from repro.errors import ConfigError
+from repro.nn.template import PolicyHyperparams
+
+
+@pytest.fixture(scope="module")
+def quick_training():
+    trainer = CemTrainer(population_size=16, iterations=6,
+                         episodes_per_candidate=2, seed=5)
+    return trainer.train(PolicyHyperparams(2, 32), Scenario.LOW)
+
+
+class TestCemTrainer:
+    def test_traces_have_iteration_length(self, quick_training):
+        assert len(quick_training.mean_return_trace) == 6
+        assert len(quick_training.success_rate_trace) == 6
+
+    def test_best_params_match_policy_size(self, quick_training):
+        env = NavigationEnv(Scenario.LOW, seed=5)
+        policy = MlpPolicy(PolicyHyperparams(2, 32), env.observation_dim,
+                           env.num_actions)
+        assert quick_training.best_params.shape == (policy.num_params,)
+
+    def test_deterministic_under_seed(self):
+        def run():
+            trainer = CemTrainer(population_size=8, iterations=2,
+                                 episodes_per_candidate=1, seed=9)
+            return trainer.train(PolicyHyperparams(2, 32), Scenario.LOW)
+        a, b = run(), run()
+        assert np.allclose(a.best_params, b.best_params)
+        assert a.mean_return_trace == b.mean_return_trace
+
+    def test_trained_beats_untrained_return(self, quick_training):
+        env = NavigationEnv(Scenario.LOW, seed=5)
+        policy = MlpPolicy(PolicyHyperparams(2, 32), env.observation_dim,
+                           env.num_actions)
+
+        policy.set_params(np.zeros(policy.num_params))
+        untrained = validate_policy(policy, Scenario.LOW, episodes=10, seed=5)
+
+        policy.set_params(quick_training.best_params)
+        trained = validate_policy(policy, Scenario.LOW, episodes=10, seed=5)
+        assert trained.mean_return > untrained.mean_return
+
+    def test_final_success_rate_property(self, quick_training):
+        assert quick_training.final_success_rate == \
+            quick_training.success_rate_trace[-1]
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigError):
+            CemTrainer(population_size=2)
+        with pytest.raises(ConfigError):
+            CemTrainer(elite_fraction=0.0)
+        with pytest.raises(ConfigError):
+            CemTrainer(iterations=0)
+        with pytest.raises(ConfigError):
+            CemTrainer(episodes_per_candidate=0)

@@ -1,0 +1,74 @@
+"""Tests for Phase 2 result export/reload."""
+
+import csv
+
+import pytest
+
+from repro.airlearning.scenarios import Scenario
+from repro.core.export import (
+    export_candidates_csv,
+    export_candidates_json,
+    load_candidates_json,
+)
+from repro.core.phase1 import FrontEnd
+from repro.core.phase2 import MultiObjectiveDse
+from repro.core.spec import TaskSpec, build_design_space
+from repro.uav.platforms import NANO_ZHANG
+
+
+@pytest.fixture(scope="module")
+def setup():
+    task = TaskSpec(platform=NANO_ZHANG, scenario=Scenario.DENSE)
+    database = FrontEnd(backend="surrogate", seed=1).run(task).database
+    space = build_design_space(layer_choices=(4, 7), filter_choices=(32,),
+                               pe_choices=(16, 32), sram_choices=(64,))
+    dse = MultiObjectiveDse(database=database, space=space, seed=1)
+    result = dse.run(task, budget=8)
+    return task, database, result
+
+
+class TestExport:
+    def test_csv_roundtrip_row_count(self, setup, tmp_path):
+        _, _, result = setup
+        path = tmp_path / "candidates.csv"
+        count = export_candidates_csv(result, path)
+        assert count == 8
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 8
+        assert "soc_power_w" in rows[0]
+
+    def test_json_reload_rebuilds_candidates(self, setup, tmp_path):
+        task, database, result = setup
+        path = tmp_path / "candidates.json"
+        export_candidates_json(result, path)
+        loaded = load_candidates_json(path, task.scenario, database)
+        assert len(loaded) == len(result.candidates)
+        original = {result.candidates[i].design.describe():
+                    result.candidates[i] for i in range(8)}
+        for candidate in loaded:
+            source = original[candidate.design.describe()]
+            assert candidate.soc_power_w == pytest.approx(
+                source.soc_power_w)
+            assert candidate.success_rate == source.success_rate
+
+    def test_reload_feeds_phase3(self, setup, tmp_path):
+        from repro.core.phase3 import BackEnd
+        task, database, result = setup
+        path = tmp_path / "candidates.json"
+        export_candidates_json(result, path)
+        loaded = load_candidates_json(path, task.scenario, database)
+        phase3 = BackEnd(enable_finetuning=False).run(loaded, task)
+        assert phase3.selected.num_missions > 0
+
+    def test_stale_export_detected(self, setup, tmp_path):
+        import json
+        task, database, result = setup
+        path = tmp_path / "candidates.json"
+        export_candidates_json(result, path)
+        payload = json.loads(path.read_text())
+        payload[0]["soc_power_w"] *= 10.0  # simulate a model change
+        path.write_text(json.dumps(payload))
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            load_candidates_json(path, task.scenario, database)

@@ -1,0 +1,104 @@
+"""Unit tests for the Phase 2 multi-objective DSE."""
+
+import numpy as np
+import pytest
+
+from repro.airlearning.scenarios import Scenario
+from repro.core.phase1 import FrontEnd
+from repro.core.phase2 import MultiObjectiveDse
+from repro.core.spec import TaskSpec, assignment_to_design, build_design_space
+from repro.errors import ConfigError
+from repro.optim.random_search import RandomSearch
+from repro.uav.platforms import NANO_ZHANG
+
+
+@pytest.fixture(scope="module")
+def task():
+    return TaskSpec(platform=NANO_ZHANG, scenario=Scenario.DENSE)
+
+
+@pytest.fixture(scope="module")
+def database(task):
+    return FrontEnd(backend="surrogate", seed=0).run(task).database
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return build_design_space(layer_choices=(4, 7), filter_choices=(32, 48),
+                              pe_choices=(16, 32, 64),
+                              sram_choices=(64, 256))
+
+
+@pytest.fixture(scope="module")
+def dse_result(database, task, small_space):
+    dse = MultiObjectiveDse(database=database, space=small_space, seed=1)
+    return dse.run(task, budget=25)
+
+
+class TestPhase2:
+    def test_candidate_per_evaluation(self, dse_result):
+        assert len(dse_result.candidates) == 25
+
+    def test_objectives_vector_shape_and_signs(self, dse_result):
+        for candidate in dse_result.candidates:
+            objectives = candidate.objectives
+            assert objectives.shape == (3,)
+            assert 0.0 <= objectives[0] <= 1.0  # 1 - success
+            assert objectives[1] > 0.0  # latency
+            assert objectives[2] > 0.0  # power
+
+    def test_pareto_candidates_nonempty_subset(self, dse_result):
+        pareto = dse_result.pareto_candidates()
+        assert 0 < len(pareto) <= len(dse_result.candidates)
+
+    def test_pareto_candidates_mutually_nondominated(self, dse_result):
+        from repro.optim.pareto import dominates
+        pareto = dse_result.pareto_candidates()
+        for a in pareto:
+            for b in pareto:
+                assert not dominates(a.objectives, b.objectives)
+
+    def test_candidate_metrics_consistent(self, dse_result):
+        for candidate in dse_result.candidates[:5]:
+            assert candidate.frames_per_second == pytest.approx(
+                1.0 / candidate.evaluation.latency_seconds)
+            assert candidate.soc_power_w == \
+                candidate.evaluation.soc_power_w
+
+    def test_success_rates_come_from_database(self, dse_result, database,
+                                              task):
+        for candidate in dse_result.candidates[:5]:
+            assert candidate.success_rate == database.success_rate(
+                candidate.design.policy, task.scenario)
+
+    def test_optimization_record_attached(self, dse_result):
+        assert dse_result.optimization is not None
+        assert len(dse_result.optimization.evaluations) == 25
+
+    def test_pluggable_optimizer(self, database, task, small_space):
+        dse = MultiObjectiveDse(database=database, space=small_space,
+                                optimizer_cls=RandomSearch, seed=2)
+        result = dse.run(task, budget=10)
+        assert len(result.candidates) == 10
+
+    def test_rejects_nonpositive_budget(self, database, task, small_space):
+        dse = MultiObjectiveDse(database=database, space=small_space)
+        with pytest.raises(ConfigError):
+            dse.run(task, budget=0)
+
+    def test_evaluate_design_explicit_point(self, database, task):
+        dse = MultiObjectiveDse(database=database)
+        design = assignment_to_design({
+            "num_layers": 7, "num_filters": 48, "pe_rows": 32,
+            "pe_cols": 32, "ifmap_sram_kb": 64, "filter_sram_kb": 64,
+            "ofmap_sram_kb": 64,
+        })
+        candidate = dse.evaluate_design(design, task)
+        assert candidate.frames_per_second > 0
+        assert candidate.success_rate == database.success_rate(
+            design.policy, task.scenario)
+
+    def test_objective_diversity(self, dse_result):
+        # The search space spans meaningfully different designs.
+        powers = np.array([c.soc_power_w for c in dse_result.candidates])
+        assert powers.max() > 2 * powers.min()

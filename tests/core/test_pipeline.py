@@ -1,0 +1,65 @@
+"""Unit tests for the full AutoPilot pipeline."""
+
+import pytest
+
+from repro.airlearning.scenarios import Scenario
+from repro.core.pipeline import AutoPilot
+from repro.core.spec import TaskSpec
+from repro.optim.random_search import RandomSearch
+from repro.uav.platforms import DJI_SPARK, NANO_ZHANG
+
+
+@pytest.fixture(scope="module")
+def autopilot():
+    return AutoPilot(seed=11)
+
+
+@pytest.fixture(scope="module")
+def result(autopilot):
+    task = TaskSpec(platform=NANO_ZHANG, scenario=Scenario.DENSE)
+    return autopilot.run(task, budget=40)
+
+
+class TestPipeline:
+    def test_all_phases_present(self, result):
+        assert len(result.phase1.database) >= 27
+        assert len(result.phase2.candidates) == 40
+        assert result.phase3.selected is not None
+
+    def test_selected_accessors(self, result):
+        assert result.selected is result.phase3.selected
+        assert result.num_missions == result.selected.num_missions
+        assert result.num_missions > 0
+
+    def test_selected_meets_success_band(self, result):
+        best = max(c.success_rate for c in result.phase2.candidates)
+        assert result.selected.candidate.success_rate >= best - 0.021
+
+    def test_phase2_cache_reused_across_platforms(self, autopilot, result):
+        # Same scenario + budget on a different UAV: Phase 2 is shared,
+        # only Phase 3 re-runs.
+        task = TaskSpec(platform=DJI_SPARK, scenario=Scenario.DENSE)
+        other = autopilot.run(task, budget=40)
+        assert other.phase2 is result.phase2
+
+    def test_phase1_database_shared(self, autopilot, result):
+        assert result.phase1.database is autopilot.database
+
+    def test_fresh_phase2_when_reuse_disabled(self, autopilot, result):
+        task = TaskSpec(platform=NANO_ZHANG, scenario=Scenario.DENSE)
+        fresh = autopilot.run(task, budget=40, reuse_phase2=False)
+        assert fresh.phase2 is not result.phase2
+
+    def test_pluggable_optimizer(self):
+        autopilot = AutoPilot(seed=2, optimizer_cls=RandomSearch)
+        task = TaskSpec(platform=NANO_ZHANG, scenario=Scenario.LOW)
+        result = autopilot.run(task, budget=15)
+        assert len(result.phase2.candidates) == 15
+
+    def test_determinism_across_instances(self):
+        task = TaskSpec(platform=NANO_ZHANG, scenario=Scenario.LOW)
+        a = AutoPilot(seed=5).run(task, budget=20)
+        b = AutoPilot(seed=5).run(task, budget=20)
+        assert a.selected.candidate.design.describe() == \
+            b.selected.candidate.design.describe()
+        assert a.num_missions == pytest.approx(b.num_missions)

@@ -1,0 +1,32 @@
+"""Unit tests for the Table I prior-work data."""
+
+from repro.core.prior_work import TABLE_I, render_table_i
+
+
+class TestTableI:
+    def test_six_rows_matching_paper(self):
+        names = [row.name for row in TABLE_I]
+        assert len(names) == 6
+        assert "Navion" in names
+        assert "MAVBench" in names
+        assert "PULP-DroNet" in names
+
+    def test_this_work_is_last_and_unique(self):
+        assert TABLE_I[-1].is_this_work
+        assert sum(r.is_this_work for r in TABLE_I) == 1
+
+    def test_pulp_is_e2e_without_physics(self):
+        pulp = [r for r in TABLE_I if r.name == "PULP-DroNet"][0]
+        assert pulp.end_to_end_autonomy
+        assert not pulp.considers_uav_physics
+
+    def test_robox_is_automated_but_not_e2e(self):
+        robox = [r for r in TABLE_I if r.name == "RoboX"][0]
+        assert robox.automated
+        assert not robox.end_to_end_autonomy
+
+    def test_render_is_tabular(self):
+        text = render_table_i()
+        lines = text.splitlines()
+        assert len(lines) == 2 + len(TABLE_I)
+        assert "yes" in text and "no" in text

@@ -1,0 +1,37 @@
+"""Unit tests for the Table VI taxonomy."""
+
+from repro.core.taxonomy import TABLE_VI, render_table_vi
+
+
+class TestTableVI:
+    def test_six_rows(self):
+        assert len(TABLE_VI) == 6
+
+    def test_exactly_one_this_work(self):
+        assert sum(row.is_this_work for row in TABLE_VI) == 1
+
+    def test_this_work_uses_paper_components(self):
+        ours = [row for row in TABLE_VI if row.is_this_work][0]
+        assert "Air Learning" in ours.phase1_front_ends
+        assert any("SCALE-Sim" in t for t in ours.phase2_hw_templates)
+        assert any("Bayesian" in o for o in ours.phase2_optimizers)
+        assert any("F-1" in b for b in ours.phase3_back_ends)
+
+    def test_covers_all_three_domains(self):
+        domains = {row.domain.split(" (")[0] for row in TABLE_VI}
+        assert "UAV" in domains or "UAVs" in domains
+        assert "Self-driving cars" in domains
+        assert "Articulated robots" in domains
+
+    def test_every_row_fully_populated(self):
+        for row in TABLE_VI:
+            assert row.phase1_front_ends
+            assert row.phase2_hw_templates
+            assert row.phase2_optimizers
+            assert row.phase3_back_ends
+
+    def test_render_mentions_every_domain(self):
+        text = render_table_vi()
+        for row in TABLE_VI:
+            assert row.domain.split(" (")[0].split()[0] in text
+        assert "this work" in text

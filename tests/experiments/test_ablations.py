@@ -1,0 +1,89 @@
+"""Tests for the ablation drivers."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    dataflow_ablation,
+    finetuning_ablation,
+    optimizer_ablation,
+    phase3_ablation,
+)
+
+
+class TestOptimizerAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return optimizer_ablation(budget=20, seed=3)
+
+    def test_all_optimizers_compared(self, rows):
+        assert {r.optimizer for r in rows} == {"bayesopt", "genetic",
+                                               "annealing", "random", "rl"}
+
+    def test_budgets_match(self, rows):
+        assert all(r.budget == 20 for r in rows)
+
+    def test_positive_hypervolumes(self, rows):
+        assert all(r.final_hypervolume > 0 for r in rows)
+
+    def test_pareto_sets_nonempty(self, rows):
+        assert all(r.pareto_size > 0 for r in rows)
+
+
+class TestPhase3Ablation:
+    @pytest.fixture(scope="class")
+    def rows(self, shared_context):
+        return phase3_ablation(context=shared_context)
+
+    def test_configurations_present(self, rows):
+        names = {r.configuration for r in rows}
+        assert "full Phase 3 (AP)" in names
+        assert "no weight feedback" in names
+        assert any("HT" in n for n in names)
+
+    def test_full_phase3_is_best(self, rows):
+        full = [r for r in rows if r.configuration == "full Phase 3 (AP)"][0]
+        for row in rows:
+            assert full.num_missions >= row.num_missions - 1e-9
+
+    def test_traditional_selections_lose(self, rows):
+        # The paper's core claim: Phase 2 alone (HT/LP/HE) is worse.
+        full = [r for r in rows if r.configuration == "full Phase 3 (AP)"][0]
+        ht = [r for r in rows if "HT" in r.configuration][0]
+        assert full.num_missions > ht.num_missions
+
+
+class TestDataflowAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return dataflow_ablation()
+
+    def test_three_dataflows(self, rows):
+        assert {r.dataflow for r in rows} == {"os", "ws", "is"}
+
+    def test_all_produce_valid_metrics(self, rows):
+        for row in rows:
+            assert row.frames_per_second > 0
+            assert row.soc_power_w > 0
+            assert 0 < row.pe_utilization <= 1
+            assert row.dram_mb_per_frame > 0
+
+    def test_dataflows_differ(self, rows):
+        fps = {round(r.frames_per_second, 2) for r in rows}
+        assert len(fps) > 1
+
+
+class TestFinetuningAblation:
+    @pytest.fixture(scope="class")
+    def rows(self, shared_context):
+        return finetuning_ablation(context=shared_context)
+
+    def test_before_and_after(self, rows):
+        assert [r.configuration for r in rows] == ["before fine-tuning",
+                                                   "after fine-tuning"]
+
+    def test_tuning_never_reduces_missions(self, rows):
+        before, after = rows
+        assert after.num_missions >= before.num_missions
+
+    def test_before_has_unit_clock(self, rows):
+        assert rows[0].clock_scale == 1.0

@@ -1,0 +1,63 @@
+"""Tests for the battery-capacity SWaP study."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.battery import (
+    SPECIFIC_ENERGY_WH_PER_KG,
+    battery_sweep,
+    marginal_gain,
+)
+from repro.uav.platforms import DJI_SPARK
+
+
+class TestBatterySweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return battery_sweep()
+
+    def test_one_row_per_scale(self, rows):
+        assert len(rows) == 7
+
+    def test_baseline_adds_no_weight(self, rows):
+        baseline = [r for r in rows if r.capacity_scale == 1.0][0]
+        assert baseline.added_weight_g == 0.0
+
+    def test_energy_scales_linearly(self, rows):
+        base = [r for r in rows if r.capacity_scale == 1.0][0]
+        double = [r for r in rows if r.capacity_scale == 2.0][0]
+        assert double.battery_energy_j == pytest.approx(
+            2 * base.battery_energy_j)
+
+    def test_added_weight_matches_specific_energy(self, rows):
+        base = [r for r in rows if r.capacity_scale == 1.0][0]
+        double = [r for r in rows if r.capacity_scale == 2.0][0]
+        extra_wh = base.battery_energy_j / 3600.0
+        assert double.added_weight_g == pytest.approx(
+            extra_wh / SPECIFIC_ENERGY_WH_PER_KG * 1000.0)
+
+    def test_velocity_monotone_decreasing(self, rows):
+        velocities = [r.safe_velocity_m_s for r in rows]
+        assert velocities == sorted(velocities, reverse=True)
+
+    def test_diminishing_returns(self, rows):
+        gains = marginal_gain(rows)
+        assert all(b < a for a, b in zip(gains, gains[1:]))
+
+    def test_interior_optimum_exists(self, rows):
+        missions = [r.num_missions for r in rows]
+        best = missions.index(max(missions))
+        assert 0 < best < len(rows) - 1
+
+    def test_other_platforms_supported(self):
+        rows = battery_sweep(platform=DJI_SPARK, scales=(1.0, 2.0))
+        assert rows[1].num_missions > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            battery_sweep(scales=())
+        with pytest.raises(ConfigError):
+            battery_sweep(scales=(0.0,))
+
+    def test_marginal_gain_length(self, rows):
+        assert len(marginal_gain(rows)) == len(rows) - 1

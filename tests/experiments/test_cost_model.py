@@ -1,0 +1,47 @@
+"""Tests for the execution-time cost model (Section III-C)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.cost_model import ExecutionTimeEstimate, execution_time
+
+
+class TestExecutionTime:
+    def test_default_round_in_paper_band(self):
+        # "One round of AutoPilot design flow takes 3 to 7 days."
+        estimate = execution_time()
+        assert 3.0 <= estimate.total_days <= 7.0
+
+    def test_phase3_negligible(self):
+        estimate = execution_time()
+        assert estimate.phase3_fraction < 1e-3
+
+    def test_phase1_parallelises(self):
+        serial = execution_time(training_workers=1)
+        parallel = execution_time(training_workers=27)
+        assert parallel.phase1_days < serial.phase1_days / 10
+        # Phase 2 is unaffected by training workers.
+        assert parallel.phase2_days == serial.phase2_days
+
+    def test_phase2_scales_with_evaluations(self):
+        small = execution_time(dse_evaluations=100)
+        big = execution_time(dse_evaluations=300)
+        assert big.phase2_days == pytest.approx(3 * small.phase2_days,
+                                                rel=0.01)
+
+    def test_total_is_sum(self):
+        estimate = execution_time()
+        assert estimate.total_days == pytest.approx(
+            estimate.phase1_days + estimate.phase2_days
+            + estimate.phase3_days)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ConfigError):
+            execution_time(num_policies=0)
+        with pytest.raises(ConfigError):
+            execution_time(training_workers=0)
+
+    def test_zero_guard_on_fraction(self):
+        estimate = ExecutionTimeEstimate(phase1_days=0.0, phase2_days=0.0,
+                                         phase3_days=0.0)
+        assert estimate.phase3_fraction == 0.0

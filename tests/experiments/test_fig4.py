@@ -1,0 +1,67 @@
+"""Tests for the Fig. 4 F-1 selection constructions."""
+
+import pytest
+
+from repro.experiments.fig4 import (
+    equal_throughput_designs,
+    knee_point_designs,
+    selected_label_fig4a,
+    selected_label_fig4b,
+)
+from repro.uav.platforms import DJI_SPARK
+
+
+class TestFig4a:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return equal_throughput_designs()
+
+    def test_three_designs(self, rows):
+        assert [r.label for r in rows] == ["A", "B", "C"]
+
+    def test_weight_monotone_in_tdp(self, rows):
+        weights = [r.compute_weight_g for r in rows]
+        assert weights == sorted(weights)
+
+    def test_ceiling_monotone_decreasing(self, rows):
+        ceilings = [r.velocity_ceiling_m_s for r in rows]
+        assert ceilings == sorted(ceilings, reverse=True)
+
+    def test_lowest_tdp_selected(self, rows):
+        assert selected_label_fig4a(rows) == "A"
+
+    def test_works_for_other_platforms(self):
+        rows = equal_throughput_designs(platform=DJI_SPARK,
+                                        throughput_hz=27.0)
+        assert selected_label_fig4a(rows) == "A"
+
+
+class TestFig4b:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return knee_point_designs()
+
+    def test_three_designs(self, rows):
+        assert [r.label for r in rows] == ["X", "O", "A"]
+
+    def test_verdicts(self, rows):
+        assert [r.verdict for r in rows] == [
+            "under-provisioned", "balanced", "over-provisioned"]
+
+    def test_velocity_saturates_at_knee(self, rows):
+        by_label = {r.label: r for r in rows}
+        assert by_label["O"].safe_velocity_m_s == pytest.approx(
+            by_label["A"].safe_velocity_m_s, rel=0.01)
+        assert by_label["X"].safe_velocity_m_s < \
+            by_label["O"].safe_velocity_m_s
+
+    def test_knee_design_selected(self, rows):
+        assert selected_label_fig4b(rows) == "O"
+
+
+class TestPriorWork:
+    def test_render_contains_all_rows(self):
+        from repro.core.prior_work import TABLE_I, render_table_i
+        text = render_table_i()
+        for row in TABLE_I:
+            assert row.name.split(" (")[0] in text

@@ -1,0 +1,234 @@
+"""Tests for the per-figure experiment drivers (small shared budget)."""
+
+import pytest
+
+from repro.airlearning.scenarios import ALL_SCENARIOS, Scenario
+from repro.experiments.fig2b import all_scenarios, best_template, success_vs_params
+from repro.experiments.fig3b import accelerator_frontier
+from repro.experiments.fig5 import class_average_speedups, missions_comparison
+from repro.experiments.fig6 import distinct_design_count, parameter_variation
+from repro.experiments.fig7_to_10 import deep_dive
+from repro.experiments.fig11 import agility_comparison, roofline_curves
+from repro.experiments.runner import format_table
+from repro.experiments.table2 import design_space_summary
+from repro.experiments.table5 import specialization_cost
+from repro.nn.template import PolicyHyperparams
+from repro.uav.platforms import ALL_PLATFORMS, DJI_SPARK, NANO_ZHANG
+
+
+class TestFig2b:
+    def test_rows_cover_template_space(self):
+        rows = success_vs_params(Scenario.LOW)
+        assert len(rows) == 27
+
+    def test_rows_sorted_by_parameters(self):
+        rows = success_vs_params(Scenario.MEDIUM)
+        params = [r.parameters for r in rows]
+        assert params == sorted(params)
+
+    def test_success_band_matches_paper(self):
+        rows = all_scenarios()
+        rates = [r.success_rate for r in rows]
+        assert min(rates) >= 0.60
+        assert max(rates) <= 0.91
+        assert max(rates) > 0.89  # the low-obstacle peak is reached
+
+    def test_best_templates_per_scenario(self):
+        assert best_template(Scenario.LOW) == PolicyHyperparams(5, 32)
+        assert best_template(Scenario.MEDIUM) == PolicyHyperparams(4, 48)
+        assert best_template(Scenario.DENSE) == PolicyHyperparams(7, 48)
+
+
+class TestFig3b:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return accelerator_frontier(pe_dims=(8, 16, 32, 64),
+                                    sram_kb=(32, 256))
+
+    def test_sweep_size(self, rows):
+        assert len(rows) == 8
+
+    def test_pareto_subset_flagged(self, rows):
+        pareto = [r for r in rows if r.is_pareto]
+        assert 0 < len(pareto) < len(rows)
+
+    def test_wide_performance_power_spread(self, rows):
+        fps = [r.frames_per_second for r in rows]
+        power = [r.soc_power_w for r in rows]
+        assert max(fps) > 5 * min(fps)
+        assert max(power) > 2 * min(power)
+
+    def test_pareto_points_undominated(self, rows):
+        for candidate in rows:
+            if not candidate.is_pareto:
+                continue
+            for other in rows:
+                strictly_better = (
+                    other.frames_per_second > candidate.frames_per_second
+                    and other.soc_power_w < candidate.soc_power_w)
+                assert not strictly_better
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def rows(self, shared_context):
+        return missions_comparison(context=shared_context)
+
+    def test_nine_cells(self, rows):
+        assert len(rows) == 9
+
+    def test_autopilot_wins_every_cell(self, rows):
+        for row in rows:
+            for name, missions in row.baseline_missions.items():
+                assert row.autopilot_missions > missions, \
+                    f"{row.platform}/{row.scenario} lost to {name}"
+
+    def test_speedup_ordering_by_class(self, rows):
+        # The smaller the UAV, the bigger AutoPilot's advantage
+        # (paper: 1.43x mini < 1.62x micro < 2.25x nano).
+        speedups = class_average_speedups(rows)
+        assert speedups["nano"] > speedups["micro"] > speedups["mini"]
+
+    def test_mini_speedup_magnitude(self, rows):
+        # The paper reports 1.33-1.43x for the mini-UAV.
+        speedups = class_average_speedups(rows)
+        assert 1.1 < speedups["mini"] < 2.0
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def rows(self, shared_context):
+        return parameter_variation(context=shared_context)
+
+    def test_nine_rows(self, rows):
+        assert len(rows) == 9
+
+    def test_normalisation_floor_is_one(self, rows):
+        for name in rows[0].normalized:
+            minimum = min(r.normalized[name] for r in rows)
+            assert minimum == pytest.approx(1.0)
+
+    def test_designs_vary_across_scenarios(self, rows):
+        # 'No one size fits all': the nine combos need several distinct
+        # DSSoC designs.
+        assert distinct_design_count(rows) >= 3
+
+
+class TestFigs7To10:
+    @pytest.fixture(scope="class")
+    def dive(self, shared_context):
+        return deep_dive(platform=NANO_ZHANG, context=shared_context)
+
+    def test_all_four_strategies_present(self, dive):
+        assert set(dive.strategies) == {"HT", "LP", "HE", "AP"}
+
+    def test_ht_has_highest_throughput(self, dive):
+        ht = dive.strategies["HT"].frames_per_second
+        assert ht == max(s.frames_per_second
+                         for s in dive.strategies.values())
+
+    def test_lp_has_lowest_power_of_traditional_picks(self, dive):
+        # AP may undercut LP after frequency fine-tuning (it optimises a
+        # design outside the raw candidate pool); among the untouched
+        # Phase 2 picks, LP is the power minimum by construction.
+        lp = dive.strategies["LP"].soc_power_w
+        assert lp <= dive.strategies["HT"].soc_power_w
+        assert lp <= dive.strategies["HE"].soc_power_w
+
+    def test_he_has_best_efficiency(self, dive):
+        he = dive.strategies["HE"].efficiency_fps_per_w
+        assert he == max(s.efficiency_fps_per_w
+                         for s in dive.strategies.values())
+
+    def test_ap_wins_on_missions(self, dive):
+        # Figs. 8-10: AP beats HT, LP and HE on the mission metric.
+        assert dive.missions_ratio("HT") > 1.0
+        assert dive.missions_ratio("LP") > 1.0
+        assert dive.missions_ratio("HE") > 1.0
+
+    def test_ht_loses_most(self, dive):
+        # Paper ordering: HT (2.25x) > LP (1.8x) > HE (1.3x).
+        assert dive.missions_ratio("HT") > dive.missions_ratio("HE")
+
+    def test_pareto_points_collected(self, dive):
+        assert len(dive.pareto_points) > 3
+
+    def test_f1_curve_shapes(self, dive):
+        throughputs, velocities = dive.f1_curve("AP")
+        assert throughputs.shape == velocities.shape
+        assert (velocities[1:] >= velocities[:-1] - 1e-12).all()
+
+    def test_heavier_design_lower_ceiling(self, dive):
+        _, ap_curve = dive.f1_curve("AP")
+        _, ht_curve = dive.f1_curve("HT")
+        assert ht_curve[-1] < ap_curve[-1]
+
+
+class TestFig11:
+    def test_knee_points_match_paper(self, shared_context):
+        rows = agility_comparison(context=shared_context)
+        by_name = {r.platform: r for r in rows}
+        spark = by_name[DJI_SPARK.name]
+        nano = by_name["Zhang et al. nano-UAV"]
+        assert spark.knee_throughput_hz == pytest.approx(27.0, rel=0.1)
+        assert nano.knee_throughput_hz == pytest.approx(46.0, rel=0.1)
+
+    def test_nano_needs_more_compute(self, shared_context):
+        rows = agility_comparison(context=shared_context)
+        by_name = {r.platform: r for r in rows}
+        assert by_name["Zhang et al. nano-UAV"].selected_fps > \
+            by_name[DJI_SPARK.name].selected_fps
+
+    def test_roofline_curves(self):
+        curves = roofline_curves()
+        assert len(curves) == 2
+        for _, throughputs, velocities in curves:
+            assert throughputs.shape == velocities.shape
+            assert velocities[-1] > velocities[0]
+
+
+class TestTable2:
+    def test_sizes(self):
+        summary = design_space_summary()
+        assert summary.nn_points == 27
+        assert summary.hardware_points == 32768
+        assert summary.joint_points == 27 * 32768
+        assert summary.matches_paper_structure
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def rows(self, shared_context):
+        return specialization_cost(context=shared_context)
+
+    def test_five_rows(self, rows):
+        assert len(rows) == 5
+
+    def test_reference_has_zero_degradation(self, rows):
+        assert rows[0].degradation_pct == 0.0
+
+    def test_reused_low_design_compute_bound(self, rows):
+        low = [r for r in rows if "low" in r.design][0]
+        assert low.degradation_pct > 10.0
+        assert low.verdict == "under-provisioned"
+
+    def test_ncs_heavily_degraded(self, rows):
+        # Paper: 67% degradation for the Intel NCS.
+        ncs = [r for r in rows if "NCS" in r.design][0]
+        assert ncs.degradation_pct > 40.0
+
+    def test_general_purpose_degrades(self, rows):
+        tx2 = [r for r in rows if "TX2" in r.design][0]
+        assert tx2.degradation_pct > 5.0
+
+
+class TestFormatTable:
+    def test_renders_rows_and_title(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 40]], title="T")
+        assert text.splitlines()[0] == "T"
+        assert "30" in text
+        assert "bb" in text
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text

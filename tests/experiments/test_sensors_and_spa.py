@@ -1,0 +1,56 @@
+"""Tests for the sensor-sensitivity and SPA-extension drivers."""
+
+import pytest
+
+from repro.experiments.sensors import SENSOR_RATES_FPS, sensor_sensitivity
+from repro.experiments.spa_extension import (
+    SPA_COMPUTE_TIERS,
+    spa_extension_study,
+)
+from repro.errors import ConfigError
+
+
+class TestSensorSensitivity:
+    @pytest.fixture(scope="class")
+    def rows(self, shared_context):
+        return sensor_sensitivity(context=shared_context)
+
+    def test_one_row_per_rate(self, rows):
+        assert [r.sensor_fps for r in rows] == list(SENSOR_RATES_FPS)
+
+    def test_action_throughput_never_exceeds_sensor(self, rows):
+        for row in rows:
+            assert row.action_throughput_hz <= row.sensor_fps + 1e-9
+
+    def test_missions_monotone_until_compute_bound(self, rows):
+        missions = [r.num_missions for r in rows]
+        assert missions[0] <= missions[1] + 1e-9
+        assert missions[1] == pytest.approx(missions[2], rel=0.05)
+
+    def test_slow_sensor_flagged_as_binding(self, rows):
+        assert rows[0].sensor_bound
+
+
+class TestSpaExtension:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return spa_extension_study(episodes=3, seed=3)
+
+    def test_one_row_per_tier(self, rows):
+        assert len(rows) == len(SPA_COMPUTE_TIERS)
+
+    def test_success_rate_shared_across_tiers(self, rows):
+        # Compute only changes throughput, not the validated algorithm.
+        assert len({r.success_rate for r in rows}) == 1
+        assert rows[0].success_rate > 0.3
+
+    def test_more_compute_never_fewer_missions_until_knee(self, rows):
+        mcu, mpu, accel = rows
+        assert mpu.num_missions > mcu.num_missions
+
+    def test_mcu_compute_bound(self, rows):
+        assert rows[0].verdict == "under-provisioned"
+
+    def test_rejects_zero_episodes(self):
+        with pytest.raises(ConfigError):
+            spa_extension_study(episodes=0)

@@ -1,0 +1,62 @@
+"""Cross-stack integration checks of the cyber-physical couplings."""
+
+import pytest
+
+from repro.airlearning.scenarios import Scenario
+from repro.power.area import soc_area
+from repro.uav.mission import evaluate_mission
+from repro.uav.platforms import ALL_PLATFORMS, NANO_ZHANG
+
+
+class TestEnergyBudget:
+    @pytest.mark.parametrize("platform", ALL_PLATFORMS,
+                             ids=lambda p: p.uav_class.value)
+    def test_rotors_dominate_uav_power(self, shared_context, platform):
+        # MAVBench's observation, which the paper leans on: ~95% of UAV
+        # power goes to the rotors, so compute optimisation pays via
+        # velocity, not via its own watts.
+        result = shared_context.run(platform, Scenario.MEDIUM)
+        mission = result.selected.mission
+        rotor_share = mission.rotor_power_w / mission.total_power_w
+        assert rotor_share > 0.85
+
+    def test_compute_share_small_but_nonzero(self, shared_context):
+        result = shared_context.run(NANO_ZHANG, Scenario.MEDIUM)
+        mission = result.selected.mission
+        share = mission.compute_power_w / mission.total_power_w
+        assert 0.0 < share < 0.15
+
+
+class TestFormFactor:
+    def test_nano_ap_design_is_a_small_die(self, shared_context):
+        # The selected nano DSSoC must be implausible neither thermally
+        # nor physically: its die should be within a few camera
+        # footprints (Table III quotes the OV9755 at 6.24 x 3.84 mm).
+        result = shared_context.run(NANO_ZHANG, Scenario.DENSE)
+        config = result.selected.candidate.design.accelerator
+        report = soc_area(config)
+        assert report.total_mm2 < 4 * 6.24 * 3.84
+
+    def test_area_tracks_design_size(self, shared_context):
+        result = shared_context.run(NANO_ZHANG, Scenario.DENSE)
+        candidates = result.phase2.candidates
+        areas = [soc_area(c.design.accelerator).total_mm2
+                 for c in candidates]
+        pes = [c.design.accelerator.num_pes for c in candidates]
+        biggest = max(range(len(pes)), key=lambda i: pes[i])
+        smallest = min(range(len(pes)), key=lambda i: pes[i])
+        assert areas[biggest] > areas[smallest]
+
+
+class TestWeightPowerVelocityChain:
+    def test_full_chain_directionality(self):
+        # More compute power => heavier heatsink => lower ceiling =>
+        # lower velocity => fewer missions, holding throughput fixed.
+        from repro.soc.weight import compute_weight
+        light = evaluate_mission(NANO_ZHANG,
+                                 compute_weight(0.5).total_g, 0.5, 60.0)
+        heavy = evaluate_mission(NANO_ZHANG,
+                                 compute_weight(8.0).total_g, 8.0, 60.0)
+        assert heavy.velocity_ceiling_m_s < light.velocity_ceiling_m_s
+        assert heavy.safe_velocity_m_s < light.safe_velocity_m_s
+        assert heavy.num_missions < light.num_missions

@@ -1,0 +1,95 @@
+"""Integration tests across the full stack.
+
+These exercise the properties the paper's evaluation rests on, using
+the shared small-budget context.
+"""
+
+import pytest
+
+from repro.airlearning.scenarios import Scenario
+from repro.core.strategies import TRADITIONAL_STRATEGIES
+from repro.uav.f1_model import F1Model, ProvisioningVerdict
+from repro.uav.platforms import ALL_PLATFORMS, DJI_SPARK, NANO_ZHANG
+
+
+class TestAutoPilotSelections:
+    def test_ap_beats_every_traditional_strategy(self, shared_context):
+        result = shared_context.run(NANO_ZHANG, Scenario.DENSE)
+        task = shared_context.task(NANO_ZHANG, Scenario.DENSE)
+        backend = shared_context.autopilot.backend
+        ap_missions = result.num_missions
+        for label, chooser in TRADITIONAL_STRATEGIES.items():
+            candidate = chooser(result.phase2.candidates, task)
+            missions = backend.mission_for(candidate, task).num_missions
+            assert ap_missions >= missions, f"AP lost to {label}"
+
+    def test_ap_design_is_balanced(self, shared_context):
+        result = shared_context.run(NANO_ZHANG, Scenario.DENSE)
+        assert result.selected.mission.verdict is ProvisioningVerdict.BALANCED
+
+    def test_ap_throughput_near_knee(self, shared_context):
+        result = shared_context.run(NANO_ZHANG, Scenario.DENSE)
+        knee = result.phase3.knee_throughput_hz
+        fps = result.selected.candidate.frames_per_second
+        assert knee * 0.75 <= fps <= knee * 1.6
+
+    @pytest.mark.parametrize("platform", ALL_PLATFORMS,
+                             ids=lambda p: p.uav_class.value)
+    def test_every_platform_gets_feasible_design(self, shared_context,
+                                                 platform):
+        result = shared_context.run(platform, Scenario.MEDIUM)
+        assert result.selected.mission.feasible
+        assert result.num_missions > 0
+
+    def test_selected_policy_matches_scenario_winner(self, shared_context):
+        # Phase 3 keeps only near-best-success policies, so the selected
+        # design runs (close to) the scenario's best template.
+        result = shared_context.run(NANO_ZHANG, Scenario.DENSE)
+        policy = result.selected.candidate.design.policy
+        best = shared_context.autopilot.database.best(Scenario.DENSE)
+        assert abs(result.selected.candidate.success_rate
+                   - best.success_rate) <= 0.021
+
+
+class TestCrossPlatformEffects:
+    def test_nano_selects_more_throughput_than_spark(self, shared_context):
+        # Fig. 11: the agile nano needs ~2x the Spark's throughput.
+        nano = shared_context.run(NANO_ZHANG, Scenario.DENSE)
+        spark = shared_context.run(DJI_SPARK, Scenario.DENSE)
+        assert nano.selected.candidate.frames_per_second > \
+            spark.selected.candidate.frames_per_second
+
+    def test_selected_weight_stays_light(self, shared_context):
+        # The AP design never drags a GPU-class heatsink around.
+        for platform in ALL_PLATFORMS:
+            result = shared_context.run(platform, Scenario.DENSE)
+            assert result.selected.candidate.compute_weight_g < 40.0
+
+    def test_f1_consistency_of_selected_designs(self, shared_context):
+        result = shared_context.run(NANO_ZHANG, Scenario.DENSE)
+        selected = result.selected
+        f1 = F1Model(platform=NANO_ZHANG,
+                     compute_weight_g=selected.mission.compute_weight_g,
+                     sensor_fps=60.0)
+        assert selected.mission.safe_velocity_m_s == pytest.approx(
+            f1.safe_velocity(selected.candidate.frames_per_second))
+
+
+class TestScenarioEffects:
+    def test_dense_scenario_selects_bigger_policy(self, shared_context):
+        low = shared_context.run(NANO_ZHANG, Scenario.LOW)
+        dense = shared_context.run(NANO_ZHANG, Scenario.DENSE)
+        low_macs = low.selected.candidate.design.policy
+        dense_macs = dense.selected.candidate.design.policy
+        from repro.nn.template import build_policy_network
+        assert build_policy_network(dense_macs).total_macs > \
+            build_policy_network(low_macs).total_macs
+
+    def test_success_rates_ordered_by_difficulty(self, shared_context):
+        db = shared_context.autopilot.database
+        shared_context.run(NANO_ZHANG, Scenario.LOW)
+        shared_context.run(NANO_ZHANG, Scenario.MEDIUM)
+        shared_context.run(NANO_ZHANG, Scenario.DENSE)
+        assert db.best(Scenario.LOW).success_rate > \
+            db.best(Scenario.MEDIUM).success_rate > \
+            db.best(Scenario.DENSE).success_rate

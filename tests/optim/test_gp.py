@@ -1,0 +1,105 @@
+"""Unit tests for Gaussian-process regression."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.optim.gp import GaussianProcess, se_kernel
+
+
+class TestSeKernel:
+    def test_diagonal_is_variance(self):
+        x = np.random.default_rng(0).uniform(size=(5, 3))
+        k = se_kernel(x, x, lengthscale=1.0, variance=2.0)
+        assert np.allclose(np.diag(k), 2.0)
+
+    def test_symmetric_positive(self):
+        x = np.random.default_rng(1).uniform(size=(6, 2))
+        k = se_kernel(x, x, lengthscale=0.5, variance=1.0)
+        assert np.allclose(k, k.T)
+        assert (k > 0).all()
+
+    def test_decays_with_distance(self):
+        a = np.array([[0.0]])
+        near = np.array([[0.1]])
+        far = np.array([[2.0]])
+        assert se_kernel(a, near, 0.5, 1.0)[0, 0] > \
+            se_kernel(a, far, 0.5, 1.0)[0, 0]
+
+    def test_rejects_bad_hyperparameters(self):
+        x = np.zeros((1, 1))
+        with pytest.raises(ConfigError):
+            se_kernel(x, x, lengthscale=0.0, variance=1.0)
+        with pytest.raises(ConfigError):
+            se_kernel(x, x, lengthscale=1.0, variance=-1.0)
+
+
+class TestGaussianProcess:
+    def setup_data(self, n=20, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(size=(n, 2))
+        y = np.sin(3 * x[:, 0]) + 0.5 * x[:, 1]
+        return x, y
+
+    def test_interpolates_training_points(self):
+        x, y = self.setup_data()
+        gp = GaussianProcess(noise=1e-4).fit(x, y)
+        mean, _ = gp.predict(x)
+        assert np.allclose(mean, y, atol=0.05)
+
+    def test_uncertainty_small_at_data_large_away(self):
+        x, y = self.setup_data()
+        gp = GaussianProcess().fit(x, y)
+        _, std_at_data = gp.predict(x[:1])
+        _, std_far = gp.predict(np.array([[5.0, 5.0]]))
+        assert std_far[0] > std_at_data[0]
+
+    def test_prediction_shapes(self):
+        x, y = self.setup_data()
+        gp = GaussianProcess().fit(x, y)
+        mean, std = gp.predict(np.random.default_rng(2).uniform(size=(7, 2)))
+        assert mean.shape == (7,)
+        assert std.shape == (7,)
+        assert (std > 0).all()
+
+    def test_reverts_to_prior_far_away(self):
+        x, y = self.setup_data()
+        gp = GaussianProcess().fit(x, y)
+        mean, _ = gp.predict(np.array([[100.0, 100.0]]))
+        assert mean[0] == pytest.approx(np.mean(y), abs=0.2)
+
+    def test_generalizes_on_smooth_function(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(size=(40, 1))
+        y = np.sin(4 * x[:, 0])
+        gp = GaussianProcess().fit(x, y)
+        x_test = rng.uniform(size=(10, 1))
+        mean, _ = gp.predict(x_test)
+        assert np.abs(mean - np.sin(4 * x_test[:, 0])).max() < 0.3
+
+    def test_constant_targets_handled(self):
+        x = np.random.default_rng(4).uniform(size=(5, 2))
+        gp = GaussianProcess().fit(x, np.full(5, 3.0))
+        mean, _ = gp.predict(x)
+        assert np.allclose(mean, 3.0, atol=1e-6)
+
+    def test_fixed_lengthscale_respected(self):
+        x, y = self.setup_data()
+        gp = GaussianProcess(lengthscale=0.7).fit(x, y)
+        assert gp.fitted_lengthscale == 0.7
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(ConfigError):
+            GaussianProcess().predict(np.zeros((1, 2)))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigError):
+            GaussianProcess().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ConfigError):
+            GaussianProcess().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_nonpositive_noise_rejected(self):
+        with pytest.raises(ConfigError):
+            GaussianProcess(noise=0.0)

@@ -1,0 +1,116 @@
+"""Unit and property tests for hypervolume computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.optim.hypervolume import hypervolume, hypervolume_contribution
+
+unit_points = hnp.arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(1, 20), st.integers(2, 4)),
+    elements=st.floats(0.0, 0.99, allow_nan=False),
+)
+
+
+class TestExactValues:
+    def test_1d(self):
+        assert hypervolume(np.array([[0.3], [0.7]]), [1.0]) == pytest.approx(0.7)
+
+    def test_single_2d_point(self):
+        assert hypervolume(np.array([[0.2, 0.4]]), [1.0, 1.0]) == \
+            pytest.approx(0.8 * 0.6)
+
+    def test_two_2d_points_union(self):
+        points = np.array([[0.0, 0.5], [0.5, 0.0]])
+        # Union of two rectangles minus the overlap: 0.5 + 0.5 - 0.25.
+        assert hypervolume(points, [1.0, 1.0]) == pytest.approx(0.75)
+
+    def test_3d_union(self):
+        points = np.array([[0, 0, 0.5], [0.5, 0.5, 0]])
+        assert hypervolume(points, [1, 1, 1]) == pytest.approx(0.625)
+
+    def test_4d_single_point(self):
+        point = np.array([[0.5, 0.5, 0.5, 0.5]])
+        assert hypervolume(point, [1, 1, 1, 1]) == pytest.approx(0.5 ** 4)
+
+    def test_point_at_reference_ignored(self):
+        points = np.array([[1.0, 1.0], [0.5, 0.5]])
+        assert hypervolume(points, [1.0, 1.0]) == pytest.approx(0.25)
+
+    def test_empty_set_zero(self):
+        assert hypervolume(np.zeros((0, 2)), [1.0, 1.0]) == 0.0
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hypervolume(np.array([[0.5, 0.5]]), [1.0, 1.0, 1.0])
+
+
+class TestInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(points=unit_points)
+    def test_bounded_by_enclosing_box(self, points):
+        d = points.shape[1]
+        volume = hypervolume(points, [1.0] * d)
+        assert 0.0 < volume <= 1.0 + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(points=unit_points)
+    def test_adding_dominated_point_changes_nothing(self, points):
+        d = points.shape[1]
+        reference = [1.0] * d
+        base = hypervolume(points, reference)
+        dominated = np.minimum(points[0] + 0.005, 0.999)[None, :]
+        extended = hypervolume(np.vstack([points, dominated]), reference)
+        assert extended == pytest.approx(base, rel=1e-9, abs=1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(points=unit_points)
+    def test_monotone_under_additional_points(self, points):
+        d = points.shape[1]
+        reference = [1.0] * d
+        base = hypervolume(points[:-1], reference) if points.shape[0] > 1 \
+            else 0.0
+        extended = hypervolume(points, reference)
+        assert extended >= base - 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(points=unit_points)
+    def test_at_least_best_single_point(self, points):
+        d = points.shape[1]
+        reference = np.ones(d)
+        volume = hypervolume(points, reference)
+        best_single = max(float(np.prod(reference - p)) for p in points)
+        assert volume >= best_single - 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(points=unit_points)
+    def test_permutation_invariant(self, points):
+        d = points.shape[1]
+        reference = [1.0] * d
+        shuffled = points[np.random.default_rng(0).permutation(
+            points.shape[0])]
+        assert hypervolume(points, reference) == pytest.approx(
+            hypervolume(shuffled, reference))
+
+
+class TestContribution:
+    def test_dominating_point_contributes(self):
+        front = np.array([[0.5, 0.5]])
+        gain = hypervolume_contribution(front, [0.2, 0.2], [1.0, 1.0])
+        assert gain == pytest.approx(0.8 * 0.8 - 0.25)
+
+    def test_dominated_point_contributes_nothing(self):
+        front = np.array([[0.2, 0.2]])
+        assert hypervolume_contribution(front, [0.5, 0.5], [1.0, 1.0]) == 0.0
+
+    def test_contribution_to_empty_front(self):
+        gain = hypervolume_contribution(np.zeros((0, 2)), [0.5, 0.5],
+                                        [1.0, 1.0])
+        assert gain == pytest.approx(0.25)
+
+    def test_incomparable_point_adds_volume(self):
+        front = np.array([[0.1, 0.9]])
+        gain = hypervolume_contribution(front, [0.9, 0.1], [1.0, 1.0])
+        assert gain > 0.0

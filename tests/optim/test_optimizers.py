@@ -1,0 +1,144 @@
+"""Behavioural tests for the four multi-objective optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.optim.annealing import SimulatedAnnealing
+from repro.optim.base import CachingEvaluator, OptimizationResult
+from repro.optim.bayesopt import SmsEgoBayesOpt
+from repro.optim.genetic import NsgaII
+from repro.optim.random_search import RandomSearch
+from repro.optim.space import DesignSpace, Dimension
+
+ALL_OPTIMIZERS = [RandomSearch, SmsEgoBayesOpt, NsgaII, SimulatedAnnealing]
+REFERENCE = [3.0, 3.0]
+
+
+@pytest.fixture
+def toy_space():
+    return DesignSpace([
+        Dimension("x", tuple(range(12))),
+        Dimension("y", tuple(range(12))),
+    ])
+
+
+def toy_objectives(point):
+    x = point["x"] / 11.0
+    y = point["y"] / 11.0
+    return [x ** 2 + 0.3 * y, (1 - x) ** 2 + 0.3 * (1 - y)]
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("optimizer_cls", ALL_OPTIMIZERS)
+    def test_budget_respected_exactly(self, toy_space, optimizer_cls):
+        result = optimizer_cls(toy_space, seed=1).optimize(
+            toy_objectives, budget=30, reference=REFERENCE)
+        assert len(result.evaluations) == 30
+
+    @pytest.mark.parametrize("optimizer_cls", ALL_OPTIMIZERS)
+    def test_no_duplicate_evaluations(self, toy_space, optimizer_cls):
+        result = optimizer_cls(toy_space, seed=1).optimize(
+            toy_objectives, budget=30)
+        keys = [toy_space.key(e.assignment) for e in result.evaluations]
+        assert len(set(keys)) == len(keys)
+
+    @pytest.mark.parametrize("optimizer_cls", ALL_OPTIMIZERS)
+    def test_deterministic_under_seed(self, toy_space, optimizer_cls):
+        a = optimizer_cls(toy_space, seed=3).optimize(toy_objectives,
+                                                      budget=20)
+        b = optimizer_cls(toy_space, seed=3).optimize(toy_objectives,
+                                                      budget=20)
+        assert [toy_space.key(e.assignment) for e in a.evaluations] == \
+            [toy_space.key(e.assignment) for e in b.evaluations]
+
+    @pytest.mark.parametrize("optimizer_cls", ALL_OPTIMIZERS)
+    def test_finds_reasonable_front(self, toy_space, optimizer_cls):
+        result = optimizer_cls(toy_space, seed=1).optimize(
+            toy_objectives, budget=50, reference=REFERENCE)
+        volume = result.final_hypervolume(REFERENCE)
+        # Exhaustive best is ~8.3 on this toy problem; every optimiser
+        # should recover a healthy fraction with 50/144 evaluations.
+        assert volume > 7.0
+
+    @pytest.mark.parametrize("optimizer_cls", ALL_OPTIMIZERS)
+    def test_budget_exceeding_space_terminates(self, optimizer_cls):
+        tiny = DesignSpace([Dimension("x", (0, 1)), Dimension("y", (0, 1))])
+        result = optimizer_cls(tiny, seed=1).optimize(toy_objectives,
+                                                      budget=100)
+        assert len(result.evaluations) == 4
+
+    @pytest.mark.parametrize("optimizer_cls", ALL_OPTIMIZERS)
+    def test_hypervolume_trace_monotone(self, toy_space, optimizer_cls):
+        result = optimizer_cls(toy_space, seed=2).optimize(
+            toy_objectives, budget=25, reference=REFERENCE)
+        trace = result.hypervolume_trace
+        assert len(trace) == 25
+        assert all(b >= a - 1e-12 for a, b in zip(trace, trace[1:]))
+
+
+class TestBayesOpt:
+    def test_model_guided_beats_pure_random_here(self, toy_space):
+        bo = SmsEgoBayesOpt(toy_space, seed=5).optimize(
+            toy_objectives, budget=40, reference=REFERENCE)
+        rs = RandomSearch(toy_space, seed=5).optimize(
+            toy_objectives, budget=40, reference=REFERENCE)
+        assert bo.final_hypervolume(REFERENCE) >= \
+            rs.final_hypervolume(REFERENCE) - 0.05
+
+    def test_invalid_config_rejected(self, toy_space):
+        with pytest.raises(ConfigError):
+            SmsEgoBayesOpt(toy_space, num_initial=1)
+        with pytest.raises(ConfigError):
+            SmsEgoBayesOpt(toy_space, pool_size=0)
+
+
+class TestNsgaII:
+    def test_invalid_config_rejected(self, toy_space):
+        with pytest.raises(ConfigError):
+            NsgaII(toy_space, population_size=2)
+        with pytest.raises(ConfigError):
+            NsgaII(toy_space, crossover_rate=1.5)
+        with pytest.raises(ConfigError):
+            NsgaII(toy_space, mutation_rate=-0.1)
+
+
+class TestSimulatedAnnealing:
+    def test_invalid_config_rejected(self, toy_space):
+        with pytest.raises(ConfigError):
+            SimulatedAnnealing(toy_space, initial_temperature=0.0)
+        with pytest.raises(ConfigError):
+            SimulatedAnnealing(toy_space, initial_temperature=0.1,
+                               final_temperature=1.0)
+
+
+class TestCachingEvaluator:
+    def test_budget_enforced(self, toy_space):
+        evaluator = CachingEvaluator(toy_space, toy_objectives, budget=2)
+        evaluator.evaluate({"x": 0, "y": 0})
+        evaluator.evaluate({"x": 1, "y": 0})
+        with pytest.raises(ConfigError):
+            evaluator.evaluate({"x": 2, "y": 0})
+
+    def test_cached_reevaluation_free(self, toy_space):
+        calls = []
+
+        def counting(point):
+            calls.append(point)
+            return toy_objectives(point)
+
+        evaluator = CachingEvaluator(toy_space, counting, budget=5)
+        evaluator.evaluate({"x": 0, "y": 0})
+        evaluator.evaluate({"x": 0, "y": 0})
+        assert len(calls) == 1
+        assert evaluator.evaluations_used == 1
+
+    def test_rejects_nonvector_objectives(self, toy_space):
+        evaluator = CachingEvaluator(toy_space, lambda p: [[1.0]], budget=5)
+        with pytest.raises(ConfigError):
+            evaluator.evaluate({"x": 0, "y": 0})
+
+    def test_empty_result_properties(self):
+        result = OptimizationResult()
+        assert result.pareto_evaluations() == []
+        assert result.final_hypervolume([1.0]) == 0.0

@@ -1,0 +1,80 @@
+"""Tests for the REINFORCE-based design-space explorer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.optim.rl import ReinforceSearch, _entropy, _softmax
+from repro.optim.space import DesignSpace, Dimension
+
+REFERENCE = [3.0, 3.0]
+
+
+@pytest.fixture
+def toy_space():
+    return DesignSpace([
+        Dimension("x", tuple(range(12))),
+        Dimension("y", tuple(range(12))),
+    ])
+
+
+def toy_objectives(point):
+    x = point["x"] / 11.0
+    y = point["y"] / 11.0
+    return [x ** 2 + 0.3 * y, (1 - x) ** 2 + 0.3 * (1 - y)]
+
+
+class TestReinforceSearch:
+    def test_budget_respected(self, toy_space):
+        result = ReinforceSearch(toy_space, seed=1).optimize(
+            toy_objectives, budget=30, reference=REFERENCE)
+        assert len(result.evaluations) == 30
+
+    def test_no_duplicates(self, toy_space):
+        result = ReinforceSearch(toy_space, seed=1).optimize(
+            toy_objectives, budget=30)
+        keys = [toy_space.key(e.assignment) for e in result.evaluations]
+        assert len(set(keys)) == len(keys)
+
+    def test_deterministic(self, toy_space):
+        a = ReinforceSearch(toy_space, seed=4).optimize(toy_objectives,
+                                                        budget=20)
+        b = ReinforceSearch(toy_space, seed=4).optimize(toy_objectives,
+                                                        budget=20)
+        assert [toy_space.key(e.assignment) for e in a.evaluations] == \
+            [toy_space.key(e.assignment) for e in b.evaluations]
+
+    def test_finds_reasonable_front(self, toy_space):
+        result = ReinforceSearch(toy_space, seed=1).optimize(
+            toy_objectives, budget=50, reference=REFERENCE)
+        assert result.final_hypervolume(REFERENCE) > 7.0
+
+    def test_exhausts_tiny_space(self):
+        tiny = DesignSpace([Dimension("x", (0, 1)), Dimension("y", (0, 1))])
+        result = ReinforceSearch(tiny, seed=1).optimize(toy_objectives,
+                                                        budget=100)
+        assert len(result.evaluations) == 4
+
+    def test_invalid_configs_rejected(self, toy_space):
+        with pytest.raises(ConfigError):
+            ReinforceSearch(toy_space, learning_rate=0.0)
+        with pytest.raises(ConfigError):
+            ReinforceSearch(toy_space, batch_size=0)
+        with pytest.raises(ConfigError):
+            ReinforceSearch(toy_space, baseline_decay=1.0)
+
+
+class TestHelpers:
+    def test_softmax_sums_to_one(self):
+        probs = _softmax(np.array([1.0, 2.0, 3.0]))
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs[2] > probs[0]
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = _softmax(np.array([1000.0, 1001.0]))
+        assert np.isfinite(probs).all()
+
+    def test_entropy_max_at_uniform(self):
+        uniform = _entropy(np.array([0.25] * 4))
+        skewed = _entropy(np.array([0.97, 0.01, 0.01, 0.01]))
+        assert uniform > skewed

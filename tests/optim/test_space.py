@@ -1,0 +1,115 @@
+"""Unit tests for the design-space abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DesignSpaceError
+from repro.optim.space import DesignSpace, Dimension
+
+
+@pytest.fixture
+def space():
+    return DesignSpace([
+        Dimension("a", (1, 2, 4, 8)),
+        Dimension("b", ("x", "y", "z")),
+    ])
+
+
+class TestDimension:
+    def test_index_of(self):
+        dim = Dimension("d", (10, 20, 30))
+        assert dim.index_of(20) == 1
+
+    def test_index_of_missing_raises(self):
+        with pytest.raises(DesignSpaceError):
+            Dimension("d", (10,)).index_of(99)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DesignSpaceError):
+            Dimension("d", ())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(DesignSpaceError):
+            Dimension("d", (1, 1))
+
+
+class TestDesignSpace:
+    def test_size(self, space):
+        assert space.size() == 12
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(DesignSpaceError):
+            DesignSpace([Dimension("a", (1,)), Dimension("a", (2,))])
+
+    def test_rejects_empty_space(self):
+        with pytest.raises(DesignSpaceError):
+            DesignSpace([])
+
+    def test_validate_complete_assignment(self, space):
+        space.validate({"a": 4, "b": "y"})
+
+    def test_validate_rejects_missing_key(self, space):
+        with pytest.raises(DesignSpaceError):
+            space.validate({"a": 4})
+
+    def test_validate_rejects_unknown_value(self, space):
+        with pytest.raises(DesignSpaceError):
+            space.validate({"a": 3, "b": "y"})
+
+    def test_encode_normalised(self, space):
+        vec = space.encode({"a": 8, "b": "x"})
+        assert vec[0] == pytest.approx(1.0)
+        assert vec[1] == pytest.approx(0.0)
+
+    def test_encode_decode_roundtrip(self, space):
+        for point in space.all_points():
+            assert space.decode(space.encode(point)) == point
+
+    def test_decode_snaps_to_nearest(self, space):
+        decoded = space.decode(np.array([0.34, 0.49]))
+        assert decoded["a"] == 2  # index round(0.34*3) = 1
+        assert decoded["b"] == "y"
+
+    def test_decode_clips_out_of_range(self, space):
+        decoded = space.decode(np.array([2.0, -1.0]))
+        assert decoded == {"a": 8, "b": "x"}
+
+    def test_decode_rejects_wrong_dim(self, space):
+        with pytest.raises(DesignSpaceError):
+            space.decode(np.array([0.5]))
+
+    def test_sample_valid_points(self, space, rng):
+        for point in space.sample(rng, 20):
+            space.validate(point)
+
+    def test_sample_covers_space(self, space, rng):
+        keys = {space.key(p) for p in space.sample(rng, 200)}
+        assert len(keys) == space.size()
+
+    def test_neighbor_changes_exactly_one_dim(self, space, rng):
+        start = {"a": 2, "b": "y"}
+        for _ in range(20):
+            neighbor = space.neighbor(start, rng)
+            space.validate(neighbor)
+            changed = [k for k in start if start[k] != neighbor[k]]
+            assert len(changed) == 1
+
+    def test_neighbor_moves_one_step(self, space, rng):
+        start = {"a": 2, "b": "y"}
+        for _ in range(20):
+            neighbor = space.neighbor(start, rng)
+            for dim in space.dimensions:
+                delta = abs(dim.index_of(neighbor[dim.name])
+                            - dim.index_of(start[dim.name]))
+                assert delta <= 1
+
+    def test_all_points_enumerates_everything(self, space):
+        points = list(space.all_points())
+        assert len(points) == 12
+        assert len({space.key(p) for p in points}) == 12
+
+    def test_key_is_hashable_identity(self, space):
+        a = space.key({"a": 2, "b": "y"})
+        b = space.key({"b": "y", "a": 2})
+        assert a == b
+        hash(a)

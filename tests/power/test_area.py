@@ -1,0 +1,50 @@
+"""Unit tests for the die-area model."""
+
+import pytest
+
+from repro.power.area import (
+    CAMERA_FOOTPRINT_MM2,
+    AreaReport,
+    soc_area,
+)
+from repro.scalesim.config import AcceleratorConfig
+
+
+def make_config(rows=16, cols=16, sram=64):
+    return AcceleratorConfig(pe_rows=rows, pe_cols=cols, ifmap_sram_kb=sram,
+                             filter_sram_kb=sram, ofmap_sram_kb=sram)
+
+
+class TestSocArea:
+    def test_total_is_sum(self):
+        report = soc_area(make_config())
+        assert report.total_mm2 == pytest.approx(
+            report.pe_array_mm2 + report.sram_mm2 + report.overhead_mm2)
+
+    def test_area_grows_with_array(self):
+        small = soc_area(make_config(rows=16, cols=16))
+        big = soc_area(make_config(rows=128, cols=128))
+        assert big.pe_array_mm2 == pytest.approx(64 * small.pe_array_mm2)
+
+    def test_area_grows_with_sram(self):
+        small = soc_area(make_config(sram=32))
+        big = soc_area(make_config(sram=4096))
+        assert big.sram_mm2 == pytest.approx(128 * small.sram_mm2)
+
+    def test_nano_class_design_fits_camera_footprint(self):
+        # The AP-class design (modest array, modest SRAM) is a small die.
+        report = soc_area(make_config(rows=32, cols=32, sram=128))
+        assert report.fits_camera_footprint
+
+    def test_ht_class_design_does_not_fit(self):
+        # A 256x256 array with megabytes of SRAM dwarfs the camera.
+        report = soc_area(make_config(rows=256, cols=256, sram=4096))
+        assert not report.fits_camera_footprint
+
+    def test_magnitudes_sane(self):
+        # A 32x32 int8 array at 28 nm is ~2 mm^2 of PEs.
+        report = soc_area(make_config(rows=32, cols=32, sram=128))
+        assert 0.5 < report.total_mm2 < 10.0
+
+    def test_camera_footprint_constant(self):
+        assert CAMERA_FOOTPRINT_MM2 == pytest.approx(6.24 * 3.84)

@@ -1,0 +1,46 @@
+"""Unit tests for the CACTI-like SRAM model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.power.cacti import sram_model
+from repro.scalesim.config import SRAM_KB_CHOICES
+
+
+class TestSramModel:
+    def test_access_energy_grows_with_capacity(self):
+        energies = [sram_model(kb).read_energy_pj for kb in SRAM_KB_CHOICES]
+        assert energies == sorted(energies)
+        assert energies[0] < energies[-1]
+
+    def test_leakage_linear_in_capacity(self):
+        small = sram_model(32)
+        big = sram_model(4096)
+        assert big.leakage_w == pytest.approx(small.leakage_w * 128)
+
+    def test_published_magnitude_anchors(self):
+        # ~5 pJ at 32 KB, tens of pJ at 4 MB (28 nm mobile SRAM).
+        assert 3.0 < sram_model(32).read_energy_pj < 10.0
+        assert 30.0 < sram_model(4096).read_energy_pj < 80.0
+
+    def test_writes_cost_more_than_reads(self):
+        model = sram_model(128)
+        assert model.write_energy_pj > model.read_energy_pj
+
+    def test_access_energy_joules(self):
+        model = sram_model(64)
+        energy = model.access_energy_joules(reads=1000, writes=500)
+        expected = (1000 * model.read_energy_pj
+                    + 500 * model.write_energy_pj) * 1e-12
+        assert energy == pytest.approx(expected)
+
+    def test_zero_accesses_zero_energy(self):
+        assert sram_model(64).access_energy_joules(0, 0) == 0.0
+
+    def test_rejects_negative_accesses(self):
+        with pytest.raises(ConfigError):
+            sram_model(64).access_energy_joules(-1, 0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigError):
+            sram_model(0)

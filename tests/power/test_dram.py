@@ -1,0 +1,47 @@
+"""Unit tests for the DRAM power model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.power.dram import (
+    BACKGROUND_POWER_W,
+    READ_ENERGY_PJ_PER_BYTE,
+    WRITE_ENERGY_PJ_PER_BYTE,
+    dram_power,
+)
+
+
+class TestDramPower:
+    def test_dynamic_energy_formula(self):
+        report = dram_power(read_bytes=1_000_000, write_bytes=500_000)
+        expected = (1_000_000 * READ_ENERGY_PJ_PER_BYTE
+                    + 500_000 * WRITE_ENERGY_PJ_PER_BYTE) * 1e-12
+        assert report.dynamic_energy_j == pytest.approx(expected)
+
+    def test_background_floor_at_idle(self):
+        report = dram_power(0, 0)
+        assert report.average_power_w(0.0) == BACKGROUND_POWER_W
+
+    def test_power_scales_with_frame_rate(self):
+        report = dram_power(1_000_000, 1_000_000)
+        slow = report.average_power_w(10.0)
+        fast = report.average_power_w(100.0)
+        assert fast > slow
+        assert fast - BACKGROUND_POWER_W == pytest.approx(
+            10 * (slow - BACKGROUND_POWER_W))
+
+    def test_writes_cost_more_than_reads(self):
+        assert WRITE_ENERGY_PJ_PER_BYTE > READ_ENERGY_PJ_PER_BYTE
+
+    def test_rejects_negative_traffic(self):
+        with pytest.raises(ConfigError):
+            dram_power(-1, 0)
+
+    def test_rejects_negative_frame_rate(self):
+        with pytest.raises(ConfigError):
+            dram_power(0, 0).average_power_w(-1.0)
+
+    def test_lpddr_magnitude(self):
+        # 100 MB/s of reads should cost only a few mW of dynamic power.
+        report = dram_power(read_bytes=100_000_000, write_bytes=0)
+        assert report.dynamic_energy_j * 1.0 < 0.01  # at 1 frame/s

@@ -1,0 +1,71 @@
+"""Unit tests for the PE-array energy model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.power.pe import (
+    IDLE_ENERGY_PJ,
+    MAC_ENERGY_PJ,
+    PE_LEAKAGE_W,
+    array_power,
+)
+
+
+class TestArrayPower:
+    def test_fully_utilized_energy(self):
+        # 100 PEs x 1000 cycles, all useful.
+        report = array_power(num_pes=100, total_cycles=1000, macs=100_000)
+        assert report.dynamic_energy_j == pytest.approx(
+            100_000 * MAC_ENERGY_PJ * 1e-12)
+
+    def test_idle_cycles_charged_at_idle_energy(self):
+        report = array_power(num_pes=100, total_cycles=1000, macs=0)
+        assert report.dynamic_energy_j == pytest.approx(
+            100_000 * IDLE_ENERGY_PJ * 1e-12)
+
+    def test_mixed_utilization(self):
+        report = array_power(num_pes=10, total_cycles=10, macs=40)
+        expected = (40 * MAC_ENERGY_PJ + 60 * IDLE_ENERGY_PJ) * 1e-12
+        assert report.dynamic_energy_j == pytest.approx(expected)
+
+    def test_macs_clamped_to_pe_cycles(self):
+        # More claimed MACs than PE-cycles cannot go negative on idle.
+        report = array_power(num_pes=10, total_cycles=10, macs=1_000_000)
+        assert report.dynamic_energy_j == pytest.approx(
+            100 * MAC_ENERGY_PJ * 1e-12)
+
+    def test_leakage_scales_with_array(self):
+        small = array_power(num_pes=64, total_cycles=10, macs=0)
+        big = array_power(num_pes=1024, total_cycles=10, macs=0)
+        assert big.leakage_w == pytest.approx(16 * small.leakage_w)
+        assert small.leakage_w == pytest.approx(64 * PE_LEAKAGE_W)
+
+    def test_average_power_includes_inter_frame_idle(self):
+        report = array_power(num_pes=100, total_cycles=1000, macs=100_000)
+        # At a frame rate far below capability, the idle clock floor
+        # dominates and power stays above leakage alone.
+        power = report.average_power_w(frames_per_second=1.0,
+                                       clock_hz=200e6)
+        idle_floor = 100 * IDLE_ENERGY_PJ * 1e-12 * 200e6
+        assert power > 0.9 * idle_floor
+
+    def test_average_power_monotonic_in_fps(self):
+        report = array_power(num_pes=100, total_cycles=1000, macs=100_000)
+        low = report.average_power_w(10.0, 200e6)
+        high = report.average_power_w(100.0, 200e6)
+        assert high >= low
+
+    def test_bigger_idle_array_burns_more(self):
+        # The over-provisioning effect behind the paper's HT pitfall.
+        small = array_power(num_pes=256, total_cycles=1000, macs=100_000)
+        big = array_power(num_pes=16384, total_cycles=1000, macs=100_000)
+        assert big.dynamic_energy_j > small.dynamic_energy_j
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            array_power(num_pes=0, total_cycles=1, macs=1)
+        with pytest.raises(ConfigError):
+            array_power(num_pes=1, total_cycles=-1, macs=1)
+        with pytest.raises(ConfigError):
+            array_power(num_pes=1, total_cycles=1,
+                        macs=1).average_power_w(-1, 200e6)

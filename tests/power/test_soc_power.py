@@ -1,0 +1,83 @@
+"""Unit tests for accelerator power aggregation."""
+
+import pytest
+
+from repro.nn.template import PolicyHyperparams, build_policy_network
+from repro.power.soc_power import accelerator_power
+from repro.scalesim.config import AcceleratorConfig
+from repro.scalesim.simulator import simulate
+
+
+@pytest.fixture(scope="module")
+def report_and_config():
+    config = AcceleratorConfig(pe_rows=32, pe_cols=32, ifmap_sram_kb=128,
+                               filter_sram_kb=128, ofmap_sram_kb=128)
+    network = build_policy_network(PolicyHyperparams(5, 48))
+    return simulate(network, config), config
+
+
+class TestAcceleratorPower:
+    def test_breakdown_sums_to_total(self, report_and_config):
+        report, config = report_and_config
+        breakdown = accelerator_power(report, config)
+        assert breakdown.total_w == pytest.approx(
+            breakdown.array_w + breakdown.sram_w + breakdown.dram_w)
+
+    def test_sram_is_sum_of_scratchpads(self, report_and_config):
+        report, config = report_and_config
+        breakdown = accelerator_power(report, config)
+        assert breakdown.sram_w == pytest.approx(
+            breakdown.ifmap_sram_w + breakdown.filter_sram_w
+            + breakdown.ofmap_sram_w)
+
+    def test_default_runs_at_peak_throughput(self, report_and_config):
+        report, config = report_and_config
+        breakdown = accelerator_power(report, config)
+        assert breakdown.frames_per_second == pytest.approx(
+            report.frames_per_second)
+
+    def test_operating_fps_capped_by_capability(self, report_and_config):
+        report, config = report_and_config
+        breakdown = accelerator_power(report, config,
+                                      frames_per_second=1e9)
+        assert breakdown.frames_per_second == pytest.approx(
+            report.frames_per_second)
+
+    def test_lower_fps_lower_power(self, report_and_config):
+        report, config = report_and_config
+        peak = accelerator_power(report, config)
+        slow = accelerator_power(report, config, frames_per_second=5.0)
+        assert slow.total_w < peak.total_w
+
+    def test_all_components_positive(self, report_and_config):
+        report, config = report_and_config
+        breakdown = accelerator_power(report, config)
+        assert breakdown.array_w > 0
+        assert breakdown.sram_w > 0
+        assert breakdown.dram_w > 0
+        assert breakdown.energy_per_inference_j > 0
+
+    def test_energy_per_inference_independent_of_fps(self, report_and_config):
+        report, config = report_and_config
+        a = accelerator_power(report, config, frames_per_second=10.0)
+        b = accelerator_power(report, config, frames_per_second=20.0)
+        assert a.energy_per_inference_j == pytest.approx(
+            b.energy_per_inference_j)
+
+    def test_bigger_array_more_power(self):
+        network = build_policy_network(PolicyHyperparams(5, 48))
+        small_cfg = AcceleratorConfig(16, 16, 64, 64, 64)
+        big_cfg = AcceleratorConfig(256, 256, 64, 64, 64)
+        small = accelerator_power(simulate(network, small_cfg), small_cfg)
+        big = accelerator_power(simulate(network, big_cfg), big_cfg)
+        assert big.total_w > small.total_w
+
+    def test_bigger_sram_more_leakage_power_at_idle(self):
+        network = build_policy_network(PolicyHyperparams(5, 48))
+        small_cfg = AcceleratorConfig(32, 32, 32, 32, 32)
+        big_cfg = AcceleratorConfig(32, 32, 4096, 4096, 4096)
+        small = accelerator_power(simulate(network, small_cfg), small_cfg,
+                                  frames_per_second=1.0)
+        big = accelerator_power(simulate(network, big_cfg), big_cfg,
+                                frames_per_second=1.0)
+        assert big.sram_w > small.sram_w

@@ -1,0 +1,65 @@
+"""Unit tests for technology and frequency scaling."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.power.technology import (
+    SUPPORTED_NODES_NM,
+    frequency_power_factor,
+    node_scaling,
+)
+
+
+class TestNodeScaling:
+    def test_reference_node_is_identity(self):
+        factors = node_scaling(28)
+        assert factors.dynamic_energy == pytest.approx(1.0)
+        assert factors.leakage_power == pytest.approx(1.0)
+        assert factors.max_frequency == pytest.approx(1.0)
+
+    def test_smaller_node_less_energy_more_frequency(self):
+        factors = node_scaling(7)
+        assert factors.dynamic_energy < 1.0
+        assert factors.leakage_power < 1.0
+        assert factors.max_frequency > 1.0
+
+    def test_larger_node_more_energy(self):
+        factors = node_scaling(40)
+        assert factors.dynamic_energy > 1.0
+        assert factors.max_frequency < 1.0
+
+    def test_energy_scales_quadratically(self):
+        factors = node_scaling(14) if 14 in SUPPORTED_NODES_NM else \
+            node_scaling(7)
+        node = 14 if 14 in SUPPORTED_NODES_NM else 7
+        assert factors.dynamic_energy == pytest.approx((node / 28) ** 2)
+
+    def test_unsupported_node_rejected(self):
+        with pytest.raises(ConfigError):
+            node_scaling(3)
+
+
+class TestFrequencyPowerFactor:
+    def test_identity_at_nominal(self):
+        assert frequency_power_factor(1.0) == pytest.approx(1.0)
+
+    def test_cubic_within_window(self):
+        # f * V(f)^2 with V tracking f: 0.8x clock -> 0.512x power.
+        assert frequency_power_factor(0.8) == pytest.approx(0.8 ** 3)
+
+    def test_voltage_clamps_outside_window(self):
+        # Below the window, power falls only linearly with f.
+        assert frequency_power_factor(0.25) == pytest.approx(0.25 * 0.5 ** 2)
+
+    def test_overclocking_superlinear(self):
+        assert frequency_power_factor(1.4) == pytest.approx(1.4 ** 3)
+        assert frequency_power_factor(2.0) == pytest.approx(2.0 * 1.5 ** 2)
+
+    def test_monotonic(self):
+        scales = [0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0]
+        factors = [frequency_power_factor(s) for s in scales]
+        assert factors == sorted(factors)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            frequency_power_factor(0.0)

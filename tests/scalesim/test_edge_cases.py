@@ -1,0 +1,79 @@
+"""Edge-case tests for the accelerator simulator stack."""
+
+import pytest
+
+from repro.nn.layers import GemmShape
+from repro.nn.workload import LayerWorkload, NetworkWorkload
+from repro.scalesim.config import AcceleratorConfig, Dataflow
+from repro.scalesim.dataflow import map_gemm
+from repro.scalesim.simulator import SystolicArraySimulator
+
+
+def make_config(rows=16, cols=16, dataflow=Dataflow.WEIGHT_STATIONARY):
+    return AcceleratorConfig(pe_rows=rows, pe_cols=cols, ifmap_sram_kb=32,
+                             filter_sram_kb=32, ofmap_sram_kb=32,
+                             dataflow=dataflow)
+
+
+class TestDegenerateGemms:
+    @pytest.mark.parametrize("dataflow", list(Dataflow))
+    def test_unit_gemm(self, dataflow):
+        stats = map_gemm(GemmShape(1, 1, 1), make_config(dataflow=dataflow))
+        assert stats.folds == 1
+        assert stats.compute_cycles > 0
+        assert stats.ofmap_sram_writes >= 1
+
+    @pytest.mark.parametrize("dataflow", list(Dataflow))
+    def test_vector_gemm(self, dataflow):
+        # Dense layers are M=1 GEMMs; every dataflow must handle them.
+        stats = map_gemm(GemmShape(1, 1000, 128),
+                         make_config(dataflow=dataflow))
+        assert stats.macs == 128_000
+        assert stats.pe_utilization > 0
+
+    def test_exact_fit_no_edge_folds(self):
+        # K and N exactly match the array: one fold, full utilisation of
+        # the mapping (not of time -- fill/drain still costs cycles).
+        config = make_config(rows=16, cols=16)
+        stats = map_gemm(GemmShape(1000, 16, 16), config)
+        assert stats.folds == 1
+
+    def test_single_row_array(self):
+        config = AcceleratorConfig(pe_rows=8, pe_cols=1024,
+                                   ifmap_sram_kb=32, filter_sram_kb=32,
+                                   ofmap_sram_kb=32)
+        stats = map_gemm(GemmShape(100, 64, 64), config)
+        assert stats.compute_cycles > 0
+
+
+class TestDegenerateWorkloads:
+    def test_single_layer_network(self):
+        layer = LayerWorkload(name="only", gemm=GemmShape(64, 64, 64),
+                              stored_ifmap_elements=4096)
+        workload = NetworkWorkload(name="tiny", layers=(layer,))
+        report = SystolicArraySimulator(make_config()).run(workload)
+        assert len(report.layers) == 1
+        assert report.total_macs == 64 ** 3
+
+    def test_tiny_layer_on_huge_array(self):
+        layer = LayerWorkload(name="tiny", gemm=GemmShape(2, 3, 4),
+                              stored_ifmap_elements=6)
+        config = AcceleratorConfig(pe_rows=1024, pe_cols=1024,
+                                   ifmap_sram_kb=4096, filter_sram_kb=4096,
+                                   ofmap_sram_kb=4096)
+        report = SystolicArraySimulator(config).run(
+            NetworkWorkload(name="t", layers=(layer,)))
+        # Mostly fill/drain: utilisation is tiny but the result is sane.
+        assert report.total_cycles > 0
+        assert report.overall_utilization < 0.01
+
+    def test_identical_layers_identical_cost(self):
+        gemm = GemmShape(128, 72, 48)
+        layers = tuple(
+            LayerWorkload(name=f"l{i}", gemm=gemm,
+                          stored_ifmap_elements=1024)
+            for i in range(3))
+        report = SystolicArraySimulator(make_config()).run(
+            NetworkWorkload(name="rep", layers=layers))
+        cycles = {l.total_cycles for l in report.layers}
+        assert len(cycles) == 1

@@ -1,0 +1,118 @@
+"""Unit tests for the DRAM traffic model."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.layers import GemmShape
+from repro.nn.workload import LayerWorkload
+from repro.scalesim.config import AcceleratorConfig
+from repro.scalesim.dataflow import map_gemm
+from repro.scalesim.memory import analyze_traffic
+
+
+def make_layer(m=100, k=64, n=32, stored=None):
+    gemm = GemmShape(m=m, k=k, n=n)
+    return LayerWorkload(name="l", gemm=gemm,
+                         stored_ifmap_elements=stored or (m * k) // 4)
+
+
+def make_config(ifmap_kb=64, filter_kb=64, ofmap_kb=64, bandwidth=32):
+    return AcceleratorConfig(pe_rows=16, pe_cols=16, ifmap_sram_kb=ifmap_kb,
+                             filter_sram_kb=filter_kb, ofmap_sram_kb=ofmap_kb,
+                             dram_bandwidth_bytes_per_cycle=bandwidth)
+
+
+def traffic_for(layer, config):
+    mapping = map_gemm(layer.gemm, config)
+    return analyze_traffic(layer, mapping, config)
+
+
+class TestOperandResidency:
+    def test_both_fit_fetch_once(self):
+        layer = make_layer(m=100, k=64, n=32)  # small operands
+        traffic = traffic_for(layer, make_config())
+        assert traffic.dram_ifmap_read_bytes == layer.ifmap_bytes
+        assert traffic.dram_filter_read_bytes == layer.filter_bytes
+
+    def test_filter_resident_streams_large_ifmap_once(self):
+        # Huge ifmap, tiny filter: filter is resident so both fetch once.
+        layer = make_layer(m=500_000, k=64, n=8, stored=400_000)
+        traffic = traffic_for(layer, make_config(ifmap_kb=32))
+        assert traffic.dram_ifmap_read_bytes == layer.ifmap_bytes
+        assert traffic.dram_filter_read_bytes == layer.filter_bytes
+
+    def test_neither_fits_refetches_cheaper_orientation(self):
+        # Both operands exceed half their scratchpads.
+        layer = make_layer(m=4000, k=600, n=600, stored=2_000_000)
+        config = make_config(ifmap_kb=32, filter_kb=32)
+        traffic = traffic_for(layer, config)
+        total = traffic.dram_ifmap_read_bytes + traffic.dram_filter_read_bytes
+        assert total > layer.ifmap_bytes + layer.filter_bytes
+        # The chosen orientation is no worse than the alternative.
+        filter_chunks = math.ceil(layer.filter_bytes / (32 * 1024 // 2))
+        ifmap_chunks = math.ceil(layer.ifmap_bytes / (32 * 1024 // 2))
+        alt1 = layer.ifmap_bytes * filter_chunks + layer.filter_bytes
+        alt2 = layer.filter_bytes * ifmap_chunks + layer.ifmap_bytes
+        assert total == min(alt1, alt2)
+
+    def test_ofmap_written_exactly_once(self):
+        layer = make_layer()
+        traffic = traffic_for(layer, make_config())
+        assert traffic.dram_ofmap_write_bytes == layer.ofmap_bytes
+
+    def test_no_psum_dram_roundtrips(self):
+        # K-folding accumulates on chip (output tiles are chunked).
+        layer = make_layer(m=100, k=600, n=32)
+        traffic = traffic_for(layer, make_config(ofmap_kb=32))
+        assert traffic.dram_psum_read_bytes == 0
+        assert traffic.dram_psum_write_bytes == 0
+
+
+class TestTiming:
+    def test_dram_cycles_cover_total_bytes(self):
+        layer = make_layer()
+        config = make_config(bandwidth=32)
+        traffic = traffic_for(layer, config)
+        assert traffic.dram_cycles == math.ceil(traffic.dram_total_bytes / 32)
+
+    def test_doubling_bandwidth_halves_cycles(self):
+        layer = make_layer(m=2000, k=300, n=64, stored=300_000)
+        slow = traffic_for(layer, make_config(bandwidth=16))
+        fast = traffic_for(layer, make_config(bandwidth=32))
+        assert fast.dram_cycles <= slow.dram_cycles
+        assert fast.dram_cycles >= slow.dram_cycles // 2
+
+    def test_first_fill_bounded_by_read_traffic(self):
+        layer = make_layer()
+        config = make_config()
+        traffic = traffic_for(layer, config)
+        read_cycles = math.ceil(
+            (traffic.dram_ifmap_read_bytes + traffic.dram_filter_read_bytes)
+            / config.dram_bandwidth_bytes_per_cycle)
+        assert 0 < traffic.first_fill_cycles <= read_cycles + 1
+
+
+class TestTrafficInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(m=st.integers(1, 5000), k=st.integers(1, 500),
+           n=st.integers(1, 500),
+           ifmap_kb=st.sampled_from([32, 128, 1024]),
+           filter_kb=st.sampled_from([32, 128, 1024]))
+    def test_traffic_at_least_compulsory(self, m, k, n, ifmap_kb, filter_kb):
+        layer = make_layer(m=m, k=k, n=n, stored=max(1, (m * k) // 9))
+        config = make_config(ifmap_kb=ifmap_kb, filter_kb=filter_kb)
+        traffic = traffic_for(layer, config)
+        # Compulsory misses: every operand crosses DRAM at least once.
+        assert traffic.dram_ifmap_read_bytes >= layer.ifmap_bytes
+        assert traffic.dram_filter_read_bytes >= layer.filter_bytes
+        assert traffic.dram_ofmap_write_bytes >= layer.ofmap_bytes
+
+    @settings(max_examples=50, deadline=None)
+    @given(m=st.integers(1, 5000), k=st.integers(1, 500),
+           n=st.integers(1, 500))
+    def test_bigger_sram_never_more_traffic(self, m, k, n):
+        layer = make_layer(m=m, k=k, n=n, stored=max(1, (m * k) // 9))
+        small = traffic_for(layer, make_config(ifmap_kb=32, filter_kb=32))
+        big = traffic_for(layer, make_config(ifmap_kb=4096, filter_kb=4096))
+        assert big.dram_total_bytes <= small.dram_total_bytes

@@ -1,0 +1,123 @@
+"""Unit and property tests for the systolic-array simulator."""
+
+import pytest
+
+from repro.nn.template import PolicyHyperparams, build_policy_network
+from repro.nn.workload import lower_network
+from repro.scalesim.config import AcceleratorConfig, Dataflow
+from repro.scalesim.simulator import SystolicArraySimulator, simulate
+
+
+def make_config(rows=16, cols=16, sram=64, **kwargs):
+    return AcceleratorConfig(pe_rows=rows, pe_cols=cols, ifmap_sram_kb=sram,
+                             filter_sram_kb=sram, ofmap_sram_kb=sram,
+                             **kwargs)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_policy_network(PolicyHyperparams(5, 32))
+
+
+class TestRunReport:
+    def test_layer_count(self, network):
+        report = simulate(network, make_config())
+        assert len(report.layers) == len(network.compute_layers())
+
+    def test_total_macs_preserved(self, network):
+        report = simulate(network, make_config())
+        assert report.total_macs == network.total_macs
+
+    def test_total_cycles_sum_of_layers(self, network):
+        report = simulate(network, make_config())
+        assert report.total_cycles == sum(l.total_cycles
+                                          for l in report.layers)
+
+    def test_latency_matches_cycles_and_clock(self, network):
+        config = make_config()
+        report = simulate(network, config)
+        assert report.latency_seconds == pytest.approx(
+            report.total_cycles / config.clock_hz)
+
+    def test_fps_is_latency_inverse(self, network):
+        report = simulate(network, make_config())
+        assert report.frames_per_second == pytest.approx(
+            1.0 / report.latency_seconds)
+
+    def test_layer_cycles_at_least_max_of_bounds(self, network):
+        report = simulate(network, make_config())
+        for layer in report.layers:
+            assert layer.total_cycles >= max(layer.compute_cycles,
+                                             layer.dram_cycles)
+
+    def test_utilization_in_unit_interval(self, network):
+        report = simulate(network, make_config())
+        assert 0.0 < report.overall_utilization <= 1.0
+        for layer in report.layers:
+            assert 0.0 <= layer.pe_utilization <= 1.0
+
+    def test_memory_bound_fraction_bounds(self, network):
+        report = simulate(network, make_config())
+        assert 0.0 <= report.memory_bound_fraction <= 1.0
+
+    def test_sram_and_dram_totals_positive(self, network):
+        report = simulate(network, make_config())
+        assert report.total_sram_reads > 0
+        assert report.total_sram_writes > 0
+        assert report.total_dram_bytes > 0
+
+
+class TestScalingBehaviour:
+    def test_clock_scales_latency_not_cycles(self, network):
+        base = simulate(network, make_config())
+        fast = simulate(network, make_config(clock_hz=400e6))
+        assert fast.total_cycles == base.total_cycles
+        assert fast.latency_seconds < base.latency_seconds
+
+    def test_bigger_array_fewer_or_equal_cycles(self, network):
+        small = simulate(network, make_config(rows=16, cols=16))
+        big = simulate(network, make_config(rows=64, cols=64))
+        assert big.total_cycles < small.total_cycles
+
+    def test_bigger_array_lower_utilization(self, network):
+        small = simulate(network, make_config(rows=16, cols=16))
+        big = simulate(network, make_config(rows=256, cols=256))
+        assert big.overall_utilization < small.overall_utilization
+
+    def test_deeper_network_slower(self):
+        config = make_config()
+        shallow = simulate(build_policy_network(PolicyHyperparams(2, 48)),
+                           config)
+        deep = simulate(build_policy_network(PolicyHyperparams(10, 48)),
+                        config)
+        assert deep.total_cycles > shallow.total_cycles
+
+    def test_wider_network_slower(self):
+        config = make_config()
+        narrow = simulate(build_policy_network(PolicyHyperparams(5, 32)),
+                          config)
+        wide = simulate(build_policy_network(PolicyHyperparams(5, 64)),
+                        config)
+        assert wide.total_cycles > narrow.total_cycles
+
+    @pytest.mark.parametrize("dataflow", list(Dataflow))
+    def test_all_dataflows_simulate(self, network, dataflow):
+        report = simulate(network, make_config(dataflow=dataflow))
+        assert report.total_cycles > 0
+        assert report.total_macs == network.total_macs
+
+
+class TestSimulatorCaching:
+    def test_repeated_run_returns_cached_report(self, network):
+        simulator = SystolicArraySimulator(make_config())
+        workload = lower_network(network)
+        first = simulator.run(workload)
+        second = simulator.run(workload)
+        assert first is second
+
+    def test_run_network_equivalent_to_manual_lowering(self, network):
+        simulator = SystolicArraySimulator(make_config())
+        by_network = simulator.run_network(network)
+        by_workload = SystolicArraySimulator(make_config()).run(
+            lower_network(network))
+        assert by_network.total_cycles == by_workload.total_cycles

@@ -1,0 +1,44 @@
+"""Unit tests for the fixed SoC components (Table III)."""
+
+import pytest
+
+from repro.soc.components import (
+    CAMERA_SENSOR,
+    MCU_CORE,
+    NUM_MCU_CORES,
+    SENSOR_FRAMERATE_CHOICES,
+    SENSOR_INTERFACE,
+    fixed_components,
+    fixed_components_power_w,
+)
+
+
+class TestTableIIIComponents:
+    def test_mcu_power_matches_table(self):
+        assert MCU_CORE.peak_power_w == pytest.approx(0.38e-3)
+
+    def test_camera_power_matches_table(self):
+        assert CAMERA_SENSOR.peak_power_w == pytest.approx(0.1)
+
+    def test_mipi_power_matches_table(self):
+        assert SENSOR_INTERFACE.peak_power_w == pytest.approx(0.022)
+
+    def test_two_mcu_cores(self):
+        assert NUM_MCU_CORES == 2
+
+    def test_total_fixed_power(self):
+        expected = 2 * 0.38e-3 + 0.1 + 0.022
+        assert fixed_components_power_w() == pytest.approx(expected)
+
+    def test_fixed_power_small_relative_to_npu_range(self):
+        # Table III: the NPU spans 0.7-8.24 W; the fixed parts are a
+        # small fraction of even the low end.
+        assert fixed_components_power_w() < 0.2
+
+    def test_component_listing(self):
+        names = {c.name for c in fixed_components()}
+        assert len(names) == 3
+
+    def test_sensor_framerates_include_table_iv_rates(self):
+        assert 30 in SENSOR_FRAMERATE_CHOICES
+        assert 60 in SENSOR_FRAMERATE_CHOICES

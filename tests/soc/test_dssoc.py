@@ -1,0 +1,89 @@
+"""Unit tests for DSSoC assembly and evaluation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.template import PolicyHyperparams
+from repro.scalesim.config import AcceleratorConfig
+from repro.soc.components import fixed_components_power_w
+from repro.soc.dssoc import DssocDesign, DssocEvaluator, evaluate_dssoc
+
+
+def make_design(rows=16, cols=16, sram=64, layers=5, filters=32):
+    return DssocDesign(
+        policy=PolicyHyperparams(num_layers=layers, num_filters=filters),
+        accelerator=AcceleratorConfig(pe_rows=rows, pe_cols=cols,
+                                      ifmap_sram_kb=sram,
+                                      filter_sram_kb=sram,
+                                      ofmap_sram_kb=sram),
+    )
+
+
+class TestDssocEvaluation:
+    def test_soc_power_includes_fixed_components(self):
+        evaluation = evaluate_dssoc(make_design())
+        assert evaluation.soc_power_w > fixed_components_power_w()
+        assert evaluation.soc_power_w == pytest.approx(
+            evaluation.power.total_w + fixed_components_power_w())
+
+    def test_tdp_equals_peak_power_at_default(self):
+        evaluation = evaluate_dssoc(make_design())
+        assert evaluation.tdp_w == pytest.approx(evaluation.soc_power_w)
+
+    def test_operating_fps_lowers_power_not_tdp(self):
+        design = make_design()
+        peak = evaluate_dssoc(design)
+        capped = evaluate_dssoc(design, operating_fps=5.0)
+        assert capped.soc_power_w < peak.soc_power_w
+        assert capped.tdp_w == pytest.approx(peak.tdp_w)
+
+    def test_weight_derived_from_tdp(self):
+        from repro.soc.weight import compute_weight
+        evaluation = evaluate_dssoc(make_design())
+        assert evaluation.compute_weight_g == pytest.approx(
+            compute_weight(evaluation.tdp_w).total_g)
+
+    def test_latency_and_fps_consistent(self):
+        evaluation = evaluate_dssoc(make_design())
+        assert evaluation.frames_per_second == pytest.approx(
+            1.0 / evaluation.latency_seconds)
+
+    def test_efficiency_metric(self):
+        evaluation = evaluate_dssoc(make_design())
+        assert evaluation.compute_efficiency_fps_per_w == pytest.approx(
+            evaluation.frames_per_second / evaluation.soc_power_w)
+
+    def test_bigger_policy_slower(self):
+        small = evaluate_dssoc(make_design(layers=2))
+        big = evaluate_dssoc(make_design(layers=10))
+        assert big.latency_seconds > small.latency_seconds
+
+    def test_bigger_array_faster_but_hotter(self):
+        small = evaluate_dssoc(make_design(rows=16, cols=16))
+        big = evaluate_dssoc(make_design(rows=128, cols=128))
+        assert big.frames_per_second > small.frames_per_second
+        assert big.soc_power_w > small.soc_power_w
+        assert big.compute_weight_g > small.compute_weight_g
+
+    def test_describe_mentions_policy_and_array(self):
+        text = make_design().describe()
+        assert "e2e-L5-F32" in text
+        assert "16x16" in text
+
+
+class TestDssocEvaluator:
+    def test_network_cache_reused(self):
+        evaluator = DssocEvaluator()
+        policy = PolicyHyperparams(5, 32)
+        first = evaluator.network_for(policy)
+        second = evaluator.network_for(policy)
+        assert first is second
+
+    def test_rejects_nonpositive_operating_fps(self):
+        with pytest.raises(ConfigError):
+            DssocEvaluator(operating_fps=0.0)
+
+    def test_evaluator_matches_one_shot(self):
+        design = make_design()
+        assert DssocEvaluator().evaluate(design).soc_power_w == pytest.approx(
+            evaluate_dssoc(design).soc_power_w)

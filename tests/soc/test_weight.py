@@ -1,0 +1,58 @@
+"""Unit tests for the compute-weight (heatsink) model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.soc.weight import (
+    MOTHERBOARD_WEIGHT_G,
+    compute_weight,
+    heatsink_volume_cm3,
+)
+
+
+class TestHeatsinkVolume:
+    def test_zero_tdp_zero_volume(self):
+        assert heatsink_volume_cm3(0.0) == 0.0
+
+    def test_volume_linear_in_tdp(self):
+        assert heatsink_volume_cm3(8.0) == pytest.approx(
+            2 * heatsink_volume_cm3(4.0))
+
+    def test_rejects_negative_tdp(self):
+        with pytest.raises(ConfigError):
+            heatsink_volume_cm3(-1.0)
+
+    def test_rejects_inverted_temperatures(self):
+        with pytest.raises(ConfigError):
+            heatsink_volume_cm3(1.0, t_max_c=20.0, t_ambient_c=25.0)
+
+
+class TestComputeWeight:
+    def test_paper_anchor_ht_design(self):
+        # The paper's HT design: 8.24 W -> ~65 g compute payload.
+        weight = compute_weight(8.24)
+        assert weight.total_g == pytest.approx(65.0, rel=0.05)
+
+    def test_paper_anchor_ap_design(self):
+        # The paper's AP design: 0.7 W -> ~24 g compute payload.
+        weight = compute_weight(0.7)
+        assert weight.total_g == pytest.approx(24.0, rel=0.05)
+
+    def test_motherboard_floor(self):
+        weight = compute_weight(0.0)
+        assert weight.total_g == MOTHERBOARD_WEIGHT_G
+        assert weight.heatsink_weight_g == 0.0
+
+    def test_total_is_sum(self):
+        weight = compute_weight(3.0)
+        assert weight.total_g == pytest.approx(
+            weight.heatsink_weight_g + weight.motherboard_weight_g)
+
+    def test_custom_motherboard_weight(self):
+        weight = compute_weight(1.0, motherboard_weight_g=10.0)
+        assert weight.motherboard_weight_g == 10.0
+
+    @given(tdp=st.floats(0.0, 50.0, allow_nan=False))
+    def test_weight_monotonic_in_tdp(self, tdp):
+        assert compute_weight(tdp + 1.0).total_g > compute_weight(tdp).total_g

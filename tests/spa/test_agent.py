@@ -1,0 +1,130 @@
+"""Tests for the SPA agent, controller and compute model."""
+
+import math
+
+import pytest
+
+from repro.airlearning.env import NavigationEnv
+from repro.airlearning.scenarios import Scenario
+from repro.errors import ConfigError, SimulationError
+from repro.spa.agent import (
+    SpaAgent,
+    SpaComputeModel,
+    SpaWorkloadStats,
+    run_spa_episode,
+    spa_success_rate,
+)
+from repro.spa.control import PurePursuitController
+from repro.spa.mapping import MappingStats
+from repro.spa.planning import PlanResult
+
+
+class TestController:
+    def test_zero_error_goes_straight(self):
+        controller = PurePursuitController()
+        command = controller.command(0.0, 0.0, 0.0, [(5.0, 0.0)])
+        assert command.yaw_rate == pytest.approx(0.0)
+        assert command.speed == pytest.approx(controller.cruise_speed)
+
+    def test_target_left_turns_left(self):
+        controller = PurePursuitController()
+        command = controller.command(0.0, 0.0, 0.0, [(0.0, 5.0)])
+        assert command.yaw_rate > 0.0
+
+    def test_sharp_turn_slows_down(self):
+        controller = PurePursuitController()
+        behind = controller.command(0.0, 0.0, 0.0, [(-5.0, 0.1)])
+        ahead = controller.command(0.0, 0.0, 0.0, [(5.0, 0.0)])
+        assert behind.speed < ahead.speed
+
+    def test_empty_path_stops(self):
+        command = PurePursuitController().command(0.0, 0.0, 0.0, [])
+        assert command.speed == 0.0
+
+    def test_discrete_action_valid(self):
+        controller = PurePursuitController()
+        action = controller.discrete_action(0.0, 0.0, 0.3, [(5.0, 5.0)])
+        assert 0 <= action < 25
+
+    def test_lookahead_skips_near_points(self):
+        controller = PurePursuitController(lookahead_m=2.0)
+        path = [(0.5, 0.0), (1.0, 0.0), (3.0, 0.0)]
+        assert controller._lookahead_point(0.0, 0.0, path) == (3.0, 0.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            PurePursuitController(lookahead_m=0.0)
+
+
+class TestAgentLifecycle:
+    def test_act_before_reset_raises(self):
+        env = NavigationEnv(Scenario.LOW, seed=0)
+        env.reset()
+        agent = SpaAgent()
+        with pytest.raises(SimulationError):
+            agent.act(env)
+
+    def test_reset_before_env_reset_raises(self):
+        env = NavigationEnv(Scenario.LOW, seed=0)
+        with pytest.raises(SimulationError):
+            SpaAgent().reset(env)
+
+    def test_agent_records_workload(self):
+        env = NavigationEnv(Scenario.LOW, seed=1)
+        agent = SpaAgent()
+        run_spa_episode(env, agent)
+        assert agent.workload.decisions > 0
+        assert agent.workload.cells_updated > 0
+        assert agent.workload.mean_ops_per_decision > 0
+
+    def test_rejects_bad_replan_interval(self):
+        with pytest.raises(ConfigError):
+            SpaAgent(replan_every=0)
+
+
+class TestSpaNavigation:
+    def test_high_success_on_low_obstacles(self):
+        rate, _ = spa_success_rate(Scenario.LOW, episodes=5, seed=2)
+        assert rate >= 0.8
+
+    def test_reasonable_success_on_dense(self):
+        rate, _ = spa_success_rate(Scenario.DENSE, episodes=5, seed=2)
+        assert rate >= 0.4
+
+    def test_rejects_zero_episodes(self):
+        with pytest.raises(ConfigError):
+            spa_success_rate(Scenario.LOW, episodes=0)
+
+
+class TestComputeModel:
+    def make_workload(self):
+        workload = SpaWorkloadStats()
+        workload.record(MappingStats(cells_updated=100, rays_traced=12),
+                        PlanResult(nodes_expanded=50))
+        return workload
+
+    def test_ops_per_decision(self):
+        workload = self.make_workload()
+        expected = 100 * 12.0 + 50 * 48.0 + 200.0
+        assert workload.mean_ops_per_decision == pytest.approx(expected)
+
+    def test_throughput_scales_with_compute(self):
+        workload = self.make_workload()
+        slow = SpaComputeModel(ops_per_second=1e6)
+        fast = SpaComputeModel(ops_per_second=1e8)
+        assert fast.action_throughput_hz(workload) == pytest.approx(
+            100 * slow.action_throughput_hz(workload))
+
+    def test_empty_workload_zero_throughput(self):
+        model = SpaComputeModel(ops_per_second=1e6)
+        assert model.action_throughput_hz(SpaWorkloadStats()) == 0.0
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigError):
+            SpaComputeModel(ops_per_second=0.0)
+
+    def test_mapping_heavier_in_dense_scenes(self):
+        _, low = spa_success_rate(Scenario.LOW, episodes=3, seed=4)
+        _, dense = spa_success_rate(Scenario.DENSE, episodes=3, seed=4)
+        assert dense.mean_ops_per_decision > 0
+        assert low.mean_ops_per_decision > 0

@@ -1,0 +1,88 @@
+"""Unit tests for the occupancy-grid mapping stage."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.spa.mapping import (
+    LOG_ODDS_MAX,
+    MappingStats,
+    OccupancyGrid,
+)
+
+
+class TestGridGeometry:
+    def test_cell_count(self):
+        grid = OccupancyGrid(arena_size_m=10.0, resolution_m=0.5)
+        assert grid.cells == 20
+
+    def test_world_cell_roundtrip(self):
+        grid = OccupancyGrid(10.0, 0.5)
+        row, col = grid.to_cell(3.3, 7.7)
+        x, y = grid.to_world(row, col)
+        assert abs(x - 3.3) <= 0.5
+        assert abs(y - 7.7) <= 0.5
+
+    def test_out_of_bounds_clamped(self):
+        grid = OccupancyGrid(10.0, 0.5)
+        assert grid.to_cell(-5.0, 50.0) == (19, 0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            OccupancyGrid(0.0, 0.5)
+        with pytest.raises(ConfigError):
+            OccupancyGrid(10.0, -1.0)
+
+
+class TestIntegration:
+    def test_unknown_cells_half_probability(self):
+        grid = OccupancyGrid(10.0, 0.5)
+        assert grid.occupancy(5, 5) == pytest.approx(0.5)
+        assert not grid.is_occupied(5, 5)
+
+    def test_hit_marks_endpoint_occupied(self):
+        grid = OccupancyGrid(10.0, 0.5)
+        for _ in range(5):  # several observations push past threshold
+            grid.integrate_ray(1.0, 5.0, 0.0, 4.0, max_range_m=8.0)
+        row, col = grid.to_cell(5.0, 5.0)
+        assert grid.is_occupied(row, col)
+
+    def test_ray_clears_cells_along_path(self):
+        grid = OccupancyGrid(10.0, 0.5)
+        grid.integrate_ray(1.0, 5.0, 0.0, 4.0, max_range_m=8.0)
+        row, col = grid.to_cell(2.5, 5.0)
+        assert grid.occupancy(row, col) < 0.5
+
+    def test_max_range_return_marks_no_obstacle(self):
+        grid = OccupancyGrid(10.0, 0.5)
+        grid.integrate_ray(1.0, 5.0, 0.0, 8.0, max_range_m=8.0)
+        row, col = grid.to_cell(1.0 + 8.0, 5.0)
+        assert not grid.is_occupied(row, col)
+
+    def test_log_odds_clamped(self):
+        grid = OccupancyGrid(10.0, 0.5)
+        for _ in range(100):
+            grid.integrate_ray(1.0, 5.0, 0.0, 4.0, max_range_m=8.0)
+        row, col = grid.to_cell(5.0, 5.0)
+        assert grid._log_odds[row, col] <= LOG_ODDS_MAX
+
+    def test_scan_integration_counts_work(self):
+        grid = OccupancyGrid(10.0, 0.5)
+        angles = np.array([0.0, math.pi / 2])
+        distances = np.array([3.0, 2.0])
+        stats = grid.integrate_scan(5.0, 5.0, angles, distances, 8.0)
+        assert stats.rays_traced == 2
+        assert stats.cells_updated > 4
+
+    def test_scan_rejects_mismatched_lengths(self):
+        grid = OccupancyGrid(10.0, 0.5)
+        with pytest.raises(ConfigError):
+            grid.integrate_scan(5.0, 5.0, np.zeros(3), np.zeros(2), 8.0)
+
+    def test_stats_merge(self):
+        a = MappingStats(cells_updated=3, rays_traced=1)
+        a.merge(MappingStats(cells_updated=2, rays_traced=1))
+        assert a.cells_updated == 5
+        assert a.rays_traced == 2

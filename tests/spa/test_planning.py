@@ -1,0 +1,77 @@
+"""Unit tests for the A* planning stage."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.spa.mapping import OccupancyGrid
+from repro.spa.planning import AStarPlanner
+
+
+def make_grid_with_wall(gap_row=None):
+    """A 10 m grid with a vertical wall at x~5 m, optionally with a gap."""
+    grid = OccupancyGrid(10.0, 0.5)
+    for row in range(grid.cells):
+        if gap_row is not None and abs(row - gap_row) <= 1:
+            continue
+        for _ in range(8):
+            y = (row + 0.5) * 0.5
+            grid.integrate_ray(3.0, y, 0.0, 2.0, max_range_m=8.0)
+    return grid
+
+
+class TestAStar:
+    def test_straight_line_in_free_space(self):
+        grid = OccupancyGrid(10.0, 0.5)
+        result = AStarPlanner().plan(grid, (1.0, 1.0), (9.0, 9.0))
+        assert result.found
+        # Path length close to the euclidean distance.
+        assert result.length_m < 1.5 * ((8 ** 2 + 8 ** 2) ** 0.5)
+
+    def test_path_endpoints(self):
+        grid = OccupancyGrid(10.0, 0.5)
+        result = AStarPlanner().plan(grid, (1.0, 1.0), (9.0, 5.0))
+        assert result.found
+        sx, sy = result.path[0]
+        gx, gy = result.path[-1]
+        assert abs(sx - 1.0) < 1.0 and abs(sy - 1.0) < 1.0
+        assert abs(gx - 9.0) < 1.0 and abs(gy - 5.0) < 1.0
+
+    def test_routes_through_gap(self):
+        grid = make_grid_with_wall(gap_row=10)
+        result = AStarPlanner().plan(grid, (1.0, 5.0), (9.0, 5.0))
+        assert result.found
+        # The path must pass near the gap (y ~ 5.25 m at x ~ 5 m).
+        near_wall = [p for p in result.path if 4.0 <= p[0] <= 6.0]
+        assert near_wall
+        assert all(3.5 <= p[1] <= 7.0 for p in near_wall)
+
+    def test_no_path_through_full_wall(self):
+        grid = make_grid_with_wall(gap_row=None)
+        result = AStarPlanner().plan(grid, (1.0, 5.0), (9.0, 5.0))
+        assert not result.found
+        assert result.nodes_expanded > 0
+
+    def test_detour_longer_than_straight(self):
+        free = OccupancyGrid(10.0, 0.5)
+        direct = AStarPlanner().plan(free, (1.0, 5.0), (9.0, 5.0))
+        walled = make_grid_with_wall(gap_row=2)
+        detour = AStarPlanner().plan(walled, (1.0, 5.0), (9.0, 5.0))
+        assert detour.found
+        assert detour.length_m > direct.length_m
+
+    def test_expansion_counter_grows_with_clutter(self):
+        free = OccupancyGrid(10.0, 0.5)
+        direct = AStarPlanner().plan(free, (1.0, 5.0), (9.0, 5.0))
+        walled = make_grid_with_wall(gap_row=2)
+        detour = AStarPlanner().plan(walled, (1.0, 5.0), (9.0, 5.0))
+        assert detour.nodes_expanded > direct.nodes_expanded
+
+    def test_inflation_validation(self):
+        with pytest.raises(ConfigError):
+            AStarPlanner(inflation_cells=-1)
+
+    def test_zero_inflation_allowed(self):
+        grid = OccupancyGrid(10.0, 0.5)
+        result = AStarPlanner(inflation_cells=0).plan(grid, (1.0, 1.0),
+                                                      (2.0, 2.0))
+        assert result.found

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_design_defaults(self):
+        args = build_parser().parse_args(["design"])
+        assert args.uav == "nano"
+        assert args.scenario == "dense"
+        assert args.budget == 100
+
+    def test_rejects_unknown_uav(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["design", "--uav", "jumbo"])
+
+    def test_sweep_validates_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--layers", "42"])
+
+
+class TestCommands:
+    def test_f1_command(self, capsys):
+        assert main(["f1", "--uav", "nano", "--payload", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "knee-point" in out
+        assert "46" in out  # the calibrated nano knee
+
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "--layers", "4", "--filters", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto" in out
+        assert "e2e-L4-F32" in out
+
+    def test_design_command_small_budget(self, capsys):
+        assert main(["design", "--uav", "nano", "--scenario", "low",
+                     "--budget", "15", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "AutoPilot design report" in out
+        assert "Missions per charge" in out
+
+    def test_design_writes_report_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        assert main(["design", "--uav", "micro", "--scenario", "low",
+                     "--budget", "15", "--seed", "3",
+                     "--output", str(path)]) == 0
+        assert path.exists()
+        assert "AutoPilot design report" in path.read_text()
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--uav", "nano", "--scenario", "low",
+                     "--budget", "15", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Jetson TX2" in out
+        assert "PULP-DroNet" in out
+        assert "AutoPilot" in out

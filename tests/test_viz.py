@@ -1,0 +1,76 @@
+"""Unit tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.viz import ascii_line, ascii_scatter
+
+
+class TestScatter:
+    @staticmethod
+    def canvas(plot):
+        return "\n".join(l for l in plot.splitlines() if l.startswith("|"))
+
+    def test_renders_all_points(self):
+        plot = ascii_scatter([(1.0, 1.0), (2.0, 2.0), (3.0, 1.5)])
+        assert self.canvas(plot).count("o") == 3
+
+    def test_labels_override_marker(self):
+        plot = ascii_scatter([(1.0, 1.0), (10.0, 10.0)], labels=["A", "B"])
+        canvas = self.canvas(plot)
+        assert "A" in canvas and "B" in canvas
+        assert "o" not in canvas
+
+    def test_extremes_land_on_edges(self):
+        plot = ascii_scatter([(0.0, 0.0), (1.0, 1.0)], width=10, height=5)
+        rows = [l for l in plot.splitlines() if l.startswith("|")]
+        assert rows[0].rstrip()[-1] == "o"   # top-right
+        assert rows[-1][1] == "o"            # bottom-left
+
+    def test_axis_annotations(self):
+        plot = ascii_scatter([(1.0, 2.0), (3.0, 4.0)], x_label="FPS",
+                             y_label="W")
+        assert "FPS" in plot and "W" in plot
+        assert "1" in plot and "4" in plot
+
+    def test_log_axes(self):
+        plot = ascii_scatter([(1.0, 1.0), (1000.0, 1.0)], log_x=True)
+        assert "[log]" in plot
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            ascii_scatter([(0.0, 1.0), (1.0, 1.0)], log_x=True)
+
+    def test_single_point_degenerate_range(self):
+        plot = ascii_scatter([(5.0, 5.0)])
+        assert self.canvas(plot).count("o") == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ascii_scatter([])
+        with pytest.raises(ConfigError):
+            ascii_scatter([(1.0, 1.0)], labels=["a", "b"])
+        with pytest.raises(ConfigError):
+            ascii_scatter([(1.0, 1.0)], width=2)
+
+
+class TestLine:
+    def test_renders_series_glyphs(self):
+        plot = ascii_line([("AP", [0, 1, 2], [0, 1, 2]),
+                           ("HT", [0, 1, 2], [2, 1, 0])])
+        assert "A" in plot and "H" in plot
+        assert "A=AP" in plot and "H=HT" in plot
+
+    def test_monotone_series_shape(self):
+        plot = ascii_line([("v", list(range(10)), list(range(10)))],
+                          width=20, height=10)
+        rows = [l for l in plot.splitlines() if l.startswith("|")]
+        # First column is filled near the bottom, last near the top.
+        assert rows[-1][1] == "v"
+        assert rows[0].rstrip()[-1] == "v"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ascii_line([])
+        with pytest.raises(ConfigError):
+            ascii_line([("a", [1, 2], [1])])

@@ -1,0 +1,104 @@
+"""Unit tests for the F-1 roofline model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.uav.f1_model import F1Model, ProvisioningVerdict
+from repro.uav.platforms import NANO_ZHANG
+
+
+def make_f1(weight=24.0, sensor_fps=60.0):
+    return F1Model(platform=NANO_ZHANG, compute_weight_g=weight,
+                   sensor_fps=sensor_fps)
+
+
+class TestF1Model:
+    def test_knee_matches_safety_module(self):
+        f1 = make_f1()
+        assert f1.knee_throughput_hz == pytest.approx(46.0, rel=0.05)
+
+    def test_weight_lowers_ceiling(self):
+        # The "lowering of ceilings" effect of Fig. 4a.
+        light = make_f1(weight=20.0)
+        heavy = make_f1(weight=60.0)
+        assert heavy.velocity_ceiling < light.velocity_ceiling
+
+    def test_weight_lowers_knee(self):
+        assert make_f1(weight=60.0).knee_throughput_hz < \
+            make_f1(weight=20.0).knee_throughput_hz
+
+    def test_action_throughput_sensor_bound(self):
+        f1 = make_f1(sensor_fps=30.0)
+        assert f1.action_throughput_hz(100.0) == 30.0
+        assert f1.is_sensor_bound(100.0)
+
+    def test_action_throughput_compute_bound(self):
+        f1 = make_f1(sensor_fps=60.0)
+        assert f1.action_throughput_hz(20.0) == 20.0
+        assert not f1.is_sensor_bound(20.0)
+
+    def test_safe_velocity_capped_by_sensor(self):
+        capped = make_f1(sensor_fps=10.0)
+        free = make_f1(sensor_fps=90.0)
+        assert capped.safe_velocity(100.0) < free.safe_velocity(100.0)
+
+    def test_curve_ignores_sensor_bound(self):
+        f1 = make_f1(sensor_fps=10.0)
+        throughputs = [5.0, 50.0, 100.0]
+        curve = f1.curve(throughputs)
+        assert curve.shape == (3,)
+        assert curve[1] > f1.safe_velocity(50.0)  # sensor caps the latter
+
+    def test_curve_monotone(self):
+        f1 = make_f1()
+        curve = f1.curve(np.linspace(1, 100, 50))
+        assert (np.diff(curve) >= -1e-12).all()
+
+
+class TestClassification:
+    def test_under_provisioned(self):
+        f1 = make_f1()
+        verdict = f1.classify(f1.knee_throughput_hz * 0.3)
+        assert verdict is ProvisioningVerdict.UNDER_PROVISIONED
+
+    def test_balanced_at_knee(self):
+        f1 = make_f1()
+        assert f1.classify(f1.knee_throughput_hz) is \
+            ProvisioningVerdict.BALANCED
+
+    def test_over_provisioned(self):
+        f1 = make_f1()
+        verdict = f1.classify(f1.knee_throughput_hz * 3.0)
+        assert verdict is ProvisioningVerdict.OVER_PROVISIONED
+
+    def test_sensor_cap_affects_classification(self):
+        # A 1000 FPS accelerator behind a 60 FPS sensor is judged by the
+        # pipeline rate, not the accelerator rate.
+        f1 = make_f1(sensor_fps=60.0)
+        knee = f1.knee_throughput_hz
+        assert knee > 40.0
+        assert f1.classify(1000.0) is not ProvisioningVerdict.UNDER_PROVISIONED
+
+    def test_tolerance_parameter(self):
+        f1 = make_f1()
+        knee = f1.knee_throughput_hz
+        assert f1.classify(knee * 1.2, tolerance=0.25) is \
+            ProvisioningVerdict.BALANCED
+        assert f1.classify(knee * 1.2, tolerance=0.1) is \
+            ProvisioningVerdict.OVER_PROVISIONED
+
+
+class TestValidation:
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ConfigError):
+            F1Model(platform=NANO_ZHANG, compute_weight_g=-1.0)
+
+    def test_rejects_nonpositive_sensor(self):
+        with pytest.raises(ConfigError):
+            F1Model(platform=NANO_ZHANG, compute_weight_g=10.0,
+                    sensor_fps=0.0)
+
+    def test_rejects_negative_compute_fps(self):
+        with pytest.raises(ConfigError):
+            make_f1().action_throughput_hz(-1.0)

@@ -1,0 +1,109 @@
+"""Unit tests for the mission model (Eq. 1-4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.uav.mission import evaluate_mission
+from repro.uav.platforms import DJI_SPARK, NANO_ZHANG
+
+
+def nano_mission(weight=24.0, power=0.7, fps=46.0, sensor=60.0):
+    return evaluate_mission(NANO_ZHANG, weight, power, fps, sensor)
+
+
+class TestEquationAlgebra:
+    def test_eq4_identity(self):
+        # N = E_battery * V_safe / (P_total * D)  (Eq. 4).
+        report = nano_mission()
+        expected = (NANO_ZHANG.battery_energy_j * report.safe_velocity_m_s
+                    / (report.total_power_w
+                       * NANO_ZHANG.mission_distance_m))
+        assert report.num_missions == pytest.approx(expected)
+
+    def test_eq3_mission_energy(self):
+        # E_mission = P_total * D / V_safe  (Eq. 3).
+        report = nano_mission()
+        assert report.mission_energy_j == pytest.approx(
+            report.total_power_w * NANO_ZHANG.mission_distance_m
+            / report.safe_velocity_m_s)
+
+    def test_mission_time_definition(self):
+        report = nano_mission()
+        assert report.mission_time_s == pytest.approx(
+            NANO_ZHANG.mission_distance_m / report.safe_velocity_m_s)
+
+    def test_total_power_composition(self):
+        report = nano_mission()
+        assert report.total_power_w == pytest.approx(
+            report.rotor_power_w + report.compute_power_w
+            + report.other_power_w)
+
+
+class TestFeasibility:
+    def test_infeasible_payload_zero_missions(self):
+        report = nano_mission(weight=1000.0)
+        assert not report.feasible
+        assert report.num_missions == 0.0
+        assert report.safe_velocity_m_s == 0.0
+
+    def test_zero_fps_zero_missions(self):
+        report = nano_mission(fps=0.0)
+        assert report.num_missions == 0.0
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigError):
+            nano_mission(power=-1.0)
+
+
+class TestSensitivities:
+    def test_more_compute_power_fewer_missions(self):
+        assert nano_mission(power=0.2).num_missions > \
+            nano_mission(power=5.0).num_missions
+
+    def test_heavier_compute_fewer_missions(self):
+        assert nano_mission(weight=24.0).num_missions > \
+            nano_mission(weight=80.0).num_missions
+
+    def test_below_knee_fps_costs_missions(self):
+        at_knee = nano_mission(fps=46.0)
+        slow = nano_mission(fps=10.0)
+        assert at_knee.num_missions > slow.num_missions
+
+    def test_fps_beyond_knee_does_not_add_missions(self):
+        # Same power/weight, more throughput: velocity is saturated.
+        at_knee = nano_mission(fps=50.0)
+        over = nano_mission(fps=500.0)
+        assert over.num_missions == pytest.approx(at_knee.num_missions)
+
+    def test_sensor_cap_limits_missions(self):
+        fast_sensor = nano_mission(fps=46.0, sensor=60.0)
+        slow_sensor = nano_mission(fps=46.0, sensor=15.0)
+        assert fast_sensor.num_missions > slow_sensor.num_missions
+
+    def test_platform_with_bigger_battery_more_missions(self):
+        # Same compute on both platforms; normalise the other factors by
+        # comparing mission energy rather than raw counts.
+        nano = nano_mission()
+        spark = evaluate_mission(DJI_SPARK, 24.0, 0.7, 46.0, 60.0)
+        assert spark.mission_energy_j > 0
+        assert nano.mission_energy_j > 0
+
+    @given(power=st.floats(0.0, 20.0, allow_nan=False))
+    def test_missions_monotone_decreasing_in_power(self, power):
+        assert nano_mission(power=power).num_missions >= \
+            nano_mission(power=power + 0.5).num_missions
+
+
+class TestReportMetadata:
+    def test_verdict_recorded(self):
+        report = nano_mission(fps=46.0)
+        assert report.verdict.value == "balanced"
+
+    def test_platform_name_recorded(self):
+        assert nano_mission().platform_name == NANO_ZHANG.name
+
+    def test_knee_and_ceiling_recorded(self):
+        report = nano_mission()
+        assert report.knee_throughput_hz == pytest.approx(46.0, rel=0.05)
+        assert report.velocity_ceiling_m_s > report.safe_velocity_m_s * 0.9

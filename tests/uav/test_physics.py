@@ -1,0 +1,80 @@
+"""Unit and property tests for UAV flight physics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.uav.physics import (
+    can_lift,
+    hover_power_w,
+    max_acceleration,
+    rotor_power_w,
+    thrust_to_weight,
+    total_mass_kg,
+)
+from repro.uav.platforms import ALL_PLATFORMS, DJI_SPARK, NANO_ZHANG
+from repro.units import GRAVITY
+
+
+class TestMassAndThrust:
+    def test_total_mass(self):
+        assert total_mass_kg(NANO_ZHANG, 24.0) == pytest.approx(0.074)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigError):
+            total_mass_kg(NANO_ZHANG, -1.0)
+
+    def test_thrust_to_weight_decreases_with_payload(self):
+        assert thrust_to_weight(NANO_ZHANG, 0) > \
+            thrust_to_weight(NANO_ZHANG, 50)
+
+    def test_max_acceleration_formula(self):
+        accel = max_acceleration(NANO_ZHANG, 24.0)
+        expected = NANO_ZHANG.max_thrust_n / 0.074 - GRAVITY
+        assert accel == pytest.approx(expected)
+
+    def test_acceleration_floors_at_zero(self):
+        assert max_acceleration(NANO_ZHANG, 10_000.0) == 0.0
+
+    def test_can_lift_with_small_payload(self):
+        for platform in ALL_PLATFORMS:
+            assert can_lift(platform, 20.0)
+
+    def test_cannot_lift_absurd_payload(self):
+        assert not can_lift(NANO_ZHANG, 500.0)
+
+    @given(payload=st.floats(0.0, 100.0, allow_nan=False))
+    def test_acceleration_monotone_decreasing_in_payload(self, payload):
+        assert max_acceleration(NANO_ZHANG, payload) >= \
+            max_acceleration(NANO_ZHANG, payload + 5.0)
+
+
+class TestRotorPower:
+    def test_hover_power_positive(self):
+        for platform in ALL_PLATFORMS:
+            assert hover_power_w(platform, 20.0) > 0
+
+    def test_hover_power_superlinear_in_mass(self):
+        # Momentum theory: P ~ m^1.5, so doubling mass more than
+        # doubles power.
+        light = hover_power_w(NANO_ZHANG, 0.0)
+        heavy = hover_power_w(NANO_ZHANG, NANO_ZHANG.base_weight_g)
+        assert heavy > 2.0 * light
+
+    def test_flight_power_above_hover(self):
+        assert rotor_power_w(DJI_SPARK, 20.0) > hover_power_w(DJI_SPARK, 20.0)
+
+    def test_rotor_power_magnitudes_sane(self):
+        # Nano hovers at a few watts; the mini at 100+ watts.
+        assert 1.0 < hover_power_w(NANO_ZHANG, 20.0) < 20.0
+        assert 50.0 < hover_power_w(ALL_PLATFORMS[0], 20.0) < 400.0
+
+    def test_rotors_dominate_uav_power(self):
+        # MAVBench: ~95% of UAV power goes to rotors; even a 1 W SoC is
+        # small next to the micro-UAV's rotor power.
+        assert rotor_power_w(DJI_SPARK, 25.0) > 10.0
+
+    @given(payload=st.floats(0.0, 200.0, allow_nan=False))
+    def test_power_monotone_in_payload(self, payload):
+        assert hover_power_w(DJI_SPARK, payload + 1.0) > \
+            hover_power_w(DJI_SPARK, payload)
