@@ -35,6 +35,7 @@ from repro.nn.template import (
     PolicyHyperparams,
     build_policy_network,
 )
+from repro.perf import Profiler, render_profile
 from repro.uav.f1_model import F1Model
 from repro.uav.mission import evaluate_mission
 from repro.uav.platforms import UavClass, platform_by_class
@@ -65,8 +66,8 @@ def _task(args: argparse.Namespace) -> TaskSpec:
 
 def cmd_design(args: argparse.Namespace) -> int:
     task = _task(args)
-    autopilot = AutoPilot(seed=args.seed)
-    result = autopilot.run(task, budget=args.budget)
+    autopilot = AutoPilot(seed=args.seed, workers=args.workers)
+    result = autopilot.run(task, budget=args.budget, profile=args.profile)
     report = render_report(result)
     if args.output:
         with open(args.output, "w") as handle:
@@ -79,7 +80,7 @@ def cmd_design(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     task = _task(args)
-    autopilot = AutoPilot(seed=args.seed)
+    autopilot = AutoPilot(seed=args.seed, workers=args.workers)
     result = autopilot.run(task, budget=args.budget)
 
     best = autopilot.database.best(task.scenario)
@@ -126,13 +127,20 @@ def cmd_f1(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     policy = PolicyHyperparams(num_layers=args.layers,
                                num_filters=args.filters)
+    profiler = Profiler()
+    with profiler.phase("sweep") as record:
+        results = accelerator_frontier(policy=policy)
+        record.evaluations += len(results)
     rows = [[f"{r.pe_rows}x{r.pe_cols}", r.sram_kb,
              f"{r.frames_per_second:.1f}", f"{r.soc_power_w:.2f}",
              f"{r.pe_utilization:.0%}", "*" if r.is_pareto else ""]
-            for r in accelerator_frontier(policy=policy)]
+            for r in results]
     print(format_table(["PEs", "SRAM KB", "FPS", "SoC W", "util", "Pareto"],
                        rows, title=f"accelerator sweep for "
                                    f"{policy.identifier}"))
+    if args.profile:
+        print()
+        print(render_profile(profiler.report()))
     return 0
 
 
@@ -149,12 +157,20 @@ def build_parser() -> argparse.ArgumentParser:
     design.add_argument("--budget", type=int, default=100,
                         help="Phase 2 evaluation budget")
     design.add_argument("--output", help="write the report to a file")
+    design.add_argument("--profile", action="store_true",
+                        help="append per-phase timing, throughput and "
+                             "cache statistics to the report")
+    design.add_argument("--workers", type=int, default=None,
+                        help="processes for batched design evaluation "
+                             "(default: REPRO_WORKERS or serial)")
     design.set_defaults(func=cmd_design)
 
     compare = subparsers.add_parser("compare",
                                     help="compare against baselines")
     _add_common(compare)
     compare.add_argument("--budget", type=int, default=100)
+    compare.add_argument("--workers", type=int, default=None,
+                         help="processes for batched design evaluation")
     compare.set_defaults(func=cmd_compare)
 
     f1 = subparsers.add_parser("f1", help="print the F-1 roofline")
@@ -169,6 +185,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(LAYER_CHOICES))
     sweep.add_argument("--filters", type=int, default=48,
                        choices=sorted(FILTER_CHOICES))
+    sweep.add_argument("--profile", action="store_true",
+                       help="print sweep timing, throughput and "
+                            "simulator-cache statistics")
     sweep.set_defaults(func=cmd_sweep)
     return parser
 

@@ -1,0 +1,266 @@
+"""Content-addressed evaluation cache for the DSSoC evaluation engine.
+
+Phase 2 evaluates the same (policy network, accelerator config) pairs
+over and over: every optimiser restart, every (UAV, scenario) pipeline
+run and every ablation re-simulates designs that were already simulated.
+The seed implementation memoised run reports per simulator instance
+keyed by ``(workload.name, id(workload))`` -- a key that never hits in
+practice (``run_network`` lowers a fresh workload per call) and is
+unsound (CPython reuses ``id()`` values after garbage collection, so a
+recycled id plus a template-shared network name could silently return a
+stale report for a *different* workload).
+
+This module replaces that with a *content-addressed* key derived from
+the full workload and accelerator content (layer GEMM shapes, operand
+byte sizes, PE dimensions, SRAM sizes, dataflow, clock, DRAM bandwidth)
+plus a small shared LRU cache with optional on-disk persistence, so
+identical designs are simulated exactly once per process (or once ever,
+with persistence enabled) no matter how many simulators, DSE runs or
+pipeline sweeps touch them.
+
+The module is dependency-light on purpose: it only imports the standard
+library and :mod:`repro.errors`, so the leaf modules of the package
+(``scalesim``, ``soc``) can use it without import cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: Bump when the simulator/power semantics change so persisted entries
+#: from older code versions cannot be replayed against new semantics.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default in-memory capacity of the shared report cache.  The full
+#: Table II space has ~1.8M hardware points but any realistic DSE run
+#: touches a few thousand; 16K entries of small frozen dataclasses is a
+#: few tens of MB at most.
+DEFAULT_CAPACITY = 16384
+
+
+def workload_fingerprint(workload: Any) -> Tuple[Hashable, ...]:
+    """Stable, content-only key for a lowered network workload.
+
+    Covers everything the simulator reads: per-layer GEMM dimensions,
+    stored ifmap footprint and operand width.  The workload *name* is
+    deliberately excluded -- two same-named workloads with different
+    layers must never alias (the seed bug), and two differently-named
+    workloads with identical content are the same simulation.
+    """
+    return tuple(
+        (layer.gemm.m, layer.gemm.k, layer.gemm.n,
+         layer.stored_ifmap_elements, layer.bytes_per_element)
+        for layer in workload.layers
+    )
+
+
+def config_fingerprint(config: Any) -> Tuple[Hashable, ...]:
+    """Stable, content-only key for an accelerator configuration."""
+    return (
+        config.pe_rows,
+        config.pe_cols,
+        config.ifmap_sram_kb,
+        config.filter_sram_kb,
+        config.ofmap_sram_kb,
+        config.dataflow.value,
+        float(config.clock_hz),
+        config.dram_bandwidth_bytes_per_cycle,
+    )
+
+
+def design_key(workload: Any, config: Any) -> Tuple[Hashable, ...]:
+    """Content-addressed key for one (workload, accelerator) simulation."""
+    return ("run_report", CACHE_SCHEMA_VERSION,
+            config_fingerprint(config), workload_fingerprint(workload))
+
+
+def key_digest(key: Tuple[Hashable, ...]) -> str:
+    """Hex digest of a cache key, used as the on-disk file name."""
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache (or one observation window)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def snapshot(self) -> "CacheStats":
+        """A copy, for delta accounting across a profiling window."""
+        return CacheStats(hits=self.hits, misses=self.misses,
+                          evictions=self.evictions, disk_hits=self.disk_hits)
+
+    def since(self, baseline: "CacheStats") -> "CacheStats":
+        """Counter deltas relative to an earlier :meth:`snapshot`."""
+        return CacheStats(hits=self.hits - baseline.hits,
+                          misses=self.misses - baseline.misses,
+                          evictions=self.evictions - baseline.evictions,
+                          disk_hits=self.disk_hits - baseline.disk_hits)
+
+
+class EvalCache:
+    """Thread-safe LRU cache with optional on-disk persistence.
+
+    Keys are hashable tuples of primitives (see :func:`design_key`);
+    values are immutable result records (e.g.
+    :class:`~repro.scalesim.report.RunReport`).  When ``persist_dir``
+    is set, entries are additionally pickled to
+    ``<persist_dir>/<sha256(key)>.pkl`` and survive process restarts --
+    a miss first consults the disk store before recomputing.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 persist_dir: Optional[os.PathLike] = None):
+        if capacity <= 0:
+            raise ConfigError("cache capacity must be positive")
+        self.capacity = capacity
+        self.persist_dir = Path(persist_dir) if persist_dir else None
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Tuple[Hashable, ...], Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        if self.persist_dir is not None:
+            self.persist_dir.mkdir(parents=True, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple[Hashable, ...]) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    # ------------------------------------------------------------------
+    def get(self, key: Tuple[Hashable, ...]) -> Optional[Any]:
+        """Look up ``key``; counts a hit or a miss."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return value
+        value = self._load_from_disk(key)
+        with self._lock:
+            if value is not None:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._insert(key, value)
+            else:
+                self.stats.misses += 1
+        return value
+
+    def put(self, key: Tuple[Hashable, ...], value: Any) -> None:
+        """Insert ``key`` -> ``value`` (and persist it, if enabled)."""
+        with self._lock:
+            self._insert(key, value)
+        self._save_to_disk(key, value)
+
+    def get_or_compute(self, key: Tuple[Hashable, ...],
+                       compute: Callable[[], Any]) -> Any:
+        """Return the cached value, computing and storing it on a miss."""
+        value = self.get(key)
+        if value is None:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop all in-memory entries and reset the counters.
+
+        On-disk entries are left in place: persistence exists precisely
+        to outlive in-memory resets.
+        """
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _insert(self, key: Tuple[Hashable, ...], value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _disk_path(self, key: Tuple[Hashable, ...]) -> Optional[Path]:
+        if self.persist_dir is None:
+            return None
+        return self.persist_dir / f"{key_digest(key)}.pkl"
+
+    def _load_from_disk(self, key: Tuple[Hashable, ...]) -> Optional[Any]:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            # A corrupt or stale entry is a miss, never an error.
+            return None
+
+    def _save_to_disk(self, key: Tuple[Hashable, ...], value: Any) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        tmp = path.with_suffix(".tmp")
+        try:
+            with tmp.open("wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+
+
+# ----------------------------------------------------------------------
+# The process-wide shared report cache.
+#
+# One cache instance is shared by every simulator / evaluator in the
+# process so identical designs are simulated once across all pipeline
+# runs.  ``configure_shared_cache`` swaps it (e.g. to enable
+# persistence or shrink capacity in tests).
+
+_shared_cache = EvalCache()
+_shared_lock = threading.Lock()
+
+
+def shared_report_cache() -> EvalCache:
+    """The process-wide simulation report cache."""
+    return _shared_cache
+
+
+def configure_shared_cache(capacity: int = DEFAULT_CAPACITY,
+                           persist_dir: Optional[os.PathLike] = None
+                           ) -> EvalCache:
+    """Replace the shared cache (new capacity and/or persistence dir)."""
+    global _shared_cache
+    with _shared_lock:
+        _shared_cache = EvalCache(capacity=capacity, persist_dir=persist_dir)
+        return _shared_cache
+
+
+def reset_shared_cache() -> None:
+    """Drop every entry of the shared cache (used by tests/benchmarks)."""
+    _shared_cache.clear()

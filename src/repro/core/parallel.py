@@ -1,0 +1,155 @@
+"""Process-parallel batch evaluation of DSSoC designs.
+
+Phase 2's optimisers now hand the evaluation engine whole *batches* of
+design points (initial sampling, NSGA-II generations, exhaustive
+chunks).  This module fans a batch out over a process pool with
+deterministic result ordering, deduplicates against the shared
+content-addressed report cache first (a cached design never reaches the
+pool), and falls back to serial evaluation whenever a pool is
+unavailable or not worth its overhead.
+
+Workers keep their own warm simulator cache for the lifetime of the
+pool; the parent merges every returned report into the process-wide
+shared cache, so parallel and serial runs leave the cache in the same
+state and produce bit-identical results in the same order.
+
+Parallelism is off by default (``workers=1``): the analytical simulator
+is fast enough that fork/pickle overhead only pays off for large
+batches or expensive backends.  Opt in per call site or via the
+``REPRO_WORKERS`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.core.evalcache import design_key, shared_report_cache
+from repro.errors import ConfigError
+from repro.nn.workload import lower_network
+from repro.soc.dssoc import DssocDesign, DssocEvaluation, DssocEvaluator
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Items per pickled work unit sent to a pool worker.
+DEFAULT_CHUNKSIZE = 8
+
+#: Environment variable enabling parallel evaluation process-wide.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit arg > ``REPRO_WORKERS`` env > 1."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError as exc:
+                raise ConfigError(
+                    f"{WORKERS_ENV} must be an integer, got {env!r}") from exc
+        else:
+            workers = 1
+    if workers <= 0:
+        raise ConfigError("workers must be positive")
+    return workers
+
+
+def parallel_map(fn: Callable[[T], R], items: Sequence[T],
+                 workers: int = 1,
+                 chunksize: int = DEFAULT_CHUNKSIZE) -> List[R]:
+    """Map ``fn`` over ``items`` with deterministic (input) ordering.
+
+    Runs serially when ``workers <= 1`` or the batch is trivially small;
+    otherwise uses a process pool, falling back to serial execution if
+    the pool cannot be used (unpicklable work, broken pool, fork
+    limits).  The result list is always ordered like ``items``.
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+            return list(pool.map(fn, items, chunksize=max(1, chunksize)))
+    except (BrokenProcessPool, pickle.PicklingError, AttributeError, OSError):
+        # AttributeError covers unpicklable local functions (CPython
+        # raises it from the reducer, not PicklingError).
+        return [fn(item) for item in items]
+
+
+def _simulate_design(design: DssocDesign
+                     ) -> Tuple[Tuple[object, ...], object]:
+    """Pool worker: simulate one design, return its cache key + report."""
+    from repro.nn.template import build_policy_network
+    from repro.scalesim.simulator import SystolicArraySimulator
+
+    workload = lower_network(build_policy_network(design.policy))
+    key = design_key(workload, design.accelerator)
+    report = SystolicArraySimulator(design.accelerator).run(workload)
+    return key, report
+
+
+class BatchDssocEvaluator:
+    """Cache-aware, optionally process-parallel DSSoC batch evaluator.
+
+    Args:
+        workers: Process count; ``None`` consults ``REPRO_WORKERS`` and
+            defaults to 1 (serial).
+        chunksize: Designs per pickled work unit.
+        operating_fps: Forwarded to :class:`DssocEvaluator`.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 chunksize: int = DEFAULT_CHUNKSIZE,
+                 operating_fps: Optional[float] = None):
+        self.workers = resolve_workers(workers)
+        self.chunksize = chunksize
+        self._evaluator = DssocEvaluator(operating_fps=operating_fps)
+
+    @property
+    def evaluator(self) -> DssocEvaluator:
+        """The underlying (serial) design evaluator."""
+        return self._evaluator
+
+    def evaluate(self, design: DssocDesign) -> DssocEvaluation:
+        """Evaluate one design (through the shared cache)."""
+        return self._evaluator.evaluate(design)
+
+    def evaluate_batch(self, designs: Sequence[DssocDesign]
+                       ) -> List[DssocEvaluation]:
+        """Evaluate a batch, simulating uncached designs in parallel.
+
+        Results are ordered like ``designs``.  Only the simulation (the
+        expensive, pure part) runs in the pool; the cheap power/weight
+        assembly runs in-process so every returned evaluation is built
+        against the parent's shared cache.
+        """
+        if self.workers > 1:
+            missing = self._uncached_unique(designs)
+            if len(missing) > 1:
+                cache = shared_report_cache()
+                for key, report in parallel_map(
+                        _simulate_design, missing, workers=self.workers,
+                        chunksize=self.chunksize):
+                    cache.put(key, report)
+        return [self._evaluator.evaluate(design) for design in designs]
+
+    def _uncached_unique(self, designs: Iterable[DssocDesign]
+                         ) -> List[DssocDesign]:
+        """Deduplicated designs whose reports are not cached yet."""
+        cache = shared_report_cache()
+        seen = set()
+        missing: List[DssocDesign] = []
+        for design in designs:
+            workload = lower_network(
+                self._evaluator.network_for(design.policy))
+            key = design_key(workload, design.accelerator)
+            if key in seen or key in cache:
+                continue
+            seen.add(key)
+            missing.append(design)
+        return missing

@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence, Type
 import numpy as np
 
 from repro.airlearning.database import AirLearningDatabase
+from repro.core.parallel import BatchDssocEvaluator
 from repro.core.spec import TaskSpec, assignment_to_design, build_design_space
 from repro.errors import ConfigError
 from repro.optim.base import Optimizer, OptimizationResult
@@ -26,6 +27,10 @@ from repro.optim.bayesopt import SmsEgoBayesOpt
 from repro.optim.pareto import non_dominated_mask
 from repro.optim.space import Assignment, DesignSpace
 from repro.soc.dssoc import DssocDesign, DssocEvaluation, DssocEvaluator
+
+#: Fractional safety margin applied to the design-space extreme
+#: objectives when deriving the hypervolume reference point.
+REFERENCE_MARGIN = 0.05
 
 
 @dataclass(frozen=True)
@@ -67,6 +72,9 @@ class Phase2Result:
 
     candidates: List[CandidateDesign] = field(default_factory=list)
     optimization: Optional[OptimizationResult] = None
+    #: The hypervolume reference point the run used (derived from the
+    #: design-space extremes unless the caller overrode it).
+    reference: Optional[np.ndarray] = None
 
     def pareto_candidates(self) -> List[CandidateDesign]:
         """The non-dominated candidates (the Pareto frontier)."""
@@ -78,52 +86,131 @@ class Phase2Result:
 
 
 class MultiObjectiveDse:
-    """Phase 2 driver: wires the evaluator into a pluggable optimiser."""
+    """Phase 2 driver: wires the evaluation engine into an optimiser.
+
+    Evaluations flow through the content-addressed shared report cache
+    (identical designs are simulated once per process) and, for the
+    batch-friendly optimisers, through the process-parallel
+    :class:`~repro.core.parallel.BatchDssocEvaluator`.
+
+    Args:
+        database: Validated Phase 1 success rates.
+        optimizer_cls: Pluggable search strategy.
+        space: The joint design space; Table II by default.
+        seed: Optimiser RNG seed.
+        optimizer_kwargs: Extra optimiser constructor arguments.
+        workers: Process count for batched evaluation fan-out; ``None``
+            consults ``REPRO_WORKERS`` and defaults to serial.
+    """
 
     def __init__(self, database: AirLearningDatabase,
                  optimizer_cls: Type[Optimizer] = SmsEgoBayesOpt,
                  space: Optional[DesignSpace] = None, seed: int = 0,
-                 optimizer_kwargs: Optional[dict] = None):
+                 optimizer_kwargs: Optional[dict] = None,
+                 workers: Optional[int] = None):
         self.database = database
         self.optimizer_cls = optimizer_cls
         self.space = space or build_design_space()
         self.seed = seed
         self.optimizer_kwargs = dict(optimizer_kwargs or {})
+        self.workers = workers
 
-    def run(self, task: TaskSpec, budget: int = 120) -> Phase2Result:
-        """Spend ``budget`` unique evaluations and collect candidates."""
+    def derive_reference(self, evaluator: Optional[DssocEvaluator] = None
+                         ) -> List[float]:
+        """Hypervolume reference from the design-space extremes.
+
+        The seed implementation hard-coded ``[1.0, 1.0, 50.0]``, which
+        silently dropped candidates whose SoC power exceeds 50 W (easily
+        reached by the 1024x1024 arrays of Table II) and flattened the
+        hypervolume trace.  Instead, evaluate the two corner designs
+        that bound the objectives -- the largest network on the smallest
+        accelerator (worst latency) and the largest network on the
+        largest accelerator (worst power) -- and pad by
+        :data:`REFERENCE_MARGIN` so every feasible candidate lies
+        strictly inside the reference.  Both corner evaluations hit the
+        shared cache on every run after the first.
+        """
+        evaluator = evaluator or DssocEvaluator()
+        dims = {dim.name: dim.values for dim in self.space.dimensions}
+
+        def corner(hw_pick) -> DssocEvaluation:
+            assignment = {
+                "num_layers": max(dims["num_layers"]),
+                "num_filters": max(dims["num_filters"]),
+                "pe_rows": hw_pick(dims["pe_rows"]),
+                "pe_cols": hw_pick(dims["pe_cols"]),
+                "ifmap_sram_kb": hw_pick(dims["ifmap_sram_kb"]),
+                "filter_sram_kb": hw_pick(dims["filter_sram_kb"]),
+                "ofmap_sram_kb": hw_pick(dims["ofmap_sram_kb"]),
+            }
+            return evaluator.evaluate(assignment_to_design(assignment))
+
+        slowest = corner(min)   # smallest array + SRAMs: latency extreme
+        hungriest = corner(max)  # largest array + SRAMs: power extreme
+        pad = 1.0 + REFERENCE_MARGIN
+        worst_latency = max(slowest.latency_seconds,
+                            hungriest.latency_seconds)
+        worst_power = max(slowest.soc_power_w, hungriest.soc_power_w)
+        # Success objective (1 - success) is bounded by 1.0 exactly; the
+        # margin keeps a total-failure candidate strictly inside too.
+        return [pad, worst_latency * pad, worst_power * pad]
+
+    def run(self, task: TaskSpec, budget: int = 120,
+            reference: Optional[Sequence[float]] = None,
+            profiler=None) -> Phase2Result:
+        """Spend ``budget`` unique evaluations and collect candidates.
+
+        Args:
+            task: The task specification (platform + scenario).
+            budget: Unique design evaluations to spend.
+            reference: Optional hypervolume reference override; derived
+                from the design-space extremes when omitted.
+            profiler: Optional :class:`repro.perf.Profiler` credited
+                with the evaluation count of this run.
+        """
         if budget <= 0:
             raise ConfigError("budget must be positive")
-        evaluator = DssocEvaluator()
+        batch_evaluator = BatchDssocEvaluator(workers=self.workers)
+        evaluator = batch_evaluator.evaluator
         candidates: List[CandidateDesign] = []
 
-        def objectives(assignment: Assignment) -> Sequence[float]:
-            candidate = self._evaluate(assignment, task, evaluator)
+        def to_candidate(design: DssocDesign,
+                         evaluation: DssocEvaluation) -> CandidateDesign:
+            success = self.database.success_rate(design.policy,
+                                                 task.scenario)
+            candidate = CandidateDesign(design=design, evaluation=evaluation,
+                                        success_rate=success)
             candidates.append(candidate)
-            return candidate.objectives
+            return candidate
+
+        def objectives(assignment: Assignment) -> Sequence[float]:
+            design = assignment_to_design(assignment)
+            return to_candidate(design,
+                                evaluator.evaluate(design)).objectives
+
+        def batch_objectives(assignments: Sequence[Assignment]
+                             ) -> List[Sequence[float]]:
+            designs = [assignment_to_design(a) for a in assignments]
+            evaluations = batch_evaluator.evaluate_batch(designs)
+            return [to_candidate(design, evaluation).objectives
+                    for design, evaluation in zip(designs, evaluations)]
 
         optimizer = self.optimizer_cls(self.space, seed=self.seed,
                                        **self.optimizer_kwargs)
-        # Reference point spans the practical objective ranges: total
-        # failure, 1 s latency, and a 50 W SoC all sit beyond any sane
-        # UAV design.
-        reference = [1.0, 1.0, 50.0]
+        if reference is None:
+            reference = self.derive_reference(evaluator)
         record = optimizer.optimize(objectives, budget=budget,
-                                    reference=reference)
-        return Phase2Result(candidates=candidates, optimization=record)
+                                    reference=reference,
+                                    batch_objective_fn=batch_objectives)
+        if profiler is not None:
+            profiler.add_evaluations("phase2", len(record.evaluations))
+        return Phase2Result(candidates=candidates, optimization=record,
+                            reference=np.asarray(reference, dtype=float))
 
     def evaluate_design(self, design: DssocDesign,
                         task: TaskSpec) -> CandidateDesign:
         """Evaluate one explicit design point outside the search loop."""
         evaluator = DssocEvaluator()
-        evaluation = evaluator.evaluate(design)
-        success = self.database.success_rate(design.policy, task.scenario)
-        return CandidateDesign(design=design, evaluation=evaluation,
-                               success_rate=success)
-
-    def _evaluate(self, assignment: Assignment, task: TaskSpec,
-                  evaluator: DssocEvaluator) -> CandidateDesign:
-        design = assignment_to_design(assignment)
         evaluation = evaluator.evaluate(design)
         success = self.database.success_rate(design.policy, task.scenario)
         return CandidateDesign(design=design, evaluation=evaluation,

@@ -26,6 +26,7 @@ from repro.core.phase3 import BackEnd, Phase3Result, RankedDesign
 from repro.core.spec import TaskSpec
 from repro.optim.base import Optimizer
 from repro.optim.bayesopt import SmsEgoBayesOpt
+from repro.perf import ProfileReport, Profiler
 
 
 @dataclass
@@ -36,6 +37,8 @@ class AutoPilotResult:
     phase1: Phase1Result
     phase2: Phase2Result
     phase3: Phase3Result
+    #: Per-phase wall time, throughput and cache activity for this run.
+    profile: Optional[ProfileReport] = None
 
     @property
     def selected(self) -> RankedDesign:
@@ -55,13 +58,15 @@ class AutoPilot:
                  optimizer_cls: Type[Optimizer] = SmsEgoBayesOpt,
                  optimizer_kwargs: Optional[dict] = None,
                  enable_finetuning: bool = True,
-                 weight_feedback: bool = True):
+                 weight_feedback: bool = True,
+                 workers: Optional[int] = None):
         self.seed = seed
         self.frontend = FrontEnd(backend=frontend_backend, seed=seed)
         self.optimizer_cls = optimizer_cls
         self.optimizer_kwargs = optimizer_kwargs
         self.backend = BackEnd(enable_finetuning=enable_finetuning,
                                weight_feedback=weight_feedback)
+        self.workers = workers
         # Phase 1 results are reused across runs (keyed by scenario via
         # the shared database); Phase 2 results by scenario as well,
         # since only Phase 3 depends on the UAV.
@@ -69,9 +74,17 @@ class AutoPilot:
         self._phase2_cache: Dict[Tuple[Scenario, int], Phase2Result] = {}
 
     def run(self, task: TaskSpec, budget: int = 120,
-            reuse_phase2: bool = True) -> AutoPilotResult:
-        """Run the three phases for one task specification."""
-        phase1 = self.frontend.run(task, database=self.database)
+            reuse_phase2: bool = True,
+            profile: bool = False) -> AutoPilotResult:
+        """Run the three phases for one task specification.
+
+        With ``profile=True``, the result carries a
+        :class:`~repro.perf.ProfileReport` of per-phase wall time,
+        evaluation throughput and simulator-cache activity.
+        """
+        profiler = Profiler()
+        with profiler.phase("phase1"):
+            phase1 = self.frontend.run(task, database=self.database)
 
         cache_key = (task.scenario, budget)
         phase2 = self._phase2_cache.get(cache_key) if reuse_phase2 else None
@@ -79,10 +92,14 @@ class AutoPilot:
             dse = MultiObjectiveDse(database=self.database,
                                     optimizer_cls=self.optimizer_cls,
                                     seed=self.seed,
-                                    optimizer_kwargs=self.optimizer_kwargs)
-            phase2 = dse.run(task, budget=budget)
+                                    optimizer_kwargs=self.optimizer_kwargs,
+                                    workers=self.workers)
+            with profiler.phase("phase2"):
+                phase2 = dse.run(task, budget=budget, profiler=profiler)
             self._phase2_cache[cache_key] = phase2
 
-        phase3 = self.backend.run(phase2.candidates, task)
-        return AutoPilotResult(task=task, phase1=phase1, phase2=phase2,
-                               phase3=phase3)
+        with profiler.phase("phase3"):
+            phase3 = self.backend.run(phase2.candidates, task)
+        return AutoPilotResult(
+            task=task, phase1=phase1, phase2=phase2, phase3=phase3,
+            profile=profiler.report() if profile else None)

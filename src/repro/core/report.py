@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.pipeline import AutoPilotResult
+from repro.perf import render_profile
 from repro.soc.components import fixed_components
 from repro.uav.f1_model import F1Model
 
@@ -87,4 +88,8 @@ def render_report(result: AutoPilotResult) -> str:
                  f"{task.platform.mission_distance_m:.0f} m")
     lines.append(f"- Mission energy: {mission.mission_energy_j:.1f} J")
     lines.append(f"- **Missions per charge: {mission.num_missions:.1f}**")
+
+    if result.profile is not None:
+        lines.append("")
+        lines.append(render_profile(result.profile))
     return "\n".join(lines)

@@ -22,6 +22,11 @@ from repro.optim.space import Assignment, DesignSpace
 #: Black-box evaluation: assignment -> objective vector (to minimise).
 ObjectiveFn = Callable[[Assignment], Sequence[float]]
 
+#: Batched evaluation: list of assignments -> list of objective vectors,
+#: in the same order.  Lets the evaluation fan out (process pool) while
+#: optimisers stay oblivious.
+BatchObjectiveFn = Callable[[List[Assignment]], Sequence[Sequence[float]]]
+
 
 @dataclass
 class Evaluation:
@@ -70,16 +75,23 @@ class CachingEvaluator:
 
     def __init__(self, space: DesignSpace, objective_fn: ObjectiveFn,
                  budget: int,
-                 reference: Optional[Sequence[float]] = None):
+                 reference: Optional[Sequence[float]] = None,
+                 batch_objective_fn: Optional[BatchObjectiveFn] = None):
         if budget <= 0:
             raise ConfigError("budget must be positive")
         self.space = space
         self.objective_fn = objective_fn
+        self.batch_objective_fn = batch_objective_fn
         self.budget = budget
         self.reference = None if reference is None else np.asarray(reference,
                                                                    dtype=float)
         self.result = OptimizationResult()
         self._cache: Dict[Tuple[object, ...], np.ndarray] = {}
+        # Incremental hypervolume state: the current non-dominated front
+        # and its volume, so each new evaluation updates the trace in
+        # O(front) instead of recomputing over the whole history.
+        self._front: Optional[np.ndarray] = None
+        self._hv = 0.0
 
     @property
     def evaluations_used(self) -> int:
@@ -104,15 +116,84 @@ class CachingEvaluator:
         if self.exhausted:
             raise ConfigError("evaluation budget exhausted")
         objectives = np.asarray(self.objective_fn(assignment), dtype=float)
+        self._record(key, assignment, objectives)
+        return objectives
+
+    def evaluate_batch(self, assignments: Sequence[Assignment]
+                       ) -> List[Optional[np.ndarray]]:
+        """Evaluate a batch of assignments, one shared fan-out per batch.
+
+        Returns one entry per input, in order: the objective vector for
+        every point that is cached or fits in the remaining budget, and
+        ``None`` for points skipped because the budget ran out.  Unseen
+        points are deduplicated within the batch and evaluated through
+        ``batch_objective_fn`` when one is configured (e.g. a process
+        pool), falling back to per-point ``objective_fn`` calls.  The
+        history and hypervolume trace record points in input order, so a
+        batched run is indistinguishable from a serial one.
+        """
+        keys = [self.space.key(a) for a in assignments]
+        remaining = self.budget - self.evaluations_used
+        to_eval: List[Tuple[int, Tuple[object, ...]]] = []
+        pending = set()
+        for i, key in enumerate(keys):
+            if key in self._cache or key in pending:
+                continue
+            if len(to_eval) >= remaining:
+                continue
+            pending.add(key)
+            to_eval.append((i, key))
+
+        if to_eval:
+            batch = [assignments[i] for i, _ in to_eval]
+            if self.batch_objective_fn is not None:
+                raw = list(self.batch_objective_fn(batch))
+            else:
+                raw = [self.objective_fn(a) for a in batch]
+            if len(raw) != len(batch):
+                raise ConfigError(
+                    "batch objective function returned "
+                    f"{len(raw)} results for {len(batch)} assignments")
+            for (i, key), vector in zip(to_eval, raw):
+                self._record(key, assignments[i],
+                             np.asarray(vector, dtype=float))
+        return [self._cache.get(key) for key in keys]
+
+    def _record(self, key: Tuple[object, ...], assignment: Assignment,
+                objectives: np.ndarray) -> None:
+        """Store one fresh evaluation: cache, history and trace."""
         if objectives.ndim != 1:
             raise ConfigError("objective function must return a 1-D vector")
         self._cache[key] = objectives
         self.result.evaluations.append(
             Evaluation(assignment=dict(assignment), objectives=objectives))
         if self.reference is not None:
-            self.result.hypervolume_trace.append(
-                hypervolume(self.result.objective_matrix, self.reference))
-        return objectives
+            self._hv = self._updated_hypervolume(objectives)
+            self.result.hypervolume_trace.append(self._hv)
+
+    def _updated_hypervolume(self, objectives: np.ndarray) -> float:
+        """Fold one point into the running front and return the volume.
+
+        Equivalent to ``hypervolume(objective_matrix, reference)`` over
+        the full history -- dominated and out-of-reference points add no
+        volume -- but costs O(front size), not O(history^2).
+        """
+        if objectives.shape != self.reference.shape:
+            raise ValueError(
+                f"objective dim {objectives.shape} does not match "
+                f"reference dim {self.reference.shape}")
+        if not np.all(objectives < self.reference):
+            return self._hv
+        if self._front is not None and self._front.shape[0] and np.any(
+                np.all(self._front <= objectives[None, :], axis=1)):
+            return self._hv
+        if self._front is None or self._front.shape[0] == 0:
+            front = objectives[None, :]
+        else:
+            front = np.vstack([self._front, objectives[None, :]])
+        volume = hypervolume(front, self.reference)
+        self._front = front[non_dominated_mask(front)]
+        return volume
 
 
 class Optimizer:
@@ -125,10 +206,13 @@ class Optimizer:
         self.seed = seed
 
     def optimize(self, objective_fn: ObjectiveFn, budget: int,
-                 reference: Optional[Sequence[float]] = None) -> OptimizationResult:
+                 reference: Optional[Sequence[float]] = None,
+                 batch_objective_fn: Optional[BatchObjectiveFn] = None
+                 ) -> OptimizationResult:
         """Spend ``budget`` unique evaluations minimising all objectives."""
         evaluator = CachingEvaluator(self.space, objective_fn, budget,
-                                     reference=reference)
+                                     reference=reference,
+                                     batch_objective_fn=batch_objective_fn)
         rng = np.random.default_rng(self.seed)
         self.run(evaluator, rng)
         return evaluator.result

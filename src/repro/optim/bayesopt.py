@@ -19,7 +19,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.optim.base import CachingEvaluator, Optimizer
 from repro.optim.gp import GaussianProcess
-from repro.optim.hypervolume import hypervolume
+from repro.optim.hypervolume import hypervolume_contributions
 from repro.optim.pareto import non_dominated_mask
 from repro.optim.space import Assignment, DesignSpace
 
@@ -68,18 +68,26 @@ class SmsEgoBayesOpt(Optimizer):
     # ------------------------------------------------------------------
     def _initial_sampling(self, evaluator: CachingEvaluator,
                           rng: np.random.Generator) -> None:
+        """Queue the random warm-up points, then evaluate them as one
+        batch so the fan-out can run in parallel."""
         target = min(self.num_initial, evaluator.budget,
                      evaluator.space.size())
         misses = 0
-        while evaluator.evaluations_used < target:
+        queued: List[Assignment] = []
+        queued_keys = set()
+        while evaluator.evaluations_used + len(queued) < target:
             point = evaluator.space.sample(rng, 1)[0]
-            if evaluator.seen(point):
+            key = evaluator.space.key(point)
+            if key in queued_keys or evaluator.seen(point):
                 misses += 1
                 if misses > 100 * target:
                     break
                 continue
             misses = 0
-            evaluator.evaluate(point)
+            queued_keys.add(key)
+            queued.append(point)
+        if queued:
+            evaluator.evaluate_batch(queued)
 
     def _candidate_pool(self, evaluator: CachingEvaluator,
                         rng: np.random.Generator) -> List[Assignment]:
@@ -103,12 +111,11 @@ class SmsEgoBayesOpt(Optimizer):
             return None
 
         history = evaluator.result.evaluations
-        x_train = np.vstack([evaluator.space.encode(e.assignment)
-                             for e in history])
+        x_train = evaluator.space.encode_many([e.assignment for e in history])
         objectives = np.vstack([e.objectives for e in history])
         num_objectives = objectives.shape[1]
 
-        x_pool = np.vstack([evaluator.space.encode(p) for p in pool])
+        x_pool = evaluator.space.encode_many(pool)
         means = np.empty((len(pool), num_objectives))
         stds = np.empty((len(pool), num_objectives))
         for j in range(num_objectives):
@@ -119,11 +126,7 @@ class SmsEgoBayesOpt(Optimizer):
         lcb = means - self.kappa * stds
         front = objectives[non_dominated_mask(objectives)]
         reference = self._reference_point(objectives)
-        base_hv = hypervolume(front, reference)
-
-        scores = np.empty(len(pool))
-        for i in range(len(pool)):
-            scores[i] = self._sms_ego_score(lcb[i], front, reference, base_hv)
+        scores = self._sms_ego_scores(lcb, front, reference)
         best = int(np.argmax(scores))
         return pool[best]
 
@@ -133,19 +136,25 @@ class SmsEgoBayesOpt(Optimizer):
         span = np.maximum(worst - best, 1e-9)
         return worst + self.reference_margin * span
 
-    def _sms_ego_score(self, point: np.ndarray, front: np.ndarray,
-                       reference: np.ndarray, base_hv: float) -> float:
-        """SMS-EGO: hypervolume gain, or a dominance penalty if dominated."""
-        clipped = np.minimum(point, reference - 1e-12)
-        extended = hypervolume(np.vstack([front, clipped[None, :]]), reference)
-        gain = max(0.0, extended - base_hv)
-        if gain > 0:
-            return gain
-        # Epsilon-dominance penalty: negative, growing with how deeply the
-        # candidate is dominated by the closest front point.
-        excess = point[None, :] - front
-        dominated_by = np.all(excess >= 0, axis=1)
-        if not np.any(dominated_by):
-            return 0.0
-        depth = excess[dominated_by].sum(axis=1).min()
-        return -self.gain * (1.0 + float(depth))
+    def _sms_ego_scores(self, lcb: np.ndarray, front: np.ndarray,
+                        reference: np.ndarray) -> np.ndarray:
+        """SMS-EGO scores for the whole pool in one batched pass.
+
+        A candidate scores its hypervolume contribution to the front
+        (computed only for candidates the vectorised dominance screen
+        shows can actually gain volume), or a negative epsilon-dominance
+        penalty growing with how deeply the closest front point
+        dominates it.
+        """
+        clipped = np.minimum(lcb, reference[None, :] - 1e-12)
+        scores = hypervolume_contributions(front, clipped, reference)
+        needs_penalty = np.flatnonzero(scores <= 0)
+        if needs_penalty.size:
+            excess = lcb[needs_penalty, None, :] - front[None, :, :]
+            dominated_by = np.all(excess >= 0, axis=2)
+            depth = np.where(dominated_by, excess.sum(axis=2),
+                             np.inf).min(axis=1)
+            penalty = np.where(np.isfinite(depth),
+                               -self.gain * (1.0 + depth), 0.0)
+            scores[needs_penalty] = penalty
+        return scores

@@ -9,9 +9,14 @@ Section III-B).
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from repro.optim.base import CachingEvaluator, Optimizer
+
+#: Points handed to the (possibly parallel) batch evaluator at a time.
+CHUNK_SIZE = 64
 
 
 class ExhaustiveSearch(Optimizer):
@@ -21,7 +26,9 @@ class ExhaustiveSearch(Optimizer):
 
     def run(self, evaluator: CachingEvaluator,
             rng: np.random.Generator) -> None:
-        for point in evaluator.space.all_points():
-            if evaluator.exhausted:
+        points = evaluator.space.all_points()
+        while not evaluator.exhausted:
+            chunk = list(itertools.islice(points, CHUNK_SIZE))
+            if not chunk:
                 break
-            evaluator.evaluate(point)
+            evaluator.evaluate_batch(chunk)

@@ -40,21 +40,27 @@ class NsgaII(Optimizer):
     # ------------------------------------------------------------------
     def run(self, evaluator: CachingEvaluator,
             rng: np.random.Generator) -> None:
-        population: List[Tuple[Assignment, np.ndarray]] = []
-        for point in evaluator.space.sample(rng, self.population_size):
-            if evaluator.exhausted:
-                break
-            population.append((point, evaluator.evaluate(point)))
+        # Offspring creation depends only on the parents and the RNG,
+        # never on the children's objectives, so whole generations are
+        # evaluated as one batch (parallelisable fan-out).
+        initial = evaluator.space.sample(rng, self.population_size)
+        population: List[Tuple[Assignment, np.ndarray]] = [
+            (point, objectives)
+            for point, objectives in zip(initial,
+                                         evaluator.evaluate_batch(initial))
+            if objectives is not None
+        ]
 
         stalled_generations = 0
         while not evaluator.exhausted and population:
             used_before = evaluator.evaluations_used
             offspring = self._make_offspring(population, rng)
-            evaluated = []
-            for child in offspring:
-                if evaluator.exhausted:
-                    break
-                evaluated.append((child, evaluator.evaluate(child)))
+            evaluated = [
+                (child, objectives)
+                for child, objectives in zip(
+                    offspring, evaluator.evaluate_batch(offspring))
+                if objectives is not None
+            ]
             population = self._select(population + evaluated)
             # In spaces smaller than the budget, whole generations can be
             # cache hits; stop once evolution cannot reach new points.

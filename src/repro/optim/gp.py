@@ -34,13 +34,19 @@ def se_kernel(x1: np.ndarray, x2: np.ndarray, lengthscale: float,
 
 
 def _median_heuristic(x: np.ndarray) -> float:
-    """Median pairwise distance; a standard lengthscale initialiser."""
+    """Median pairwise distance; a standard lengthscale initialiser.
+
+    Uses the dot-product expansion ``|a - b|^2 = |a|^2 + |b|^2 - 2 a.b``
+    so only an (n x n) Gram matrix is materialised, never the
+    (n x n x d) difference tensor.
+    """
     n = x.shape[0]
     if n < 2:
         return 1.0
-    diffs = x[:, None, :] - x[None, :, :]
-    dists = np.sqrt(np.sum(diffs ** 2, axis=-1))
-    upper = dists[np.triu_indices(n, k=1)]
+    sq_norms = np.sum(x ** 2, axis=1)
+    sq = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (x @ x.T)
+    np.maximum(sq, 0.0, out=sq)
+    upper = np.sqrt(sq[np.triu_indices(n, k=1)])
     positive = upper[upper > 0]
     if positive.size == 0:
         return 1.0
@@ -65,6 +71,8 @@ class GaussianProcess:
     def __post_init__(self) -> None:
         if self.noise <= 0:
             raise ConfigError("noise must be positive")
+        if self.lengthscale is not None and self.lengthscale <= 0:
+            raise ConfigError("lengthscale must be positive when set")
         self._x: Optional[np.ndarray] = None
         self._alpha: Optional[np.ndarray] = None
         self._chol: Optional[np.ndarray] = None
@@ -93,7 +101,8 @@ class GaussianProcess:
             self._y_std = 1.0
         y_std = (y - self._y_mean) / self._y_std
 
-        base = self.lengthscale or _median_heuristic(x)
+        base = (self.lengthscale if self.lengthscale is not None
+                else _median_heuristic(x))
         candidates = [base]
         if self.tune_lengthscale and self.lengthscale is None:
             candidates = [base * f for f in (0.25, 0.5, 1.0, 2.0, 4.0)]

@@ -5,12 +5,15 @@ set and a fixed reference point that all points must dominate.  We
 implement:
 
 * an exact 2-D sweep (O(n log n));
-* an exact recursive slicing algorithm for d >= 3 (WFG-style without
+* an exact 3-D sweep maintaining an incremental 2-D staircase -- the
+  hot path for the (success, latency, power) objective space;
+* an exact recursive slicing algorithm for d >= 4 (WFG-style without
   the advanced pruning -- fine for the Pareto-set sizes BO produces).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Sequence
 
 import numpy as np
@@ -38,10 +41,22 @@ def hypervolume(points: np.ndarray, reference: Sequence[float]) -> float:
     points are harmless (they add no volume) but are pruned for speed.
     """
     ref = np.asarray(reference, dtype=float)
-    pts = _validate(points, ref)
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2:
+        raise ValueError("points must be 2-D (n x d)")
+    if ref.shape != (pts.shape[1],):
+        raise ValueError(
+            f"reference dim {ref.shape} does not match points dim {pts.shape[1]}")
     if pts.shape[0] == 0:
         return 0.0
     d = pts.shape[1]
+    if d == 3:
+        # The staircase sweep skips dominated and out-of-reference
+        # points as it goes; no filtering or pruning pass needed.
+        return _hypervolume_3d(pts, ref)
+    pts = _validate(pts, ref)
+    if pts.shape[0] == 0:
+        return 0.0
     if d == 1:
         return float(ref[0] - pts[:, 0].min())
     if d == 2:
@@ -53,18 +68,75 @@ def hypervolume(points: np.ndarray, reference: Sequence[float]) -> float:
 
 
 def _hypervolume_2d(points: np.ndarray, reference: np.ndarray) -> float:
-    """Sweep over the first objective; tolerates dominated points."""
+    """Sweep over the first objective; tolerates dominated points.
+
+    Fully vectorised: after sorting by x, only strictly-decreasing
+    running-minimum y values add area, and each adds a rectangle of
+    width ``ref_x - x`` and height equal to the decrease.
+    """
     order = np.argsort(points[:, 0], kind="stable")
     xs = points[order, 0]
-    ys = points[order, 1]
-    # After sorting by x, only strictly-decreasing y values add area.
-    running_min = np.minimum.accumulate(ys)
+    # Clamp at the reference so points at/beyond it contribute nothing.
+    running_min = np.minimum.accumulate(
+        np.minimum(points[order, 1], reference[1]))
+    prev = np.concatenate(([reference[1]], running_min[:-1]))
+    delta = prev - running_min
+    mask = delta > 0
+    return float(((reference[0] - xs[mask]) * delta[mask]).sum())
+
+
+def _hypervolume_3d(points: np.ndarray, reference: np.ndarray) -> float:
+    """Sweep along z, maintaining the dominated 2-D area incrementally.
+
+    Points are visited in ascending z; between consecutive z values the
+    swept volume is ``area * dz`` where ``area`` is the 2-D hypervolume
+    of the (x, y) staircase accumulated so far.  Inserting a point into
+    the staircase updates the area in O(removed + log n) scalar work,
+    so the whole sweep is O(n log n) -- no per-slab 2-D recomputation.
+
+    Dominated points and points at/beyond the reference are skipped as
+    they are encountered, so callers need no filtering pass.
+    """
+    ref_x, ref_y, ref_z = (float(reference[0]), float(reference[1]),
+                           float(reference[2]))
+    rows = points.tolist()
+    rows.sort(key=lambda row: row[2])
+    xs: list = []   # staircase x, ascending
+    ys: list = []   # matching y, strictly descending
+    area = 0.0
     total = 0.0
-    prev_y = reference[1]
-    for x, y in zip(xs, running_min):
-        if y < prev_y:
-            total += (reference[0] - x) * (prev_y - y)
-            prev_y = y
+    prev_z = None
+    for x, y, z in rows:
+        if x >= ref_x or y >= ref_y or z >= ref_z:
+            continue
+        if prev_z is None:
+            prev_z = z
+        elif z > prev_z:
+            total += area * (z - prev_z)
+            prev_z = z
+        i = bisect_left(xs, x)
+        if i > 0 and ys[i - 1] <= y:
+            continue  # weakly dominated in (x, y) => dominated in 3-D
+        # Walk the points the new one dominates, summing the area it
+        # gains over each staircase step before replacing them.
+        j = i
+        gained = 0.0
+        step_y = ys[i - 1] if i > 0 else ref_y
+        left = x
+        while j < len(xs) and ys[j] >= y:
+            gained += (xs[j] - left) * (step_y - y)
+            step_y = ys[j]
+            left = xs[j]
+            j += 1
+        right = xs[j] if j < len(xs) else ref_x
+        gained += (right - left) * (step_y - y)
+        if gained <= 0.0:
+            continue  # degenerate tie; nothing new is covered
+        area += gained
+        xs[i:j] = [x]
+        ys[i:j] = [y]
+    if prev_z is not None:
+        total += area * (ref_z - prev_z)
     return float(total)
 
 
@@ -96,9 +168,51 @@ def hypervolume_contribution(points: np.ndarray, candidate: Sequence[float],
     This is the quantity SMS-EGO maximises; zero when the candidate is
     dominated by the current set or lies beyond the reference.
     """
+    cand = np.asarray(candidate, dtype=float).ravel()
     pts = np.asarray(points, dtype=float)
-    cand = np.asarray(candidate, dtype=float).reshape(1, -1)
-    base = hypervolume(pts, reference)
-    extended = hypervolume(np.vstack([pts, cand]) if pts.size else cand,
-                           reference)
-    return max(0.0, extended - base)
+    if pts.size == 0:
+        pts = np.zeros((0, cand.shape[0]))
+    return float(hypervolume_contributions(pts, cand[None, :], reference)[0])
+
+
+def hypervolume_contributions(points: np.ndarray, candidates: np.ndarray,
+                              reference: Sequence[float]) -> np.ndarray:
+    """Exclusive hypervolume contribution of each candidate w.r.t. ``points``.
+
+    Uses the WFG exclusive-volume identity: the contribution of ``c`` is
+    the volume of its own box minus the volume of the existing set
+    clipped into that box,
+
+        ``contrib(c) = prod(ref - c) - HV({max(p, c) : p in points})``,
+
+    which replaces the O(n^2) "recompute the whole front plus one point"
+    per candidate with one small clipped-set hypervolume.  Candidates
+    weakly dominated by ``points`` (or at/beyond the reference) are
+    screened out vectorised and contribute exactly zero, so SMS-EGO
+    pool scoring only pays the hypervolume cost for candidates that can
+    actually expand the front.
+    """
+    ref = np.asarray(reference, dtype=float)
+    cands = np.atleast_2d(np.asarray(candidates, dtype=float))
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or cands.shape[1] != ref.shape[0]:
+        raise ValueError("points must be 2-D and candidate dims must "
+                         "match the reference")
+    out = np.zeros(cands.shape[0])
+    inside = np.all(cands < ref, axis=1)
+    if pts.shape[0] == 0:
+        out[inside] = np.prod(ref - cands[inside], axis=1)
+        return out
+    # Weak dominance screen: contribution is zero iff some existing
+    # point is <= the candidate in every objective.
+    dominated = np.any(
+        np.all(pts[None, :, :] <= cands[:, None, :], axis=2), axis=1)
+    live = np.flatnonzero(inside & ~dominated)
+    if live.size == 0:
+        return out
+    boxes = np.prod(ref[None, :] - cands[live], axis=1)
+    hv_fn = _hypervolume_3d if ref.shape[0] == 3 else hypervolume
+    for box, i in zip(boxes, live):
+        clipped = np.maximum(pts, cands[i])
+        out[i] = max(0.0, float(box) - hv_fn(clipped, ref))
+    return out

@@ -2,13 +2,25 @@
 
 from __future__ import annotations
 
+from typing import List
+
 import numpy as np
 
 from repro.optim.base import CachingEvaluator, Optimizer
+from repro.optim.space import Assignment
+
+#: Unseen points accumulated before one (possibly parallel) batch fan-out.
+CHUNK_SIZE = 16
 
 
 class RandomSearch(Optimizer):
-    """Samples unseen points uniformly until the budget is spent."""
+    """Samples unseen points uniformly until the budget is spent.
+
+    Point selection only depends on the RNG stream, never on objective
+    values, so unseen points are accumulated into chunks and evaluated
+    through :meth:`CachingEvaluator.evaluate_batch` -- the evaluated
+    sequence is identical to the one-at-a-time seed behaviour.
+    """
 
     name = "random"
 
@@ -16,9 +28,19 @@ class RandomSearch(Optimizer):
             rng: np.random.Generator) -> None:
         space_size = evaluator.space.size()
         misses = 0
-        while not evaluator.exhausted:
+        queued: List[Assignment] = []
+        queued_keys = set()
+
+        def flush() -> None:
+            if queued:
+                evaluator.evaluate_batch(queued)
+                queued.clear()
+                queued_keys.clear()
+
+        while evaluator.evaluations_used + len(queued) < evaluator.budget:
             point = evaluator.space.sample(rng, 1)[0]
-            if evaluator.seen(point):
+            key = evaluator.space.key(point)
+            if key in queued_keys or evaluator.seen(point):
                 misses += 1
                 # The space may be smaller than the budget; bail out once
                 # resampling stops finding new points.
@@ -26,4 +48,8 @@ class RandomSearch(Optimizer):
                     break
                 continue
             misses = 0
-            evaluator.evaluate(point)
+            queued_keys.add(key)
+            queued.append(point)
+            if len(queued) >= CHUNK_SIZE:
+                flush()
+        flush()

@@ -32,9 +32,22 @@ class Dimension:
             raise DesignSpaceError(f"dimension {self.name!r} has no values")
         if len(set(self.values)) != len(self.values):
             raise DesignSpaceError(f"dimension {self.name!r} has duplicates")
+        # O(1) value -> index lookups; index_of sits on the hot path of
+        # every encode/validate/key call in the DSE inner loop.
+        try:
+            index_map = {value: i for i, value in enumerate(self.values)}
+        except TypeError:  # unhashable values: fall back to linear scans
+            index_map = None
+        object.__setattr__(self, "_index_map", index_map)
 
     def index_of(self, value: object) -> int:
         """Position of ``value`` within this dimension."""
+        if self._index_map is not None:
+            index = self._index_map.get(value)
+            if index is None:
+                raise DesignSpaceError(
+                    f"{value!r} not in dimension {self.name!r}")
+            return index
         try:
             return self.values.index(value)
         except ValueError as exc:
@@ -84,6 +97,16 @@ class DesignSpace:
             denom = max(1, len(dim.values) - 1)
             vec[i] = index / denom
         return vec
+
+    def encode_many(self, assignments: Sequence[Assignment]) -> np.ndarray:
+        """Encode a batch of assignments to an (n x d) matrix in [0, 1]."""
+        out = np.empty((len(assignments), self.num_dimensions))
+        for row, assignment in enumerate(assignments):
+            self.validate(assignment)
+            for i, dim in enumerate(self.dimensions):
+                denom = max(1, len(dim.values) - 1)
+                out[row, i] = dim.index_of(assignment[dim.name]) / denom
+        return out
 
     def decode(self, vector: np.ndarray) -> Assignment:
         """Map a [0, 1]^d vector to the nearest assignment."""

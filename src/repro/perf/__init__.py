@@ -1,0 +1,22 @@
+"""Lightweight performance instrumentation for the AutoPilot pipeline.
+
+Records per-phase wall time, evaluation throughput and simulator-cache
+hit rates with near-zero overhead, so a ``--profile`` run answers the
+questions that matter for DSE cost (the paper's 3-7 day Phase 2 loop):
+where did the time go, how many designs per second were evaluated, and
+how much work did the content-addressed cache absorb?
+"""
+
+from repro.perf.profiler import (
+    PhaseRecord,
+    Profiler,
+    ProfileReport,
+    render_profile,
+)
+
+__all__ = [
+    "Profiler",
+    "PhaseRecord",
+    "ProfileReport",
+    "render_profile",
+]

@@ -1,0 +1,147 @@
+"""Wall-time, throughput and cache-hit-rate profiling primitives.
+
+The profiler is deliberately dependency-free (stdlib only): phases are
+timed with ``time.perf_counter`` context managers, counters accumulate
+named integers (evaluations, simulations), and cache activity is
+measured as a delta of the shared cache's counters across each phase,
+so concurrent users of the cache outside the profiled window do not
+pollute the numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.evalcache import CacheStats, shared_report_cache
+
+
+@dataclass
+class PhaseRecord:
+    """Aggregated measurements for one named phase."""
+
+    name: str
+    wall_s: float = 0.0
+    calls: int = 0
+    evaluations: int = 0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def evaluations_per_second(self) -> float:
+        """Evaluation throughput within the phase (0 when untimed)."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.evaluations / self.wall_s
+
+
+@dataclass
+class ProfileReport:
+    """Everything one profiled run measured."""
+
+    phases: List[PhaseRecord]
+    total_wall_s: float
+    counters: Dict[str, int]
+
+    @property
+    def total_evaluations(self) -> int:
+        """Design evaluations across all phases."""
+        return sum(p.evaluations for p in self.phases)
+
+    @property
+    def overall_cache(self) -> CacheStats:
+        """Cache activity summed over all phases."""
+        total = CacheStats()
+        for phase in self.phases:
+            total.hits += phase.cache.hits
+            total.misses += phase.cache.misses
+            total.evictions += phase.cache.evictions
+            total.disk_hits += phase.cache.disk_hits
+        return total
+
+
+class Profiler:
+    """Collects phase timings, counters and cache deltas for one run."""
+
+    def __init__(self):
+        self._phases: "Dict[str, PhaseRecord]" = {}
+        self._order: List[str] = []
+        self._counters: Dict[str, int] = {}
+        self._started = time.perf_counter()
+
+    @contextmanager
+    def phase(self, name: str,
+              evaluations: Optional[int] = None) -> Iterator[PhaseRecord]:
+        """Time one phase; cache counters are measured as a delta.
+
+        The yielded record can be annotated mid-phase (e.g. setting
+        ``evaluations`` once the DSE budget is known).
+        """
+        record = self._phases.get(name)
+        if record is None:
+            record = PhaseRecord(name=name)
+            self._phases[name] = record
+            self._order.append(name)
+        cache_before = shared_report_cache().stats.snapshot()
+        start = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.wall_s += time.perf_counter() - start
+            record.calls += 1
+            delta = shared_report_cache().stats.since(cache_before)
+            record.cache.hits += delta.hits
+            record.cache.misses += delta.misses
+            record.cache.evictions += delta.evictions
+            record.cache.disk_hits += delta.disk_hits
+            if evaluations is not None:
+                record.evaluations += evaluations
+
+    def add_evaluations(self, phase_name: str, count: int) -> None:
+        """Credit ``count`` design evaluations to a phase."""
+        record = self._phases.get(phase_name)
+        if record is None:
+            record = PhaseRecord(name=phase_name)
+            self._phases[phase_name] = record
+            self._order.append(phase_name)
+        record.evaluations += count
+
+    def count(self, name: str, increment: int = 1) -> None:
+        """Bump a named counter."""
+        self._counters[name] = self._counters.get(name, 0) + increment
+
+    def report(self) -> ProfileReport:
+        """Snapshot the measurements collected so far."""
+        return ProfileReport(
+            phases=[self._phases[name] for name in self._order],
+            total_wall_s=time.perf_counter() - self._started,
+            counters=dict(self._counters),
+        )
+
+
+def render_profile(report: ProfileReport) -> str:
+    """Render a profile as a compact fixed-width table."""
+    lines: List[str] = []
+    lines.append("## Profile")
+    header = (f"{'phase':<18} {'wall s':>8} {'evals':>7} "
+              f"{'evals/s':>9} {'hit rate':>9}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for phase in report.phases:
+        hit_rate = (f"{phase.cache.hit_rate:.1%}"
+                    if phase.cache.lookups else "-")
+        evals_s = (f"{phase.evaluations_per_second:.1f}"
+                   if phase.evaluations else "-")
+        evals = str(phase.evaluations) if phase.evaluations else "-"
+        lines.append(f"{phase.name:<18} {phase.wall_s:>8.3f} {evals:>7} "
+                     f"{evals_s:>9} {hit_rate:>9}")
+    overall = report.overall_cache
+    lines.append("-" * len(header))
+    lines.append(f"{'total':<18} {report.total_wall_s:>8.3f} "
+                 f"{report.total_evaluations or '-':>7} "
+                 f"{'':>9} "
+                 f"{(f'{overall.hit_rate:.1%}' if overall.lookups else '-'):>9}")
+    for name in sorted(report.counters):
+        lines.append(f"{name}: {report.counters[name]}")
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Tests for the process-parallel batch evaluation engine."""
+
+import numpy as np
+import pytest
+
+from repro.airlearning.scenarios import Scenario
+from repro.core.evalcache import design_key, shared_report_cache
+from repro.core.parallel import (
+    BatchDssocEvaluator,
+    parallel_map,
+    resolve_workers,
+)
+from repro.core.phase1 import FrontEnd
+from repro.core.phase2 import MultiObjectiveDse
+from repro.core.spec import TaskSpec, assignment_to_design, build_design_space
+from repro.errors import ConfigError
+from repro.nn.workload import lower_network
+from repro.uav.platforms import NANO_ZHANG
+
+
+def _square(x):
+    return x * x
+
+
+class TestResolveWorkers:
+    def test_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == 1
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert resolve_workers(3) == 3
+
+    def test_env_variable_consulted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert resolve_workers() == 4
+
+    def test_bad_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ConfigError):
+            resolve_workers()
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_workers(0)
+        with pytest.raises(ConfigError):
+            resolve_workers(-2)
+
+
+class TestParallelMap:
+    def test_serial_path_preserves_order(self):
+        assert parallel_map(_square, [3, 1, 2], workers=1) == [9, 1, 4]
+
+    def test_parallel_path_preserves_order(self):
+        items = list(range(23))
+        assert parallel_map(_square, items, workers=2, chunksize=4) == \
+            [x * x for x in items]
+
+    def test_single_item_runs_serially(self):
+        assert parallel_map(_square, [5], workers=4) == [25]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        offset = 10
+        result = parallel_map(lambda x: x + offset, [1, 2, 3], workers=2)
+        assert result == [11, 12, 13]
+
+
+@pytest.fixture(scope="module")
+def task():
+    return TaskSpec(platform=NANO_ZHANG, scenario=Scenario.DENSE)
+
+
+@pytest.fixture(scope="module")
+def database(task):
+    return FrontEnd(backend="surrogate", seed=0).run(task).database
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return build_design_space(layer_choices=(4, 7), filter_choices=(32, 48),
+                              pe_choices=(16, 32), sram_choices=(64, 128))
+
+
+def sample_designs(space, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [assignment_to_design(a) for a in space.sample(rng, n)]
+
+
+class TestBatchDssocEvaluator:
+    def test_batch_matches_serial_order_and_values(self, small_space):
+        designs = sample_designs(small_space, 12)
+        batch = BatchDssocEvaluator(workers=1)
+        expected = [batch.evaluator.evaluate(d) for d in designs]
+        got = batch.evaluate_batch(designs)
+        assert len(got) == len(designs)
+        for a, b in zip(got, expected):
+            assert a.latency_seconds == b.latency_seconds
+            assert a.soc_power_w == b.soc_power_w
+
+    def test_parallel_batch_matches_serial(self, small_space):
+        designs = sample_designs(small_space, 10, seed=1)
+        serial = BatchDssocEvaluator(workers=1).evaluate_batch(designs)
+        parallel = BatchDssocEvaluator(workers=2).evaluate_batch(designs)
+        for a, b in zip(parallel, serial):
+            assert a.latency_seconds == b.latency_seconds
+            assert a.soc_power_w == b.soc_power_w
+            assert a.compute_weight_g == b.compute_weight_g
+
+    def test_parallel_batch_fills_shared_cache(self, small_space):
+        designs = sample_designs(small_space, 8, seed=2)
+        batch = BatchDssocEvaluator(workers=2)
+        batch.evaluate_batch(designs)
+        cache = shared_report_cache()
+        for design in designs:
+            workload = lower_network(
+                batch.evaluator.network_for(design.policy))
+            assert design_key(workload, design.accelerator) in cache
+
+    def test_duplicate_designs_in_one_batch(self, small_space):
+        designs = sample_designs(small_space, 4, seed=3)
+        doubled = designs + designs
+        results = BatchDssocEvaluator(workers=2).evaluate_batch(doubled)
+        for first, second in zip(results[:4], results[4:]):
+            assert first.latency_seconds == second.latency_seconds
+
+
+class TestParallelPhase2Equivalence:
+    """Property: a parallel Phase 2 run is bit-identical to a serial one."""
+
+    @pytest.fixture(scope="class")
+    def results(self, database, task, small_space):
+        def run(workers):
+            dse = MultiObjectiveDse(database=database, space=small_space,
+                                    seed=5, workers=workers)
+            return dse.run(task, budget=16)
+        return run(1), run(2)
+
+    def test_same_candidate_count(self, results):
+        serial, parallel = results
+        assert len(serial.candidates) == len(parallel.candidates)
+
+    def test_identical_objectives_in_order(self, results):
+        serial, parallel = results
+        for a, b in zip(serial.candidates, parallel.candidates):
+            np.testing.assert_array_equal(a.objectives, b.objectives)
+
+    def test_identical_designs_in_order(self, results):
+        serial, parallel = results
+        for a, b in zip(serial.candidates, parallel.candidates):
+            assert a.design.policy == b.design.policy
+            assert a.design.accelerator == b.design.accelerator
+
+    def test_identical_hypervolume_trace(self, results):
+        serial, parallel = results
+        np.testing.assert_array_equal(
+            np.asarray(serial.optimization.hypervolume_trace),
+            np.asarray(parallel.optimization.hypervolume_trace))
+
+    def test_identical_reference(self, results):
+        serial, parallel = results
+        np.testing.assert_array_equal(serial.reference, parallel.reference)

@@ -102,3 +102,56 @@ class TestPhase2:
         # The search space spans meaningfully different designs.
         powers = np.array([c.soc_power_w for c in dse_result.candidates])
         assert powers.max() > 2 * powers.min()
+
+
+class TestDerivedReference:
+    """The hypervolume reference must enclose the whole design space.
+
+    The seed hard-coded ``[1.0, 1.0, 50.0]``, silently zeroing the
+    contribution of every candidate above 50 W -- which the big Table II
+    arrays exceed easily -- and flattening the hypervolume trace.
+    """
+
+    @pytest.fixture(scope="class")
+    def big_space(self):
+        # Includes 1024x1024 arrays whose SoC power blows far past the
+        # old hard-coded 50 W reference.
+        return build_design_space(layer_choices=(4, 7),
+                                  filter_choices=(32, 48),
+                                  pe_choices=(16, 1024),
+                                  sram_choices=(64, 2048))
+
+    @pytest.fixture(scope="class")
+    def big_result(self, database, task, big_space):
+        dse = MultiObjectiveDse(database=database, space=big_space, seed=4)
+        return dse.run(task, budget=16)
+
+    def test_space_exceeds_old_power_reference(self, big_result):
+        powers = [c.soc_power_w for c in big_result.candidates]
+        assert max(powers) > 50.0
+
+    def test_every_candidate_inside_reference(self, big_result):
+        assert big_result.reference is not None
+        for candidate in big_result.candidates:
+            assert np.all(candidate.objectives < big_result.reference)
+
+    def test_trace_reflects_out_of_old_reference_candidates(self,
+                                                            big_result):
+        trace = big_result.optimization.hypervolume_trace
+        assert len(trace) == len(big_result.candidates)
+        assert trace[-1] > 0.0
+
+    def test_reference_derivation_uses_corner_designs(self, database,
+                                                      big_space):
+        dse = MultiObjectiveDse(database=database, space=big_space)
+        reference = dse.derive_reference()
+        assert reference[0] == pytest.approx(1.05)
+        assert reference[1] > 0.0
+        assert reference[2] > 50.0  # the old hard-coded power bound
+
+    def test_explicit_reference_override_respected(self, database, task,
+                                                   small_space):
+        dse = MultiObjectiveDse(database=database, space=small_space, seed=6)
+        result = dse.run(task, budget=6, reference=[2.0, 10.0, 500.0])
+        np.testing.assert_array_equal(result.reference,
+                                      [2.0, 10.0, 500.0])

@@ -1,0 +1,156 @@
+"""Batched evaluation and incremental hypervolume-trace properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.optim.base import CachingEvaluator
+from repro.optim.hypervolume import hypervolume
+from repro.optim.space import DesignSpace, Dimension
+
+
+def make_space():
+    return DesignSpace(dimensions=(
+        Dimension("a", (1, 2, 3, 4, 5, 6, 7, 8)),
+        Dimension("b", (10, 20, 30, 40)),
+    ))
+
+
+def objective(assignment):
+    a, b = assignment["a"], assignment["b"]
+    return [a / 10.0, b / 50.0, (a * b) / 400.0]
+
+
+class TestEvaluateBatch:
+    def test_batch_matches_serial_history(self):
+        space = make_space()
+        points = list(space.all_points())[:12]
+        serial = CachingEvaluator(space, objective, budget=20,
+                                  reference=[2.0, 2.0, 2.0])
+        for point in points:
+            serial.evaluate(point)
+        batched = CachingEvaluator(space, objective, budget=20,
+                                   reference=[2.0, 2.0, 2.0])
+        batched.evaluate_batch(points)
+        assert len(batched.result.evaluations) == \
+            len(serial.result.evaluations)
+        for a, b in zip(batched.result.evaluations,
+                        serial.result.evaluations):
+            assert a.assignment == b.assignment
+            np.testing.assert_array_equal(a.objectives, b.objectives)
+        np.testing.assert_array_equal(
+            np.asarray(batched.result.hypervolume_trace),
+            np.asarray(serial.result.hypervolume_trace))
+
+    def test_batch_returns_vectors_in_input_order(self):
+        space = make_space()
+        points = list(space.all_points())[:6]
+        evaluator = CachingEvaluator(space, objective, budget=10)
+        results = evaluator.evaluate_batch(points)
+        for point, vector in zip(points, results):
+            np.testing.assert_array_equal(vector, objective(point))
+
+    def test_batch_deduplicates_within_batch(self):
+        space = make_space()
+        point = next(iter(space.all_points()))
+        calls = []
+
+        def counting(assignment):
+            calls.append(assignment)
+            return objective(assignment)
+
+        evaluator = CachingEvaluator(space, counting, budget=10)
+        results = evaluator.evaluate_batch([point, point, point])
+        assert len(calls) == 1
+        assert evaluator.evaluations_used == 1
+        for vector in results:
+            np.testing.assert_array_equal(vector, objective(point))
+
+    def test_budget_overflow_returns_none(self):
+        space = make_space()
+        points = list(space.all_points())[:5]
+        evaluator = CachingEvaluator(space, objective, budget=3)
+        results = evaluator.evaluate_batch(points)
+        assert sum(1 for r in results if r is not None) == 3
+        assert results[3] is None and results[4] is None
+        assert evaluator.exhausted
+
+    def test_cached_points_free_even_when_exhausted(self):
+        space = make_space()
+        points = list(space.all_points())[:3]
+        evaluator = CachingEvaluator(space, objective, budget=3)
+        evaluator.evaluate_batch(points)
+        again = evaluator.evaluate_batch(points)
+        assert all(vector is not None for vector in again)
+
+    def test_batch_objective_fn_used_once_per_batch(self):
+        space = make_space()
+        points = list(space.all_points())[:8]
+        batches = []
+
+        def batch_fn(assignments):
+            batches.append(len(assignments))
+            return [objective(a) for a in assignments]
+
+        evaluator = CachingEvaluator(space, objective, budget=20,
+                                     batch_objective_fn=batch_fn)
+        evaluator.evaluate_batch(points)
+        assert batches == [8]
+
+    def test_wrong_length_batch_result_rejected(self):
+        space = make_space()
+        points = list(space.all_points())[:4]
+        evaluator = CachingEvaluator(
+            space, objective, budget=10,
+            batch_objective_fn=lambda batch: [objective(batch[0])])
+        with pytest.raises(ConfigError):
+            evaluator.evaluate_batch(points)
+
+
+class TestIncrementalHypervolumeTrace:
+    """Property: the O(front) trace equals the full recompute."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 40),
+           d=st.integers(2, 3))
+    def test_trace_matches_full_recompute(self, seed, n, d):
+        rng = np.random.default_rng(seed)
+        objectives = rng.random((n, d)) * 1.4  # some points beyond ref
+        reference = np.ones(d)
+        space = DesignSpace(dimensions=(Dimension("i", tuple(range(n))),))
+        vectors = {i: objectives[i] for i in range(n)}
+        evaluator = CachingEvaluator(
+            space, lambda a: vectors[a["i"]], budget=n,
+            reference=reference)
+        for i in range(n):
+            evaluator.evaluate({"i": i})
+        trace = evaluator.result.hypervolume_trace
+        assert len(trace) == n
+        for i in range(n):
+            expected = hypervolume(objectives[: i + 1], reference)
+            assert trace[i] == pytest.approx(expected, rel=1e-12,
+                                             abs=1e-12)
+
+    def test_trace_is_monotone(self):
+        rng = np.random.default_rng(3)
+        objectives = rng.random((30, 3))
+        space = DesignSpace(dimensions=(Dimension("i", tuple(range(30))),))
+        evaluator = CachingEvaluator(
+            space, lambda a: objectives[a["i"]], budget=30,
+            reference=[1.0, 1.0, 1.0])
+        for i in range(30):
+            evaluator.evaluate({"i": i})
+        trace = evaluator.result.hypervolume_trace
+        assert all(b >= a for a, b in zip(trace, trace[1:]))
+
+    def test_out_of_reference_point_leaves_trace_flat(self):
+        space = DesignSpace(dimensions=(Dimension("i", (0, 1)),))
+        vectors = {0: np.array([0.5, 0.5]), 1: np.array([2.0, 0.1])}
+        evaluator = CachingEvaluator(
+            space, lambda a: vectors[a["i"]], budget=2,
+            reference=[1.0, 1.0])
+        evaluator.evaluate({"i": 0})
+        evaluator.evaluate({"i": 1})
+        trace = evaluator.result.hypervolume_trace
+        assert trace[1] == trace[0] == pytest.approx(0.25)

@@ -5,7 +5,14 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.optim.hypervolume import hypervolume, hypervolume_contribution
+from repro.optim.hypervolume import (
+    _hypervolume_3d,
+    _hypervolume_recursive,
+    hypervolume,
+    hypervolume_contribution,
+    hypervolume_contributions,
+)
+from repro.optim.pareto import non_dominated_mask
 
 unit_points = hnp.arrays(
     dtype=float,
@@ -93,6 +100,71 @@ class TestInvariants:
             points.shape[0])]
         assert hypervolume(points, reference) == pytest.approx(
             hypervolume(shuffled, reference))
+
+
+class TestSweep3d:
+    """The incremental-staircase 3-D sweep against the recursive slicer."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 40),
+           scale=st.floats(0.5, 2.0))
+    def test_matches_recursive_slicing(self, seed, n, scale):
+        rng = np.random.default_rng(seed)
+        points = rng.random((n, 3)) * scale
+        reference = np.array([1.2, 1.2, 1.2])
+        fast = _hypervolume_3d(points, reference)
+        kept = points[np.all(points < reference, axis=1)]
+        slow = 0.0
+        if kept.shape[0]:
+            slow = _hypervolume_recursive(kept[non_dominated_mask(kept)],
+                                          reference)
+        assert fast == pytest.approx(slow, rel=1e-12, abs=1e-12)
+
+    def test_tolerates_duplicates_and_boundary_points(self):
+        points = np.array([
+            [0.5, 0.5, 0.5],
+            [0.5, 0.5, 0.5],   # duplicate
+            [1.0, 0.1, 0.1],   # at the reference in x
+            [0.2, 0.8, 0.5],
+        ])
+        reference = np.array([1.0, 1.0, 1.0])
+        expected = hypervolume(points, reference)
+        assert _hypervolume_3d(points, reference) == pytest.approx(expected)
+
+    def test_all_points_outside_reference(self):
+        points = np.array([[2.0, 2.0, 2.0], [1.5, 0.1, 0.1]])
+        assert _hypervolume_3d(points, np.array([1.0, 1.0, 1.0])) == 0.0
+
+
+class TestContributions:
+    """Batched exclusive contributions against the naive recompute."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(0, 15),
+           m=st.integers(1, 15), d=st.integers(2, 3))
+    def test_matches_naive_recompute(self, seed, n, m, d):
+        rng = np.random.default_rng(seed)
+        points = rng.random((n, d)) if n else np.zeros((0, d))
+        candidates = rng.random((m, d)) * 1.3
+        reference = np.full(d, 1.1)
+        fast = hypervolume_contributions(points, candidates, reference)
+        base = hypervolume(points, reference) if n else 0.0
+        for i in range(m):
+            extended = np.vstack([points, candidates[i][None, :]])
+            naive = max(0.0, hypervolume(extended, reference) - base)
+            assert fast[i] == pytest.approx(naive, rel=1e-10, abs=1e-12)
+
+    def test_dominated_candidates_screened_to_zero(self):
+        points = np.array([[0.1, 0.1, 0.1]])
+        candidates = np.array([[0.5, 0.5, 0.5], [0.05, 0.05, 0.05]])
+        out = hypervolume_contributions(points, candidates, [1.0, 1.0, 1.0])
+        assert out[0] == 0.0
+        assert out[1] > 0.0
+
+    def test_empty_front_gives_box_volume(self):
+        out = hypervolume_contributions(
+            np.zeros((0, 2)), np.array([[0.5, 0.5]]), [1.0, 1.0])
+        assert out[0] == pytest.approx(0.25)
 
 
 class TestContribution:

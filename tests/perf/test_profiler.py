@@ -1,0 +1,109 @@
+"""Tests for the performance profiling layer."""
+
+import time
+
+import pytest
+
+from repro.core.evalcache import shared_report_cache
+from repro.perf import Profiler, render_profile
+
+
+class TestProfiler:
+    def test_phase_records_wall_time(self):
+        profiler = Profiler()
+        with profiler.phase("work"):
+            time.sleep(0.01)
+        report = profiler.report()
+        assert report.phases[0].name == "work"
+        assert report.phases[0].wall_s >= 0.01
+        assert report.total_wall_s >= report.phases[0].wall_s
+
+    def test_repeated_phase_accumulates(self):
+        profiler = Profiler()
+        for _ in range(3):
+            with profiler.phase("work"):
+                pass
+        report = profiler.report()
+        assert len(report.phases) == 1
+        assert report.phases[0].calls == 3
+
+    def test_phase_order_preserved(self):
+        profiler = Profiler()
+        for name in ("phase1", "phase2", "phase3"):
+            with profiler.phase(name):
+                pass
+        assert [p.name for p in profiler.report().phases] == \
+            ["phase1", "phase2", "phase3"]
+
+    def test_evaluations_credit_and_throughput(self):
+        profiler = Profiler()
+        with profiler.phase("dse"):
+            time.sleep(0.005)
+        profiler.add_evaluations("dse", 50)
+        record = profiler.report().phases[0]
+        assert record.evaluations == 50
+        assert record.evaluations_per_second > 0
+
+    def test_mid_phase_annotation(self):
+        profiler = Profiler()
+        with profiler.phase("dse") as record:
+            record.evaluations += 7
+        assert profiler.report().phases[0].evaluations == 7
+
+    def test_cache_delta_accounting(self):
+        profiler = Profiler()
+        cache = shared_report_cache()
+        cache.get(("profiler-test-outside",))  # miss outside any phase
+        with profiler.phase("work"):
+            cache.put(("profiler-test-key",), 1)
+            cache.get(("profiler-test-key",))
+            cache.get(("profiler-test-absent",))
+        record = profiler.report().phases[0]
+        assert record.cache.hits == 1
+        assert record.cache.misses == 1
+
+    def test_counters(self):
+        profiler = Profiler()
+        profiler.count("simulations", 3)
+        profiler.count("simulations")
+        assert profiler.report().counters["simulations"] == 4
+
+    def test_exception_inside_phase_still_recorded(self):
+        profiler = Profiler()
+        with pytest.raises(RuntimeError):
+            with profiler.phase("broken"):
+                raise RuntimeError("boom")
+        assert profiler.report().phases[0].calls == 1
+
+
+class TestProfileReport:
+    def test_total_evaluations_sums_phases(self):
+        profiler = Profiler()
+        profiler.add_evaluations("a", 3)
+        profiler.add_evaluations("b", 4)
+        assert profiler.report().total_evaluations == 7
+
+    def test_overall_cache_sums_phases(self):
+        profiler = Profiler()
+        cache = shared_report_cache()
+        with profiler.phase("a"):
+            cache.put(("report-test-key",), 1)
+            cache.get(("report-test-key",))
+        with profiler.phase("b"):
+            cache.get(("report-test-key",))
+            cache.get(("report-test-absent",))
+        overall = profiler.report().overall_cache
+        assert overall.hits == 2
+        assert overall.misses == 1
+
+    def test_render_contains_phases_and_totals(self):
+        profiler = Profiler()
+        with profiler.phase("phase2"):
+            pass
+        profiler.add_evaluations("phase2", 12)
+        profiler.count("corner_evals", 2)
+        text = render_profile(profiler.report())
+        assert "## Profile" in text
+        assert "phase2" in text
+        assert "12" in text
+        assert "corner_evals: 2" in text

@@ -1,5 +1,8 @@
 """Unit and property tests for the systolic-array simulator."""
 
+import dataclasses
+import gc
+
 import pytest
 
 from repro.nn.template import PolicyHyperparams, build_policy_network
@@ -121,3 +124,71 @@ class TestSimulatorCaching:
         by_workload = SystolicArraySimulator(make_config()).run(
             lower_network(network))
         assert by_network.total_cycles == by_workload.total_cycles
+
+
+class TestCacheSoundness:
+    """Regression tests for the old ``(name, id(workload))`` cache key.
+
+    That key never hit for freshly-lowered workloads (every
+    ``run_network`` call produces a new object, hence a new ``id()``)
+    and could alias two *different* workloads when CPython recycled an
+    ``id`` for an object sharing the template network name.  The
+    content-addressed cache must hit on equal content and never alias
+    distinct content.
+    """
+
+    def test_fresh_lowering_hits_cache(self, network):
+        # Two independently lowered copies of the same network have
+        # different ids but identical content: the second run must be
+        # served from cache (the identical report object).
+        simulator = SystolicArraySimulator(make_config())
+        first = simulator.run(lower_network(network))
+        second = simulator.run(lower_network(network))
+        assert first is second
+
+    def test_run_network_repeat_hits_cache(self, network):
+        simulator = SystolicArraySimulator(make_config())
+        assert simulator.run_network(network) is simulator.run_network(network)
+
+    def test_cache_shared_across_simulator_instances(self, network):
+        config = make_config()
+        first = SystolicArraySimulator(config).run_network(network)
+        second = SystolicArraySimulator(config).run_network(network)
+        assert first is second
+
+    def test_same_name_different_content_never_aliases(self, network):
+        # Two workloads that share a name but differ in content must
+        # produce reports reflecting their own content.
+        simulator = SystolicArraySimulator(make_config())
+        small = lower_network(build_policy_network(PolicyHyperparams(2, 32)))
+        big = lower_network(build_policy_network(PolicyHyperparams(10, 64)))
+        small = dataclasses.replace(small, name="shared-name")
+        big = dataclasses.replace(big, name="shared-name")
+        assert simulator.run(small).total_macs != simulator.run(big).total_macs
+
+    def test_recycled_id_never_aliases(self, network):
+        # The historical failure mode: workload A dies, workload B (same
+        # name, different layers) reuses its id, and a (name, id) keyed
+        # cache replays A's report for B.  Engineer an id collision and
+        # check the report matches B's content.
+        simulator = SystolicArraySimulator(make_config())
+        net_a = build_policy_network(PolicyHyperparams(2, 32))
+        net_b = build_policy_network(PolicyHyperparams(10, 64))
+        collided = False
+        for _ in range(50):
+            workload_a = dataclasses.replace(lower_network(net_a),
+                                             name="shared-name")
+            simulator.run(workload_a)
+            stale_id = id(workload_a)
+            del workload_a
+            gc.collect()
+            workload_b = dataclasses.replace(lower_network(net_b),
+                                             name="shared-name")
+            hit = id(workload_b) == stale_id
+            report = simulator.run(workload_b)
+            assert report.total_macs == net_b.total_macs
+            if hit:
+                collided = True
+                break
+        if not collided:
+            pytest.skip("no id() reuse observed; aliasing not exercised")
