@@ -1,0 +1,151 @@
+"""Phase 1 training-throughput smoke benchmark for CI.
+
+Measures the Phase 1 ``trainer`` backend on a small sweep workload: the
+same template points trained for one scenario over several passes with
+a fresh database each pass -- the common pipeline pattern (multiple UAV
+platforms and repeated DSE runs share one scenario's policies).  The
+seed backend retrains every point every pass with the scalar
+one-episode-at-a-time loop; the new backend trains each point once on
+the vectorised lockstep engine and serves every repeat from the
+content-addressed training cache.
+
+Checks:
+
+* the two backends produce identical validated success rates on every
+  pass (the vectorised engine is bit-equivalent to the scalar oracle);
+* repeat passes are served from the training cache;
+* the vectorised engine's rollout throughput (steps/s) beats the
+  scalar engine's;
+* the new backend completes the sweep >= 10x faster than the seed
+  behaviour.
+
+Run directly (exit code 0/1) or via pytest::
+
+    PYTHONPATH=src python benchmarks/smoke_phase1_throughput.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.airlearning.scenarios import Scenario
+from repro.airlearning.trainer import CemTrainer
+from repro.core.evalcache import reset_shared_cache, shared_report_cache
+from repro.core.phase1 import FrontEnd
+from repro.core.spec import TaskSpec
+from repro.nn.template import PolicyHyperparams
+from repro.uav.platforms import NANO_ZHANG
+
+SMOKE_SEED = 7
+SMOKE_SCENARIO = Scenario.DENSE
+#: Template points in the sweep (a small Table II subset).
+SMOKE_POINTS = (PolicyHyperparams(2, 32), PolicyHyperparams(3, 32))
+#: Sweep passes: each pass re-populates a fresh database, as pipeline
+#: runs for different UAV platforms do.
+SMOKE_PASSES = 5
+#: CEM budget per template point.
+CEM_KWARGS = dict(population_size=32, iterations=2,
+                  episodes_per_candidate=3, seed=SMOKE_SEED)
+VALIDATION_EPISODES = 12
+#: Required end-to-end speedup of the new backend over seed behaviour.
+MIN_SPEEDUP = 10.0
+
+
+def run_backend(engine: str, cache: bool) -> dict:
+    """Run the sweep on one backend; return timing + results."""
+    reset_shared_cache()
+    task = TaskSpec(platform=NANO_ZHANG, scenario=SMOKE_SCENARIO)
+    trainer = CemTrainer(engine=engine, cache=cache, **CEM_KWARGS)
+    frontend = FrontEnd(backend="trainer", seed=SMOKE_SEED,
+                        trainer=trainer,
+                        validation_episodes=VALIDATION_EPISODES)
+    success_rates = []
+    env_steps = 0
+    start = time.perf_counter()
+    for _ in range(SMOKE_PASSES):
+        result = frontend.run(task, hyperparams=list(SMOKE_POINTS))
+        success_rates.append(
+            [result.database.get(p, SMOKE_SCENARIO).success_rate
+             for p in SMOKE_POINTS])
+        env_steps += result.env_steps
+    wall_s = time.perf_counter() - start
+    stats = shared_report_cache().stats.snapshot()
+    reset_shared_cache()
+    return {
+        "engine": engine,
+        "wall_s": wall_s,
+        "env_steps": env_steps,
+        "steps_per_s": env_steps / wall_s if wall_s > 0 else 0.0,
+        "success_rates": success_rates,
+        "cache_hits": stats.hits,
+    }
+
+
+def run_smoke() -> dict:
+    """Benchmark seed behaviour vs the new backend."""
+    seed_like = run_backend(engine="scalar", cache=False)
+    new = run_backend(engine="vec", cache=True)
+    return {
+        "seed": seed_like,
+        "new": new,
+        "speedup": (seed_like["wall_s"] / new["wall_s"]
+                    if new["wall_s"] > 0 else 0.0),
+    }
+
+
+def check(measurements: dict) -> list:
+    """Return a list of failure messages (empty when healthy)."""
+    failures = []
+    seed_like = measurements["seed"]
+    new = measurements["new"]
+    if seed_like["success_rates"] != new["success_rates"]:
+        failures.append(
+            "vectorised backend changed the validated success rates: "
+            f"{seed_like['success_rates']} != {new['success_rates']}")
+    # Every pass after the first must be served from the training cache.
+    expected_hits = len(SMOKE_POINTS) * (SMOKE_PASSES - 1)
+    if new["cache_hits"] < expected_hits:
+        failures.append(
+            f"expected >= {expected_hits} training-cache hits, got "
+            f"{new['cache_hits']}")
+    if new["steps_per_s"] <= seed_like["steps_per_s"]:
+        failures.append(
+            f"vec rollout throughput {new['steps_per_s']:.0f} steps/s "
+            f"not above scalar {seed_like['steps_per_s']:.0f}")
+    if measurements["speedup"] < MIN_SPEEDUP:
+        failures.append(
+            f"backend speedup {measurements['speedup']:.1f}x "
+            f"< {MIN_SPEEDUP:.0f}x")
+    return failures
+
+
+def main() -> int:
+    measurements = run_smoke()
+    seed_like = measurements["seed"]
+    new = measurements["new"]
+    print("Phase 1 training-throughput smoke benchmark")
+    print(f"  sweep: {len(SMOKE_POINTS)} template points x "
+          f"{SMOKE_PASSES} passes ({SMOKE_SCENARIO.value} scenario)")
+    print(f"  seed (scalar, no cache): {seed_like['wall_s']:.2f}s "
+          f"({seed_like['env_steps']} steps, "
+          f"{seed_like['steps_per_s']:.0f} steps/s)")
+    print(f"  new (vec + cache):       {new['wall_s']:.2f}s "
+          f"({new['env_steps']} steps executed, "
+          f"{new['cache_hits']} cache hits)")
+    print(f"  backend speedup: {measurements['speedup']:.1f}x")
+    failures = check(measurements)
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    if not failures:
+        print("  OK")
+    return 1 if failures else 0
+
+
+def test_smoke_phase1_throughput():
+    """Pytest entry point for the same checks."""
+    assert check(run_smoke()) == []
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,7 @@ from repro.airlearning.dynamics import (
 )
 from repro.airlearning.env import NavigationEnv, StepResult
 from repro.airlearning.evaluate import ValidationResult, validate_policy
-from repro.airlearning.policy import MlpPolicy
+from repro.airlearning.policy import BatchedMlpPolicy, MlpPolicy
 from repro.airlearning.render import render_arena, trace_episode
 from repro.airlearning.scenarios import (
     ALL_SCENARIOS,
@@ -24,6 +24,7 @@ from repro.airlearning.surrogate import (
     SuccessRateSurrogate,
 )
 from repro.airlearning.trainer import CemTrainer, TrainingResult
+from repro.airlearning.vecenv import VecNavigationEnv, VecStepResult
 
 __all__ = [
     "Scenario",
@@ -40,7 +41,10 @@ __all__ = [
     "NUM_ACTIONS",
     "NavigationEnv",
     "StepResult",
+    "VecNavigationEnv",
+    "VecStepResult",
     "MlpPolicy",
+    "BatchedMlpPolicy",
     "render_arena",
     "trace_episode",
     "CemTrainer",

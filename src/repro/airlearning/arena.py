@@ -27,8 +27,18 @@ class Obstacle:
     radius: float
 
     def distance_to(self, x: float, y: float) -> float:
-        """Signed clearance from a point to the obstacle surface."""
-        return math.hypot(self.x - x, self.y - y) - self.radius
+        """Signed clearance from a point to the obstacle surface.
+
+        Written as ``sqrt(dx*dx + dy*dy)`` rather than ``hypot`` so the
+        vectorised collision kernel (:mod:`repro.airlearning.vecenv`)
+        reproduces it bit-for-bit: ``np.sqrt`` and ``math.sqrt`` are both
+        correctly rounded, whereas ``np.hypot`` and ``math.hypot`` may
+        differ in the last ulp.  Coordinates are bounded by the arena
+        size, so the overflow resistance of ``hypot`` is not needed.
+        """
+        dx = self.x - x
+        dy = self.y - y
+        return math.sqrt(dx * dx + dy * dy) - self.radius
 
     def contains(self, x: float, y: float, margin: float = 0.0) -> bool:
         """Whether a point is inside (or within ``margin`` of) the obstacle."""
@@ -56,8 +66,14 @@ class Arena:
         return any(o.contains(x, y, margin) for o in self.obstacles)
 
     def goal_distance(self, x: float, y: float) -> float:
-        """Euclidean distance to the goal."""
-        return math.hypot(self.goal[0] - x, self.goal[1] - y)
+        """Euclidean distance to the goal.
+
+        Uses the same ``sqrt(dx*dx + dy*dy)`` form as the vectorised
+        environment so scalar and batched rollouts agree bit-for-bit.
+        """
+        dx = self.goal[0] - x
+        dy = self.goal[1] - y
+        return math.sqrt(dx * dx + dy * dy)
 
 
 class ArenaGenerator:

@@ -68,9 +68,13 @@ class NavigationEnv:
         """Length of the observation vector."""
         return self.sensor.num_rays + 4
 
-    def reset(self) -> np.ndarray:
-        """Generate a fresh domain-randomised arena and return the obs."""
-        self.arena = self.generator.generate()
+    def reset(self, arena: Optional[Arena] = None) -> np.ndarray:
+        """Reset into ``arena``, or a fresh domain-randomised one.
+
+        Passing an arena skips the generator (its stream is untouched);
+        the vec-equivalence tests use this to replay exact arenas.
+        """
+        self.arena = arena if arena is not None else self.generator.generate()
         start_x, start_y = self.arena.start
         heading = math.atan2(self.arena.goal[1] - start_y,
                              self.arena.goal[0] - start_x)
@@ -114,8 +118,12 @@ class NavigationEnv:
                                  self.state.heading)
         goal_dx = self.arena.goal[0] - self.state.x
         goal_dy = self.arena.goal[1] - self.state.y
-        distance = math.hypot(goal_dx, goal_dy)
-        bearing = math.atan2(goal_dy, goal_dx) - self.state.heading
+        # sqrt/arctan2 via the same numpy kernels the vectorised
+        # environment applies to whole lane arrays: both are
+        # length-independent, so scalar and batched observations agree
+        # bit-for-bit (math.hypot/math.atan2 do not share that property).
+        distance = math.sqrt(goal_dx * goal_dx + goal_dy * goal_dy)
+        bearing = float(np.arctan2(goal_dy, goal_dx)) - self.state.heading
         extras = np.array([
             math.cos(bearing),
             math.sin(bearing),

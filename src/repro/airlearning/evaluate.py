@@ -3,15 +3,27 @@
 Phase 1 validates each trained policy in domain-randomised environments
 before it enters the Air Learning database; this module performs that
 evaluation with a seed disjoint from training.
+
+Validation runs on either rollout engine: ``vec`` (default) evaluates
+all held-out episodes as lockstep lanes of the batched engine, while
+``scalar`` is the original sequential loop retained as the correctness
+oracle.  Both are bit-equivalent under a fixed seed — same arenas in
+the same order, same per-step kernels, and the mean return folded in
+the sequential loop's exact accumulation order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List
 
+import numpy as np
+
+from repro.airlearning.arena import ArenaGenerator
 from repro.airlearning.env import NavigationEnv
-from repro.airlearning.policy import MlpPolicy
+from repro.airlearning.policy import BatchedMlpPolicy, MlpPolicy
 from repro.airlearning.scenarios import Scenario
+from repro.airlearning.vecenv import VecNavigationEnv
 from repro.errors import ConfigError
 
 #: Offset keeping validation arenas disjoint from training arenas.
@@ -26,6 +38,8 @@ class ValidationResult:
     successes: int
     collisions: int
     mean_return: float
+    #: Environment transitions executed during validation.
+    env_steps: int = 0
 
     @property
     def success_rate(self) -> float:
@@ -36,14 +50,62 @@ class ValidationResult:
 
 
 def validate_policy(policy: MlpPolicy, scenario: Scenario,
-                    episodes: int = 20, seed: int = 0) -> ValidationResult:
+                    episodes: int = 20, seed: int = 0,
+                    engine: str = "vec") -> ValidationResult:
     """Run held-out episodes and report the success rate."""
     if episodes < 1:
         raise ConfigError("episodes must be positive")
+    if engine == "vec":
+        return _validate_vec(policy, scenario, episodes, seed)
+    if engine == "scalar":
+        return _validate_scalar(policy, scenario, episodes, seed)
+    raise ConfigError(f"engine must be 'vec' or 'scalar', got {engine!r}")
+
+
+def _validate_vec(policy: MlpPolicy, scenario: Scenario,
+                  episodes: int, seed: int) -> ValidationResult:
+    """One lockstep lane per held-out episode."""
+    generator = ArenaGenerator(scenario, seed=seed + VALIDATION_SEED_OFFSET)
+    arenas = [generator.generate() for _ in range(episodes)]
+    env = VecNavigationEnv([[arena] for arena in arenas])
+    batched = BatchedMlpPolicy(
+        policy.hyperparams, env.observation_dim, env.num_actions,
+        np.tile(policy.get_params(), (episodes, 1)))
+
+    observations = env.reset()
+    reward_history: List[np.ndarray] = []
+    active_history: List[np.ndarray] = []
+    while not env.all_done:
+        step = env.step(batched.act(observations))
+        observations = step.observations
+        reward_history.append(step.rewards)
+        active_history.append(step.active)
+
+    # Fold the total return lane-major in step order: exactly the
+    # scalar loop's single running sum across its sequential episodes.
+    rewards = np.asarray(reward_history)
+    active = np.asarray(active_history)
+    total_return = 0.0
+    for lane in range(episodes):
+        for value in rewards[active[:, lane], lane].tolist():
+            total_return += value
+    return ValidationResult(
+        episodes=episodes,
+        successes=int(env.lane_successes.sum()),
+        collisions=int(env.lane_collisions.sum()),
+        mean_return=total_return / episodes,
+        env_steps=env.total_env_steps,
+    )
+
+
+def _validate_scalar(policy: MlpPolicy, scenario: Scenario,
+                     episodes: int, seed: int) -> ValidationResult:
+    """The original sequential validation loop (correctness oracle)."""
     env = NavigationEnv(scenario, seed=seed + VALIDATION_SEED_OFFSET)
     successes = 0
     collisions = 0
     total_return = 0.0
+    env_steps = 0
     for _ in range(episodes):
         obs = env.reset()
         done = False
@@ -51,6 +113,7 @@ def validate_policy(policy: MlpPolicy, scenario: Scenario,
             step = env.step(policy.act(obs))
             obs = step.observation
             total_return += step.reward
+            env_steps += 1
             done = step.done
             if done:
                 successes += int(step.success)
@@ -60,4 +123,5 @@ def validate_policy(policy: MlpPolicy, scenario: Scenario,
         successes=successes,
         collisions=collisions,
         mean_return=total_return / episodes,
+        env_steps=env_steps,
     )

@@ -40,6 +40,7 @@ class MlpPolicy:
             previous = width
         self.layer_sizes.append((previous, num_actions))
         self._params = np.zeros(self.num_params)
+        self._layers = self._unpack()
 
     @property
     def num_params(self) -> int:
@@ -57,6 +58,10 @@ class MlpPolicy:
             raise ConfigError(
                 f"expected {self.num_params} params, got {params.shape[0]}")
         self._params = params.copy()
+        # The per-layer weight/bias views share memory with the (frozen)
+        # copy above, so re-slicing on every forward pass is pure waste;
+        # cache them here and invalidate only on the next update.
+        self._layers = self._unpack()
 
     def _unpack(self) -> List[Tuple[np.ndarray, np.ndarray]]:
         layers = []
@@ -75,12 +80,71 @@ class MlpPolicy:
         if h.shape[0] != self.observation_dim:
             raise ConfigError(
                 f"expected obs dim {self.observation_dim}, got {h.shape[0]}")
-        layers = self._unpack()
-        for w, b in layers[:-1]:
+        for w, b in self._layers[:-1]:
             h = np.tanh(h @ w + b)
-        w, b = layers[-1]
+        w, b = self._layers[-1]
         return h @ w + b
 
     def act(self, observation: np.ndarray) -> int:
         """Greedy action."""
         return int(np.argmax(self.action_logits(observation)))
+
+
+class BatchedMlpPolicy:
+    """A whole CEM population evaluated with batched matmuls.
+
+    Stacks ``L`` flat parameter vectors into per-layer weight tensors of
+    shape ``(L, in, out)`` and produces all ``L`` actions per step with
+    one stacked matmul per layer instead of ``L`` separate forward
+    passes.  ``np.matmul`` over a stacked operand runs the same
+    (1, in) x (in, out) GEMM per slice that :class:`MlpPolicy` runs for
+    a single observation, so each lane's logits are bit-identical to
+    the scalar policy's — the property the vectorised trainer relies on.
+    """
+
+    def __init__(self, hyperparams: PolicyHyperparams, observation_dim: int,
+                 num_actions: int, params_matrix: np.ndarray):
+        template = MlpPolicy(hyperparams, observation_dim, num_actions)
+        self.observation_dim = observation_dim
+        self.num_actions = num_actions
+        self.layer_sizes = template.layer_sizes
+        params_matrix = np.asarray(params_matrix, dtype=float)
+        if params_matrix.ndim != 2 or \
+                params_matrix.shape[1] != template.num_params:
+            raise ConfigError(
+                f"expected params of shape (L, {template.num_params}), "
+                f"got {params_matrix.shape}")
+        self.num_lanes = params_matrix.shape[0]
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+        offset = 0
+        for in_dim, out_dim in self.layer_sizes:
+            w = params_matrix[:, offset:offset + in_dim * out_dim]
+            offset += in_dim * out_dim
+            b = params_matrix[:, offset:offset + out_dim]
+            offset += out_dim
+            # ascontiguousarray keeps every per-lane GEMM on the same
+            # fast path BLAS uses for the scalar policy's C-order views.
+            self._weights.append(np.ascontiguousarray(
+                w.reshape(self.num_lanes, in_dim, out_dim)))
+            self._biases.append(np.ascontiguousarray(b))
+
+    def action_logits(self, observations: np.ndarray) -> np.ndarray:
+        """Forward pass for all lanes: (L, obs_dim) -> (L, num_actions)."""
+        h = np.asarray(observations, dtype=float)
+        if h.shape != (self.num_lanes, self.observation_dim):
+            raise ConfigError(
+                f"expected observations of shape "
+                f"({self.num_lanes}, {self.observation_dim}), got {h.shape}")
+        depth = len(self._weights)
+        for index in range(depth - 1):
+            h = np.tanh(np.matmul(h[:, None, :],
+                                  self._weights[index])[:, 0, :]
+                        + self._biases[index])
+        return (np.matmul(h[:, None, :], self._weights[-1])[:, 0, :]
+                + self._biases[-1])
+
+    def act(self, observations: np.ndarray) -> np.ndarray:
+        """Greedy action per lane (ties break to the lowest index, as
+        in the scalar policy's ``np.argmax``)."""
+        return np.argmax(self.action_logits(observations), axis=1)

@@ -37,15 +37,25 @@ class RaycastSensor:
             raise ConfigError("fov_rad must be in (0, 2*pi]")
         if self.max_range_m <= 0:
             raise ConfigError("max_range_m must be positive")
-
-    def ray_angles(self, heading: float) -> np.ndarray:
-        """World-frame angles of each ray given the UAV heading."""
+        # The body-frame ray offsets never change for a given sensor;
+        # computing the linspace once here (the dataclass is frozen, so
+        # via object.__setattr__) keeps it off the per-step hot path.
         if self.num_rays == 1:
             offsets = np.zeros(1)
         else:
             offsets = np.linspace(-self.fov_rad / 2, self.fov_rad / 2,
                                   self.num_rays)
-        return heading + offsets
+        offsets.setflags(write=False)
+        object.__setattr__(self, "_offsets", offsets)
+
+    @property
+    def ray_offsets(self) -> np.ndarray:
+        """Body-frame angular offsets of each ray (read-only view)."""
+        return self._offsets
+
+    def ray_angles(self, heading: float) -> np.ndarray:
+        """World-frame angles of each ray given the UAV heading."""
+        return heading + self._offsets
 
     def sense(self, arena: Arena, x: float, y: float,
               heading: float) -> np.ndarray:
@@ -54,6 +64,64 @@ class RaycastSensor:
         for i, angle in enumerate(self.ray_angles(heading)):
             readings[i] = self._cast(arena, x, y, angle) / self.max_range_m
         return readings
+
+    def sense_batch(self, size_m: float, x: np.ndarray, y: np.ndarray,
+                    heading: np.ndarray, obstacle_x: np.ndarray,
+                    obstacle_y: np.ndarray, obstacle_radius: np.ndarray,
+                    obstacle_mask: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`sense` over a batch of lanes.
+
+        Computes all rays x all obstacles for every lane with broadcast
+        ray/circle and ray/wall intersections, bit-identical to the
+        per-ray scalar path (same elementary operations in the same
+        order; ``min`` is exact so reduction order is free).
+
+        Args:
+            size_m: Arena size shared by every lane (one scenario).
+            x, y, heading: Lane state arrays of shape ``(L,)``.
+            obstacle_x, obstacle_y, obstacle_radius: Padded per-lane
+                obstacle arrays of shape ``(L, M)``.
+            obstacle_mask: Boolean validity mask of shape ``(L, M)``
+                (padding slots are ``False``).
+
+        Returns:
+            Normalised clearances of shape ``(L, num_rays)``.
+        """
+        angles = heading[:, None] + self._offsets[None, :]      # (L, R)
+        dx = np.cos(angles)
+        dy = np.sin(angles)
+        px = x[:, None]
+        py = y[:, None]
+
+        distance = np.full(angles.shape, self.max_range_m)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            # Walls: same guards as the scalar `_wall_hits` generator.
+            tx = np.where(dx > 1e-12, (size_m - px) / dx,
+                          np.where(dx < -1e-12, -px / dx, np.inf))
+            ty = np.where(dy > 1e-12, (size_m - py) / dy,
+                          np.where(dy < -1e-12, -py / dy, np.inf))
+            distance = np.minimum(distance, tx)
+            distance = np.minimum(distance, ty)
+
+            # Obstacles: analytic ray/circle intersection, broadcast to
+            # (L, R, M) with the scalar `_circle_hit` op-for-op.
+            ox = px - obstacle_x                                 # (L, M)
+            oy = py - obstacle_y
+            b = 2.0 * (ox[:, None, :] * dx[:, :, None]
+                       + oy[:, None, :] * dy[:, :, None])        # (L, R, M)
+            c = (ox * ox + oy * oy
+                 - obstacle_radius * obstacle_radius)            # (L, M)
+            disc = b * b - 4.0 * c[:, None, :]
+            root = np.sqrt(np.where(disc < 0, 0.0, disc))
+            t1 = (-b - root) / 2.0
+            t2 = (-b + root) / 2.0
+            hit = np.where(t1 > 1e-9, t1,
+                           np.where(t2 > 1e-9, t2, np.inf))
+            hit = np.where((disc >= 0) & obstacle_mask[:, None, :],
+                           hit, np.inf)
+        if hit.shape[2]:
+            distance = np.minimum(distance, hit.min(axis=2))
+        return np.maximum(0.0, distance) / self.max_range_m
 
     def _cast(self, arena: Arena, x: float, y: float, angle: float) -> float:
         dx, dy = math.cos(angle), math.sin(angle)

@@ -23,6 +23,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.airlearning.scenarios import Scenario
+from repro.airlearning.trainer import CemTrainer, ROLLOUT_ENGINES
 from repro.baselines.computers import FIG5_BASELINES
 from repro.core.pipeline import AutoPilot
 from repro.core.report import render_report
@@ -64,9 +65,39 @@ def _task(args: argparse.Namespace) -> TaskSpec:
                     sensor_fps=args.sensor_fps)
 
 
+def _add_phase1(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--phase1-backend",
+                        choices=("surrogate", "trainer"),
+                        default="surrogate",
+                        help="Phase 1 backend: calibrated surrogate or "
+                             "the real CEM trainer on the simulator")
+    parser.add_argument("--rollout-engine", choices=ROLLOUT_ENGINES,
+                        default="vec",
+                        help="trainer rollout engine: vectorised batch "
+                             "engine or the scalar reference")
+    parser.add_argument("--cem-population", type=int, default=24,
+                        help="CEM population size per iteration")
+    parser.add_argument("--cem-iterations", type=int, default=15,
+                        help="CEM iterations per template point")
+    parser.add_argument("--cem-episodes", type=int, default=3,
+                        help="episodes per CEM candidate")
+
+
+def _autopilot(args: argparse.Namespace) -> AutoPilot:
+    trainer = None
+    if args.phase1_backend == "trainer":
+        trainer = CemTrainer(population_size=args.cem_population,
+                             iterations=args.cem_iterations,
+                             episodes_per_candidate=args.cem_episodes,
+                             seed=args.seed, engine=args.rollout_engine,
+                             cache=True)
+    return AutoPilot(seed=args.seed, workers=args.workers,
+                     frontend_backend=args.phase1_backend, trainer=trainer)
+
+
 def cmd_design(args: argparse.Namespace) -> int:
     task = _task(args)
-    autopilot = AutoPilot(seed=args.seed, workers=args.workers)
+    autopilot = _autopilot(args)
     result = autopilot.run(task, budget=args.budget, profile=args.profile)
     report = render_report(result)
     if args.output:
@@ -80,7 +111,7 @@ def cmd_design(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     task = _task(args)
-    autopilot = AutoPilot(seed=args.seed, workers=args.workers)
+    autopilot = _autopilot(args)
     result = autopilot.run(task, budget=args.budget)
 
     best = autopilot.database.best(task.scenario)
@@ -162,7 +193,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "cache statistics to the report")
     design.add_argument("--workers", type=int, default=None,
                         help="processes for batched design evaluation "
+                             "and Phase 1 training "
                              "(default: REPRO_WORKERS or serial)")
+    _add_phase1(design)
     design.set_defaults(func=cmd_design)
 
     compare = subparsers.add_parser("compare",
@@ -170,7 +203,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(compare)
     compare.add_argument("--budget", type=int, default=100)
     compare.add_argument("--workers", type=int, default=None,
-                         help="processes for batched design evaluation")
+                         help="processes for batched design evaluation "
+                              "and Phase 1 training")
+    _add_phase1(compare)
     compare.set_defaults(func=cmd_compare)
 
     f1 = subparsers.add_parser("f1", help="print the F-1 roofline")

@@ -83,6 +83,37 @@ def design_key(workload: Any, config: Any) -> Tuple[Hashable, ...]:
             config_fingerprint(config), workload_fingerprint(workload))
 
 
+def trainer_fingerprint(trainer: Any) -> Tuple[Hashable, ...]:
+    """Stable, content-only key for a Phase 1 CEM trainer configuration.
+
+    Covers everything that shapes a training run's result: population
+    and elite sizes, episode/iteration budgets, the exploration noise,
+    the seed (it drives both the parameter sampling and the arena
+    stream) and the rollout engine.  Two trainers differing in *any* of
+    these must never alias; the engine is included defensively even
+    though the engines are bit-equivalent.
+    """
+    return (
+        "cem",
+        trainer.population_size,
+        trainer.elite_count,
+        trainer.episodes_per_candidate,
+        trainer.iterations,
+        float(trainer.initial_std),
+        int(trainer.seed),
+        str(trainer.engine),
+    )
+
+
+def training_key(trainer: Any, hyperparams: Any,
+                 scenario: Any) -> Tuple[Hashable, ...]:
+    """Content-addressed key for one Phase 1 policy training run."""
+    return ("training_result", CACHE_SCHEMA_VERSION,
+            trainer_fingerprint(trainer),
+            (hyperparams.num_layers, hyperparams.num_filters),
+            scenario.value)
+
+
 def key_digest(key: Tuple[Hashable, ...]) -> str:
     """Hex digest of a cache key, used as the on-disk file name."""
     return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()

@@ -11,21 +11,29 @@ Two backends are available:
   standing in for the paper's multi-day RL training farm -- covers all
   27 template points instantly and reproduces Fig. 2b's shape;
 * ``trainer``: the real CEM trainer on the navigation simulator,
-  exercising the full train -> validate -> database path (used with
-  small hyper-parameter subsets; budgets are configurable).
+  exercising the full train -> validate -> database path.  The trainer
+  backend runs on the vectorised rollout engine by default, fans
+  uncached template points out over a process pool (``workers``), and
+  serves repeated (hyperparams, scenario, trainer-config) runs from the
+  shared content-addressed cache -- so full sweeps are viable, not just
+  tiny hyper-parameter subsets.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.airlearning.database import AirLearningDatabase
-from repro.airlearning.env import NavigationEnv
+from repro.airlearning.dynamics import NUM_ACTIONS
 from repro.airlearning.policy import MlpPolicy
+from repro.airlearning.sensors import RaycastSensor
 from repro.airlearning.surrogate import SuccessRateSurrogate
-from repro.airlearning.trainer import CemTrainer
+from repro.airlearning.trainer import CemTrainer, TrainingResult
 from repro.airlearning.evaluate import validate_policy
+from repro.airlearning.scenarios import Scenario
+from repro.core.evalcache import shared_report_cache, training_key
+from repro.core.parallel import parallel_map, resolve_workers
 from repro.core.spec import TaskSpec
 from repro.errors import ConfigError
 from repro.nn.template import PolicyHyperparams, enumerate_template_space
@@ -37,10 +45,27 @@ class Phase1Result:
 
     database: AirLearningDatabase
     trained: List[PolicyHyperparams] = field(default_factory=list)
+    #: Which backend produced the newly trained entries.
+    backend: str = "surrogate"
+    #: Environment transitions executed (training + validation rollouts).
+    env_steps: int = 0
 
     def best_success_rate(self, task: TaskSpec) -> float:
         """Best validated success rate available for the task's scenario."""
         return self.database.best(task.scenario).success_rate
+
+
+def _train_point(item: Tuple[CemTrainer, PolicyHyperparams, Scenario]
+                 ) -> Tuple[Tuple[object, ...], TrainingResult]:
+    """Pool worker: train one template point, return cache key + result.
+
+    Runs the pure, expensive part (the CEM rollouts) in the worker; the
+    parent merges the result into its shared cache so parallel and
+    serial runs leave the cache in the same state.
+    """
+    trainer, point, scenario = item
+    return training_key(trainer, point, scenario), trainer.train(point,
+                                                                 scenario)
 
 
 class FrontEnd:
@@ -48,17 +73,23 @@ class FrontEnd:
 
     def __init__(self, backend: str = "surrogate", seed: int = 0,
                  trainer: Optional[CemTrainer] = None,
-                 validation_episodes: int = 20):
+                 validation_episodes: int = 20,
+                 workers: Optional[int] = None):
         if backend not in ("surrogate", "trainer"):
             raise ConfigError("backend must be 'surrogate' or 'trainer'")
         self.backend = backend
         self.seed = seed
-        self.trainer = trainer or CemTrainer(seed=seed)
+        self.trainer = trainer or CemTrainer(seed=seed, cache=True)
         self.validation_episodes = validation_episodes
+        self.workers = resolve_workers(workers)
+        # One surrogate for the whole front end: constructing it per
+        # template point re-derived the calibration tables 27 times.
+        self._surrogate = SuccessRateSurrogate(seed=seed)
 
     def run(self, task: TaskSpec,
             hyperparams: Optional[Sequence[PolicyHyperparams]] = None,
-            database: Optional[AirLearningDatabase] = None) -> Phase1Result:
+            database: Optional[AirLearningDatabase] = None,
+            profiler: Optional[object] = None) -> Phase1Result:
         """Populate the database for the task's scenario.
 
         Args:
@@ -67,28 +98,69 @@ class FrontEnd:
                 Table II NN sub-space.
             database: An existing database to extend (policies are reused
                 across UAVs, per the paper's phase-reuse argument).
+            profiler: Optional :class:`repro.perf.Profiler`; rollout
+                steps are credited to its ``phase1`` phase.
         """
         points = list(hyperparams or enumerate_template_space())
         db = database if database is not None else AirLearningDatabase()
-        result = Phase1Result(database=db)
-        for point in points:
-            if db.get(point, task.scenario) is not None:
-                continue  # reuse previous training runs
-            success = self._train_and_validate(point, task)
+        result = Phase1Result(database=db, backend=self.backend)
+        todo = [p for p in points
+                if db.get(p, task.scenario) is None]  # reuse prior runs
+        if self.backend == "trainer":
+            result.env_steps += self._warm_training_cache(todo,
+                                                          task.scenario)
+        for point in todo:
+            success, steps = self._train_and_validate(point, task)
+            result.env_steps += steps
             db.add(point, task.scenario, success)
             result.trained.append(point)
+        if profiler is not None and result.env_steps:
+            profiler.add_steps("phase1", result.env_steps)
         return result
 
+    def _warm_training_cache(self, points: Sequence[PolicyHyperparams],
+                             scenario: Scenario) -> int:
+        """Train uncached template points in parallel into the cache.
+
+        Only the training rollouts (the pure, expensive part) run in the
+        pool; validation and database assembly stay in-process.  With
+        one worker, an uncacheable trainer or a single point this is a
+        no-op and the serial loop below does all the work.  Returns the
+        rollout steps the pool executed.
+        """
+        if self.workers <= 1 or not self.trainer.cache:
+            return 0
+        cache = shared_report_cache()
+        missing = [p for p in points
+                   if training_key(self.trainer, p, scenario) not in cache]
+        if len(missing) <= 1:
+            return 0
+        items = [(self.trainer, point, scenario) for point in missing]
+        steps = 0
+        for key, training in parallel_map(_train_point, items,
+                                          workers=self.workers, chunksize=1):
+            cache.put(key, training)
+            steps += training.env_steps
+        return steps
+
     def _train_and_validate(self, point: PolicyHyperparams,
-                            task: TaskSpec) -> float:
+                            task: TaskSpec) -> Tuple[float, int]:
         if self.backend == "surrogate":
-            return SuccessRateSurrogate(seed=self.seed).success_rate(
-                point, task.scenario)
+            return self._surrogate.success_rate(point, task.scenario), 0
+        # A cached training run executes no rollouts; only count steps
+        # that actually ran in this process (pool-warmed runs are
+        # credited by _warm_training_cache).
+        was_cached = (self.trainer.cache and
+                      training_key(self.trainer, point, task.scenario)
+                      in shared_report_cache())
         training = self.trainer.train(point, task.scenario)
-        env = NavigationEnv(task.scenario, seed=self.seed)
-        policy = MlpPolicy(point, env.observation_dim, env.num_actions)
+        sensor = RaycastSensor()
+        policy = MlpPolicy(point, sensor.num_rays + 4, NUM_ACTIONS)
         policy.set_params(training.best_params)
         validation = validate_policy(policy, task.scenario,
                                      episodes=self.validation_episodes,
-                                     seed=self.seed)
-        return validation.success_rate
+                                     seed=self.seed,
+                                     engine=self.trainer.engine)
+        training_steps = 0 if was_cached else training.env_steps
+        return (validation.success_rate,
+                training_steps + validation.env_steps)

@@ -20,6 +20,7 @@ from typing import Dict, Optional, Tuple, Type
 
 from repro.airlearning.database import AirLearningDatabase
 from repro.airlearning.scenarios import Scenario
+from repro.airlearning.trainer import CemTrainer
 from repro.core.phase1 import FrontEnd, Phase1Result
 from repro.core.phase2 import MultiObjectiveDse, Phase2Result
 from repro.core.phase3 import BackEnd, Phase3Result, RankedDesign
@@ -59,9 +60,11 @@ class AutoPilot:
                  optimizer_kwargs: Optional[dict] = None,
                  enable_finetuning: bool = True,
                  weight_feedback: bool = True,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None,
+                 trainer: Optional[CemTrainer] = None):
         self.seed = seed
-        self.frontend = FrontEnd(backend=frontend_backend, seed=seed)
+        self.frontend = FrontEnd(backend=frontend_backend, seed=seed,
+                                 trainer=trainer, workers=workers)
         self.optimizer_cls = optimizer_cls
         self.optimizer_kwargs = optimizer_kwargs
         self.backend = BackEnd(enable_finetuning=enable_finetuning,
@@ -84,7 +87,8 @@ class AutoPilot:
         """
         profiler = Profiler()
         with profiler.phase("phase1"):
-            phase1 = self.frontend.run(task, database=self.database)
+            phase1 = self.frontend.run(task, database=self.database,
+                                       profiler=profiler)
 
         cache_key = (task.scenario, budget)
         phase2 = self._phase2_cache.get(cache_key) if reuse_phase2 else None

@@ -36,9 +36,13 @@ def render_report(result: AutoPilotResult) -> str:
 
     lines.append("## Phase 1 — validated policies")
     best = result.phase1.database.best(task.scenario)
+    lines.append(f"- Backend: {result.phase1.backend}")
     lines.append(f"- Policies in database: {len(result.phase1.database)}")
     lines.append(f"- Best success rate: {best.success_rate:.1%} "
                  f"({best.algorithm_id})")
+    if result.phase1.env_steps:
+        lines.append(f"- Rollout steps executed: "
+                     f"{result.phase1.env_steps:,}")
     lines.append("")
 
     lines.append("## Phase 2 — design space exploration")

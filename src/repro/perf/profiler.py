@@ -26,6 +26,9 @@ class PhaseRecord:
     wall_s: float = 0.0
     calls: int = 0
     evaluations: int = 0
+    #: Simulator/environment steps executed within the phase (e.g.
+    #: Phase 1 rollout transitions), for throughput reporting.
+    steps: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
 
     @property
@@ -34,6 +37,13 @@ class PhaseRecord:
         if self.wall_s <= 0:
             return 0.0
         return self.evaluations / self.wall_s
+
+    @property
+    def steps_per_second(self) -> float:
+        """Step throughput within the phase (0 when untimed)."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.steps / self.wall_s
 
 
 @dataclass
@@ -48,6 +58,11 @@ class ProfileReport:
     def total_evaluations(self) -> int:
         """Design evaluations across all phases."""
         return sum(p.evaluations for p in self.phases)
+
+    @property
+    def total_steps(self) -> int:
+        """Environment/simulator steps across all phases."""
+        return sum(p.steps for p in self.phases)
 
     @property
     def overall_cache(self) -> CacheStats:
@@ -100,12 +115,19 @@ class Profiler:
 
     def add_evaluations(self, phase_name: str, count: int) -> None:
         """Credit ``count`` design evaluations to a phase."""
+        self._record(phase_name).evaluations += count
+
+    def add_steps(self, phase_name: str, count: int) -> None:
+        """Credit ``count`` environment/simulator steps to a phase."""
+        self._record(phase_name).steps += count
+
+    def _record(self, phase_name: str) -> PhaseRecord:
         record = self._phases.get(phase_name)
         if record is None:
             record = PhaseRecord(name=phase_name)
             self._phases[phase_name] = record
             self._order.append(phase_name)
-        record.evaluations += count
+        return record
 
     def count(self, name: str, increment: int = 1) -> None:
         """Bump a named counter."""
@@ -125,7 +147,7 @@ def render_profile(report: ProfileReport) -> str:
     lines: List[str] = []
     lines.append("## Profile")
     header = (f"{'phase':<18} {'wall s':>8} {'evals':>7} "
-              f"{'evals/s':>9} {'hit rate':>9}")
+              f"{'evals/s':>9} {'steps':>9} {'steps/s':>9} {'hit rate':>9}")
     lines.append(header)
     lines.append("-" * len(header))
     for phase in report.phases:
@@ -134,12 +156,17 @@ def render_profile(report: ProfileReport) -> str:
         evals_s = (f"{phase.evaluations_per_second:.1f}"
                    if phase.evaluations else "-")
         evals = str(phase.evaluations) if phase.evaluations else "-"
+        steps = str(phase.steps) if phase.steps else "-"
+        steps_s = (f"{phase.steps_per_second:.0f}"
+                   if phase.steps else "-")
         lines.append(f"{phase.name:<18} {phase.wall_s:>8.3f} {evals:>7} "
-                     f"{evals_s:>9} {hit_rate:>9}")
+                     f"{evals_s:>9} {steps:>9} {steps_s:>9} {hit_rate:>9}")
     overall = report.overall_cache
     lines.append("-" * len(header))
     lines.append(f"{'total':<18} {report.total_wall_s:>8.3f} "
                  f"{report.total_evaluations or '-':>7} "
+                 f"{'':>9} "
+                 f"{report.total_steps or '-':>9} "
                  f"{'':>9} "
                  f"{(f'{overall.hit_rate:.1%}' if overall.lookups else '-'):>9}")
     for name in sorted(report.counters):

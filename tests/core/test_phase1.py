@@ -74,3 +74,75 @@ class TestValidation:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigError):
             FrontEnd(backend="magic")
+
+
+class TestTrainerBackendScaling:
+    @staticmethod
+    def make_frontend(workers=1, engine="vec", cache=True):
+        trainer = CemTrainer(population_size=8, iterations=1,
+                             episodes_per_candidate=1, seed=3,
+                             engine=engine, cache=cache)
+        return FrontEnd(backend="trainer", seed=3, trainer=trainer,
+                        validation_episodes=4, workers=workers)
+
+    @staticmethod
+    def success_rates(result, points, scenario=Scenario.LOW):
+        return [result.database.get(p, scenario).success_rate
+                for p in points]
+
+    def test_env_steps_are_recorded(self):
+        from repro.core.evalcache import reset_shared_cache
+        reset_shared_cache()
+        result = self.make_frontend().run(
+            make_task(), hyperparams=[PolicyHyperparams(2, 32)])
+        assert result.backend == "trainer"
+        assert result.env_steps > 0
+        reset_shared_cache()
+
+    def test_cached_rerun_skips_training_steps(self):
+        from repro.core.evalcache import reset_shared_cache
+        reset_shared_cache()
+        frontend = self.make_frontend()
+        points = [PolicyHyperparams(2, 32)]
+        first = frontend.run(make_task(), hyperparams=points)
+        second = frontend.run(make_task(), hyperparams=points)
+        # The re-run trains from cache: only validation rollouts execute.
+        assert 0 < second.env_steps < first.env_steps
+        assert (self.success_rates(first, points)
+                == self.success_rates(second, points))
+        reset_shared_cache()
+
+    def test_parallel_workers_match_serial(self):
+        from repro.core.evalcache import reset_shared_cache
+        points = [PolicyHyperparams(2, 32), PolicyHyperparams(3, 32)]
+        reset_shared_cache()
+        serial = self.make_frontend(workers=1).run(make_task(),
+                                                   hyperparams=points)
+        reset_shared_cache()
+        parallel = self.make_frontend(workers=2).run(make_task(),
+                                                     hyperparams=points)
+        assert (self.success_rates(serial, points)
+                == self.success_rates(parallel, points))
+        assert serial.env_steps == parallel.env_steps
+        reset_shared_cache()
+
+    def test_profiler_credited_with_steps(self):
+        from repro.core.evalcache import reset_shared_cache
+        from repro.perf import Profiler
+        reset_shared_cache()
+        profiler = Profiler()
+        with profiler.phase("phase1"):
+            self.make_frontend().run(
+                make_task(), hyperparams=[PolicyHyperparams(2, 32)],
+                profiler=profiler)
+        record = profiler.report().phases[0]
+        assert record.name == "phase1"
+        assert record.steps > 0
+        assert record.steps_per_second > 0
+        reset_shared_cache()
+
+    def test_surrogate_is_constructed_once(self):
+        frontend = FrontEnd(backend="surrogate", seed=0)
+        assert frontend._surrogate is frontend._surrogate
+        result = frontend.run(make_task())
+        assert result.env_steps == 0

@@ -107,3 +107,29 @@ class TestProfileReport:
         assert "phase2" in text
         assert "12" in text
         assert "corner_evals: 2" in text
+
+
+class TestStepCounters:
+    def test_add_steps_and_throughput(self):
+        profiler = Profiler()
+        with profiler.phase("phase1"):
+            pass
+        profiler.add_steps("phase1", 1000)
+        record = profiler.report().phases[0]
+        assert record.steps == 1000
+        assert record.steps_per_second > 0
+        assert profiler.report().total_steps == 1000
+
+    def test_render_includes_steps_column(self):
+        profiler = Profiler()
+        with profiler.phase("phase1"):
+            pass
+        profiler.add_steps("phase1", 4321)
+        text = render_profile(profiler.report())
+        assert "steps/s" in text
+        assert "4321" in text
+
+    def test_untimed_phase_has_zero_step_rate(self):
+        profiler = Profiler()
+        profiler.add_steps("phase1", 10)
+        assert profiler.report().phases[0].steps_per_second == 0.0
