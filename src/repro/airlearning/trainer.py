@@ -28,8 +28,9 @@ pipeline runs never retrain an identical configuration.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -40,7 +41,7 @@ from repro.airlearning.policy import BatchedMlpPolicy, MlpPolicy
 from repro.airlearning.scenarios import Scenario
 from repro.airlearning.sensors import RaycastSensor
 from repro.airlearning.vecenv import VecNavigationEnv
-from repro.errors import ConfigError
+from repro.errors import CheckpointError, ConfigError
 from repro.nn.template import PolicyHyperparams
 
 #: Rollout engines selectable per trainer.
@@ -91,16 +92,27 @@ class CemTrainer:
         self.cache = cache
 
     def train(self, hyperparams: PolicyHyperparams,
-              scenario: Scenario) -> TrainingResult:
+              scenario: Scenario,
+              checkpoint_path: Optional[Union[str, os.PathLike]] = None
+              ) -> TrainingResult:
         """Train one policy for one scenario; deterministic under seed.
 
         With ``cache=True``, an identical (hyperparams, scenario,
         trainer-config) training run is served from the shared
         content-addressed cache instead of re-running; callers must
         treat the returned result as immutable.
+
+        With ``checkpoint_path`` set, the full per-generation state
+        (RNG, arena stream, distribution, traces) is snapshotted
+        atomically after every CEM iteration; a later call with the
+        same configuration and path resumes from the last completed
+        iteration and produces a bit-identical result.  A snapshot
+        written by a *different* configuration raises
+        :class:`~repro.errors.CheckpointError`; an unreadable snapshot
+        is quarantined and training restarts from scratch.
         """
         if not self.cache:
-            return self._train(hyperparams, scenario)
+            return self._train(hyperparams, scenario, checkpoint_path)
         # Imported lazily: repro.core.evalcache pulls in repro.core's
         # package init, which imports this module back (via phase1).
         from repro.core.evalcache import shared_report_cache, training_key
@@ -109,21 +121,57 @@ class CemTrainer:
         cached = cache.get(key)
         if cached is not None:
             return cached
-        result = self._train(hyperparams, scenario)
+        result = self._train(hyperparams, scenario, checkpoint_path)
         cache.put(key, result)
         return result
 
-    def _train(self, hyperparams: PolicyHyperparams,
-               scenario: Scenario) -> TrainingResult:
+    def _train(self, hyperparams: PolicyHyperparams, scenario: Scenario,
+               checkpoint_path: Optional[Union[str, os.PathLike]] = None
+               ) -> TrainingResult:
         if self.engine == "vec":
-            return self._train_vec(hyperparams, scenario)
-        return self._train_scalar(hyperparams, scenario)
+            return self._train_vec(hyperparams, scenario, checkpoint_path)
+        return self._train_scalar(hyperparams, scenario, checkpoint_path)
+
+    # ------------------------------------------------------------------
+    # Per-generation snapshots
+    # ------------------------------------------------------------------
+    def _snapshot_fingerprint(self, hyperparams: PolicyHyperparams,
+                              scenario: Scenario) -> tuple:
+        """Identity a snapshot must match to be resumed by this trainer."""
+        from repro.core.evalcache import trainer_fingerprint
+        return (trainer_fingerprint(self),
+                (hyperparams.num_layers, hyperparams.num_filters),
+                scenario.value)
+
+    def _load_snapshot(self, checkpoint_path, hyperparams: PolicyHyperparams,
+                       scenario: Scenario) -> Optional[dict]:
+        from repro.core.checkpoint import load_pickle
+        snapshot = load_pickle(checkpoint_path)
+        if snapshot is None:
+            return None
+        expected = self._snapshot_fingerprint(hyperparams, scenario)
+        if snapshot.get("fingerprint") != expected:
+            raise CheckpointError(
+                f"CEM snapshot {checkpoint_path} was written by a different "
+                "trainer configuration; refusing to resume from it")
+        return snapshot
+
+    def _save_snapshot(self, checkpoint_path,
+                       hyperparams: PolicyHyperparams, scenario: Scenario,
+                       iteration: int, **state) -> None:
+        from repro.core.checkpoint import atomic_write_pickle
+        payload = {"fingerprint": self._snapshot_fingerprint(hyperparams,
+                                                             scenario),
+                   "iteration": iteration}
+        payload.update(state)
+        atomic_write_pickle(checkpoint_path, payload)
 
     # ------------------------------------------------------------------
     # Vectorised engine
     # ------------------------------------------------------------------
-    def _train_vec(self, hyperparams: PolicyHyperparams,
-                   scenario: Scenario) -> TrainingResult:
+    def _train_vec(self, hyperparams: PolicyHyperparams, scenario: Scenario,
+                   checkpoint_path: Optional[Union[str, os.PathLike]] = None
+                   ) -> TrainingResult:
         rng = np.random.default_rng(self.seed)
         # One generator for the whole run, like the scalar engine's
         # single NavigationEnv: arenas are consumed in candidate-major
@@ -139,7 +187,21 @@ class CemTrainer:
         result = TrainingResult(hyperparams=hyperparams, scenario=scenario,
                                 best_params=mean.copy())
 
-        for _ in range(self.iterations):
+        start_iteration = 0
+        if checkpoint_path is not None:
+            snapshot = self._load_snapshot(checkpoint_path, hyperparams,
+                                           scenario)
+            if snapshot is not None:
+                # The RNG and arena-generator states make the remaining
+                # iterations bit-identical to an uninterrupted run.
+                start_iteration = snapshot["iteration"]
+                rng = snapshot["rng"]
+                generator = snapshot["generator"]
+                mean = snapshot["mean"]
+                std = snapshot["std"]
+                result = snapshot["result"]
+
+        for iteration in range(start_iteration, self.iterations):
             population = rng.normal(mean, std,
                                     size=(self.population_size, num_params))
             returns, successes, steps = self._vec_rollouts(
@@ -159,6 +221,12 @@ class CemTrainer:
             result.mean_return_trace.append(float(mean_returns[0]))
             result.success_rate_trace.append(float(mean_successes[0]))
             result.best_params = mean.copy()
+
+            if checkpoint_path is not None:
+                self._save_snapshot(checkpoint_path, hyperparams, scenario,
+                                    iteration=iteration + 1, rng=rng,
+                                    generator=generator, mean=mean, std=std,
+                                    result=result)
 
         return result
 
@@ -214,7 +282,10 @@ class CemTrainer:
     # Scalar engine (correctness oracle)
     # ------------------------------------------------------------------
     def _train_scalar(self, hyperparams: PolicyHyperparams,
-                      scenario: Scenario) -> TrainingResult:
+                      scenario: Scenario,
+                      checkpoint_path: Optional[Union[str,
+                                                      os.PathLike]] = None
+                      ) -> TrainingResult:
         rng = np.random.default_rng(self.seed)
         env = NavigationEnv(scenario, seed=self.seed)
         policy = MlpPolicy(hyperparams, env.observation_dim, env.num_actions)
@@ -224,7 +295,19 @@ class CemTrainer:
         result = TrainingResult(hyperparams=hyperparams, scenario=scenario,
                                 best_params=mean.copy())
 
-        for _ in range(self.iterations):
+        start_iteration = 0
+        if checkpoint_path is not None:
+            snapshot = self._load_snapshot(checkpoint_path, hyperparams,
+                                           scenario)
+            if snapshot is not None:
+                start_iteration = snapshot["iteration"]
+                rng = snapshot["rng"]
+                env = snapshot["env"]
+                mean = snapshot["mean"]
+                std = snapshot["std"]
+                result = snapshot["result"]
+
+        for iteration in range(start_iteration, self.iterations):
             population = rng.normal(mean, std,
                                     size=(self.population_size,
                                           policy.num_params))
@@ -248,6 +331,12 @@ class CemTrainer:
             result.mean_return_trace.append(mean_return)
             result.success_rate_trace.append(mean_success)
             result.best_params = mean.copy()
+
+            if checkpoint_path is not None:
+                self._save_snapshot(checkpoint_path, hyperparams, scenario,
+                                    iteration=iteration + 1, rng=rng,
+                                    env=env, mean=mean, std=std,
+                                    result=result)
 
         return result
 

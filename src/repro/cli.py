@@ -25,9 +25,11 @@ import numpy as np
 from repro.airlearning.scenarios import Scenario
 from repro.airlearning.trainer import CemTrainer, ROLLOUT_ENGINES
 from repro.baselines.computers import FIG5_BASELINES
+from repro.core.checkpoint import RunManifest
 from repro.core.pipeline import AutoPilot
 from repro.core.report import render_report
 from repro.core.spec import TaskSpec
+from repro.errors import CheckpointError
 from repro.experiments.fig3b import accelerator_frontier
 from repro.experiments.runner import format_table
 from repro.nn.template import (
@@ -39,7 +41,7 @@ from repro.nn.template import (
 from repro.perf import Profiler, render_profile
 from repro.uav.f1_model import F1Model
 from repro.uav.mission import evaluate_mission
-from repro.uav.platforms import UavClass, platform_by_class
+from repro.uav.platforms import UavClass, platform_by_class, platform_by_name
 
 _CLASS_BY_NAME = {c.value: c for c in UavClass}
 
@@ -95,10 +97,43 @@ def _autopilot(args: argparse.Namespace) -> AutoPilot:
                      frontend_backend=args.phase1_backend, trainer=trainer)
 
 
+def _restore_from_manifest(args: argparse.Namespace,
+                           manifest: RunManifest) -> TaskSpec:
+    """Rebuild the task and pipeline knobs a checkpointed run recorded."""
+    args.seed = manifest.seed
+    args.budget = manifest.budget
+    args.phase1_backend = manifest.frontend_backend
+    if manifest.trainer:
+        args.cem_population = manifest.trainer["population_size"]
+        args.cem_iterations = manifest.trainer["iterations"]
+        args.cem_episodes = manifest.trainer["episodes_per_candidate"]
+        args.rollout_engine = manifest.trainer["engine"]
+    return TaskSpec(platform=platform_by_name(manifest.uav),
+                    scenario=Scenario(manifest.scenario),
+                    sensor_fps=manifest.sensor_fps)
+
+
 def cmd_design(args: argparse.Namespace) -> int:
-    task = _task(args)
+    checkpoint_dir = args.checkpoint_dir
+    resume = args.resume is not None
+    if resume:
+        checkpoint_dir = args.resume
+        try:
+            manifest = RunManifest.load(checkpoint_dir)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        task = _restore_from_manifest(args, manifest)
+    else:
+        task = _task(args)
     autopilot = _autopilot(args)
-    result = autopilot.run(task, budget=args.budget, profile=args.profile)
+    try:
+        result = autopilot.run(task, budget=args.budget,
+                               profile=args.profile,
+                               checkpoint_dir=checkpoint_dir, resume=resume)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     report = render_report(result)
     if args.output:
         with open(args.output, "w") as handle:
@@ -195,6 +230,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="processes for batched design evaluation "
                              "and Phase 1 training "
                              "(default: REPRO_WORKERS or serial)")
+    checkpointing = design.add_mutually_exclusive_group()
+    checkpointing.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="write a run manifest and per-phase progress journals "
+             "into DIR so an interrupted run can be resumed")
+    checkpointing.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="resume the checkpointed run in DIR (task, seed, budget "
+             "and backend are restored from its manifest); the result "
+             "is bit-identical to an uninterrupted run")
     _add_phase1(design)
     design.set_defaults(func=cmd_design)
 

@@ -26,6 +26,7 @@ library and :mod:`repro.errors`, so the leaf modules of the package
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import threading
@@ -127,6 +128,8 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     disk_hits: int = 0
+    #: Corrupt on-disk entries quarantined (renamed aside) during loads.
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -143,14 +146,16 @@ class CacheStats:
     def snapshot(self) -> "CacheStats":
         """A copy, for delta accounting across a profiling window."""
         return CacheStats(hits=self.hits, misses=self.misses,
-                          evictions=self.evictions, disk_hits=self.disk_hits)
+                          evictions=self.evictions, disk_hits=self.disk_hits,
+                          corrupt=self.corrupt)
 
     def since(self, baseline: "CacheStats") -> "CacheStats":
         """Counter deltas relative to an earlier :meth:`snapshot`."""
         return CacheStats(hits=self.hits - baseline.hits,
                           misses=self.misses - baseline.misses,
                           evictions=self.evictions - baseline.evictions,
-                          disk_hits=self.disk_hits - baseline.disk_hits)
+                          disk_hits=self.disk_hits - baseline.disk_hits,
+                          corrupt=self.corrupt - baseline.corrupt)
 
 
 class EvalCache:
@@ -248,15 +253,35 @@ class EvalCache:
             with path.open("rb") as handle:
                 return pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError):
-            # A corrupt or stale entry is a miss, never an error.
+                AttributeError, ImportError, IndexError) as exc:
+            # A corrupt or stale entry is a miss, never an error -- but
+            # it is quarantined (renamed aside) so it is not re-parsed
+            # on every subsequent load, and the event is surfaced.
+            self._quarantine(path, exc)
             return None
+
+    def _quarantine(self, path: Path, exc: Exception) -> None:
+        """Move a corrupt persisted entry aside and count the event."""
+        quarantined = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            quarantined = None
+        with self._lock:
+            self.stats.corrupt += 1
+        logging.getLogger(__name__).warning(
+            "quarantined corrupt cache entry %s (%s: %s)%s",
+            path.name, type(exc).__name__, exc,
+            f" -> {quarantined.name}" if quarantined else "")
 
     def _save_to_disk(self, key: Tuple[Hashable, ...], value: Any) -> None:
         path = self._disk_path(key)
         if path is None:
             return
-        tmp = path.with_suffix(".tmp")
+        # Write-temp-then-replace keeps loads from ever observing a
+        # partially written entry; the pid suffix keeps concurrent
+        # writers of the same key from clobbering each other's temp.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         try:
             with tmp.open("wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)

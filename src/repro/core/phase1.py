@@ -32,6 +32,7 @@ from repro.airlearning.surrogate import SuccessRateSurrogate
 from repro.airlearning.trainer import CemTrainer, TrainingResult
 from repro.airlearning.evaluate import validate_policy
 from repro.airlearning.scenarios import Scenario
+from repro.core.checkpoint import RunCheckpoint
 from repro.core.evalcache import shared_report_cache, training_key
 from repro.core.parallel import parallel_map, resolve_workers
 from repro.core.spec import TaskSpec
@@ -89,7 +90,9 @@ class FrontEnd:
     def run(self, task: TaskSpec,
             hyperparams: Optional[Sequence[PolicyHyperparams]] = None,
             database: Optional[AirLearningDatabase] = None,
-            profiler: Optional[object] = None) -> Phase1Result:
+            profiler: Optional[object] = None,
+            checkpoint: Optional[RunCheckpoint] = None,
+            resume: bool = False) -> Phase1Result:
         """Populate the database for the task's scenario.
 
         Args:
@@ -100,20 +103,53 @@ class FrontEnd:
                 across UAVs, per the paper's phase-reuse argument).
             profiler: Optional :class:`repro.perf.Profiler`; rollout
                 steps are credited to its ``phase1`` phase.
+            checkpoint: Optional run-checkpoint layout.  Every validated
+                template point is journalled, and (with the trainer
+                backend) each point's CEM state is snapshotted per
+                generation, so an interrupted sweep resumes at the last
+                completed generation of the point it died in.
+            resume: Replay the checkpoint's journal into the database
+                instead of discarding it.
         """
         points = list(hyperparams or enumerate_template_space())
         db = database if database is not None else AirLearningDatabase()
         result = Phase1Result(database=db, backend=self.backend)
+
+        journal = None
+        if checkpoint is not None:
+            journal = checkpoint.phase1_journal()
+            if resume:
+                for record in journal.load():
+                    if record.get("scenario") != task.scenario.value:
+                        continue
+                    point = record["point"]
+                    if db.get(point, task.scenario) is None:
+                        db.add(point, task.scenario, record["success"])
+                        result.trained.append(point)
+                        result.env_steps += record["env_steps"]
+            else:
+                journal.reset()
+
         todo = [p for p in points
                 if db.get(p, task.scenario) is None]  # reuse prior runs
         if self.backend == "trainer":
             result.env_steps += self._warm_training_cache(todo,
                                                           task.scenario)
-        for point in todo:
-            success, steps = self._train_and_validate(point, task)
-            result.env_steps += steps
-            db.add(point, task.scenario, success)
-            result.trained.append(point)
+        try:
+            for point in todo:
+                success, steps = self._train_and_validate(point, task,
+                                                          checkpoint)
+                result.env_steps += steps
+                db.add(point, task.scenario, success)
+                result.trained.append(point)
+                if journal is not None:
+                    journal.append({"point": point,
+                                    "scenario": task.scenario.value,
+                                    "success": success,
+                                    "env_steps": steps})
+        finally:
+            if journal is not None:
+                journal.close()
         if profiler is not None and result.env_steps:
             profiler.add_steps("phase1", result.env_steps)
         return result
@@ -144,16 +180,22 @@ class FrontEnd:
         return steps
 
     def _train_and_validate(self, point: PolicyHyperparams,
-                            task: TaskSpec) -> Tuple[float, int]:
+                            task: TaskSpec,
+                            checkpoint: Optional[RunCheckpoint] = None
+                            ) -> Tuple[float, int]:
         if self.backend == "surrogate":
             return self._surrogate.success_rate(point, task.scenario), 0
+        cem_path = None
+        if checkpoint is not None:
+            cem_path = checkpoint.cem_checkpoint_path(point, task.scenario)
         # A cached training run executes no rollouts; only count steps
         # that actually ran in this process (pool-warmed runs are
         # credited by _warm_training_cache).
         was_cached = (self.trainer.cache and
                       training_key(self.trainer, point, task.scenario)
                       in shared_report_cache())
-        training = self.trainer.train(point, task.scenario)
+        training = self.trainer.train(point, task.scenario,
+                                      checkpoint_path=cem_path)
         sensor = RaycastSensor()
         policy = MlpPolicy(point, sensor.num_rays + 4, NUM_ACTIONS)
         policy.set_params(training.best_params)

@@ -19,9 +19,10 @@ from typing import List, Optional, Sequence, Type
 import numpy as np
 
 from repro.airlearning.database import AirLearningDatabase
+from repro.core.checkpoint import EvaluationJournal, JournalReplayer
 from repro.core.parallel import BatchDssocEvaluator
 from repro.core.spec import TaskSpec, assignment_to_design, build_design_space
-from repro.errors import ConfigError
+from repro.errors import CheckpointError, ConfigError
 from repro.optim.base import Optimizer, OptimizationResult
 from repro.optim.bayesopt import SmsEgoBayesOpt
 from repro.optim.pareto import non_dominated_mask
@@ -157,7 +158,8 @@ class MultiObjectiveDse:
 
     def run(self, task: TaskSpec, budget: int = 120,
             reference: Optional[Sequence[float]] = None,
-            profiler=None) -> Phase2Result:
+            profiler=None, journal: Optional[EvaluationJournal] = None,
+            resume: bool = False) -> Phase2Result:
         """Spend ``budget`` unique evaluations and collect candidates.
 
         Args:
@@ -167,6 +169,18 @@ class MultiObjectiveDse:
                 from the design-space extremes when omitted.
             profiler: Optional :class:`repro.perf.Profiler` credited
                 with the evaluation count of this run.
+            journal: Optional evaluation journal.  Every completed
+                evaluation is durably appended to it; with ``resume``
+                the journalled evaluations are *replayed* through the
+                optimiser (the optimiser re-runs its decision sequence
+                from scratch, served recorded results without
+                simulating), then evaluation continues live -- producing
+                a run bit-identical to an uninterrupted one.
+            resume: Replay ``journal`` instead of discarding it.  Each
+                replayed record is verified against the assignment the
+                optimiser actually requests; a mismatch (journal from a
+                different seed/space/configuration) raises
+                :class:`~repro.errors.CheckpointError`.
         """
         if budget <= 0:
             raise ConfigError("budget must be positive")
@@ -174,34 +188,76 @@ class MultiObjectiveDse:
         evaluator = batch_evaluator.evaluator
         candidates: List[CandidateDesign] = []
 
-        def to_candidate(design: DssocDesign,
+        replayer = JournalReplayer([])
+        if journal is not None:
+            if resume:
+                replayer = JournalReplayer(journal.load())
+            else:
+                journal.reset()
+
+        def to_candidate(assignment: Assignment, design: DssocDesign,
                          evaluation: DssocEvaluation) -> CandidateDesign:
             success = self.database.success_rate(design.policy,
                                                  task.scenario)
             candidate = CandidateDesign(design=design, evaluation=evaluation,
                                         success_rate=success)
             candidates.append(candidate)
+            if journal is not None:
+                journal.append({"assignment": dict(assignment),
+                                "candidate": candidate})
+            return candidate
+
+        def replay_one(assignment: Assignment) -> CandidateDesign:
+            record = replayer.take()
+            if (self.space.key(record["assignment"])
+                    != self.space.key(assignment)):
+                raise CheckpointError(
+                    "phase 2 journal does not match the resumed run: "
+                    f"recorded point {record['assignment']} but the "
+                    f"optimiser requested {dict(assignment)} (different "
+                    "seed, space or optimiser configuration?)")
+            candidate = record["candidate"]
+            candidates.append(candidate)
             return candidate
 
         def objectives(assignment: Assignment) -> Sequence[float]:
+            if replayer.pending:
+                return replay_one(assignment).objectives
             design = assignment_to_design(assignment)
-            return to_candidate(design,
+            return to_candidate(assignment, design,
                                 evaluator.evaluate(design)).objectives
 
         def batch_objectives(assignments: Sequence[Assignment]
                              ) -> List[Sequence[float]]:
-            designs = [assignment_to_design(a) for a in assignments]
-            evaluations = batch_evaluator.evaluate_batch(designs)
-            return [to_candidate(design, evaluation).objectives
-                    for design, evaluation in zip(designs, evaluations)]
+            # The optimiser re-issues the same deterministic request
+            # sequence on resume, so journalled records line up with the
+            # batch prefix; the remainder is evaluated live.
+            out: List[Sequence[float]] = []
+            position = 0
+            while position < len(assignments) and replayer.pending:
+                out.append(replay_one(assignments[position]).objectives)
+                position += 1
+            live = list(assignments[position:])
+            if live:
+                designs = [assignment_to_design(a) for a in live]
+                evaluations = batch_evaluator.evaluate_batch(designs)
+                out.extend(
+                    to_candidate(assignment, design, evaluation).objectives
+                    for assignment, design, evaluation
+                    in zip(live, designs, evaluations))
+            return out
 
         optimizer = self.optimizer_cls(self.space, seed=self.seed,
                                        **self.optimizer_kwargs)
         if reference is None:
             reference = self.derive_reference(evaluator)
-        record = optimizer.optimize(objectives, budget=budget,
-                                    reference=reference,
-                                    batch_objective_fn=batch_objectives)
+        try:
+            record = optimizer.optimize(objectives, budget=budget,
+                                        reference=reference,
+                                        batch_objective_fn=batch_objectives)
+        finally:
+            if journal is not None:
+                journal.close()
         if profiler is not None:
             profiler.add_evaluations("phase2", len(record.evaluations))
         return Phase2Result(candidates=candidates, optimization=record,

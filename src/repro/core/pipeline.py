@@ -15,16 +15,19 @@ another").
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Type
+from typing import Dict, Optional, Tuple, Type, Union
 
 from repro.airlearning.database import AirLearningDatabase
 from repro.airlearning.scenarios import Scenario
 from repro.airlearning.trainer import CemTrainer
+from repro.core.checkpoint import RunCheckpoint, RunManifest
 from repro.core.phase1 import FrontEnd, Phase1Result
 from repro.core.phase2 import MultiObjectiveDse, Phase2Result
 from repro.core.phase3 import BackEnd, Phase3Result, RankedDesign
 from repro.core.spec import TaskSpec
+from repro.errors import CheckpointError, ConfigError
 from repro.optim.base import Optimizer
 from repro.optim.bayesopt import SmsEgoBayesOpt
 from repro.perf import ProfileReport, Profiler
@@ -78,17 +81,46 @@ class AutoPilot:
 
     def run(self, task: TaskSpec, budget: int = 120,
             reuse_phase2: bool = True,
-            profile: bool = False) -> AutoPilotResult:
+            profile: bool = False,
+            checkpoint_dir: Optional[Union[str, os.PathLike]] = None,
+            resume: bool = False) -> AutoPilotResult:
         """Run the three phases for one task specification.
 
         With ``profile=True``, the result carries a
         :class:`~repro.perf.ProfileReport` of per-phase wall time,
         evaluation throughput and simulator-cache activity.
+
+        With ``checkpoint_dir`` set, the run writes an atomic manifest
+        plus per-phase progress journals into the directory; a later
+        call with ``resume=True`` fast-forwards through the completed
+        work and produces a result bit-identical to an uninterrupted
+        run.  Resuming verifies the manifest against this pipeline's
+        configuration and raises
+        :class:`~repro.errors.CheckpointError` on any mismatch.
         """
+        if resume and checkpoint_dir is None:
+            raise ConfigError("resume requires a checkpoint directory")
+        checkpoint: Optional[RunCheckpoint] = None
+        manifest: Optional[RunManifest] = None
+        if checkpoint_dir is not None:
+            checkpoint = RunCheckpoint(checkpoint_dir)
+            manifest = self._manifest_for(task, budget)
+            if resume:
+                previous = RunManifest.load(checkpoint.run_dir)
+                self._verify_manifest(previous, manifest, checkpoint)
+            manifest.save(checkpoint.run_dir)
+
         profiler = Profiler()
+        if manifest is not None:
+            manifest.status["phase1"] = "running"
+            manifest.save(checkpoint.run_dir)
         with profiler.phase("phase1"):
             phase1 = self.frontend.run(task, database=self.database,
-                                       profiler=profiler)
+                                       profiler=profiler,
+                                       checkpoint=checkpoint, resume=resume)
+        if manifest is not None:
+            manifest.status["phase1"] = "complete"
+            manifest.save(checkpoint.run_dir)
 
         cache_key = (task.scenario, budget)
         phase2 = self._phase2_cache.get(cache_key) if reuse_phase2 else None
@@ -98,12 +130,64 @@ class AutoPilot:
                                     seed=self.seed,
                                     optimizer_kwargs=self.optimizer_kwargs,
                                     workers=self.workers)
+            journal = (checkpoint.phase2_journal()
+                       if checkpoint is not None else None)
+            if manifest is not None:
+                manifest.status["phase2"] = "running"
+                manifest.save(checkpoint.run_dir)
             with profiler.phase("phase2"):
-                phase2 = dse.run(task, budget=budget, profiler=profiler)
+                phase2 = dse.run(task, budget=budget, profiler=profiler,
+                                 journal=journal, resume=resume)
             self._phase2_cache[cache_key] = phase2
+        if manifest is not None:
+            manifest.status["phase2"] = "complete"
+            manifest.phase2_evaluations = len(
+                phase2.optimization.evaluations)
+            manifest.save(checkpoint.run_dir)
 
         with profiler.phase("phase3"):
             phase3 = self.backend.run(phase2.candidates, task)
+        if manifest is not None:
+            manifest.status["phase3"] = "complete"
+            manifest.save(checkpoint.run_dir)
         return AutoPilotResult(
             task=task, phase1=phase1, phase2=phase2, phase3=phase3,
             profile=profiler.report() if profile else None)
+
+    # ------------------------------------------------------------------
+    def _manifest_for(self, task: TaskSpec, budget: int) -> RunManifest:
+        """The manifest describing this pipeline configuration."""
+        trainer_cfg = None
+        if self.frontend.backend == "trainer":
+            trainer = self.frontend.trainer
+            trainer_cfg = {
+                "population_size": trainer.population_size,
+                "elite_count": trainer.elite_count,
+                "episodes_per_candidate": trainer.episodes_per_candidate,
+                "iterations": trainer.iterations,
+                "initial_std": trainer.initial_std,
+                "engine": trainer.engine,
+            }
+        return RunManifest(uav=task.platform.name,
+                           scenario=task.scenario.value,
+                           seed=self.seed, budget=budget,
+                           sensor_fps=task.sensor_fps,
+                           frontend_backend=self.frontend.backend,
+                           trainer=trainer_cfg)
+
+    @staticmethod
+    def _verify_manifest(previous: RunManifest, current: RunManifest,
+                         checkpoint: RunCheckpoint) -> None:
+        """Refuse to resume a run under a different configuration."""
+        mismatched = [
+            name for name in ("uav", "scenario", "seed", "budget",
+                              "sensor_fps", "frontend_backend", "trainer")
+            if getattr(previous, name) != getattr(current, name)]
+        if mismatched:
+            details = ", ".join(
+                f"{name}: recorded {getattr(previous, name)!r}, "
+                f"requested {getattr(current, name)!r}"
+                for name in mismatched)
+            raise CheckpointError(
+                f"cannot resume {checkpoint.manifest_path}: the recorded "
+                f"run differs from the requested one ({details})")

@@ -19,3 +19,7 @@ class SimulationError(ReproError):
 
 class InfeasibleDesignError(ReproError):
     """A design cannot be realised on the target UAV (e.g. cannot lift off)."""
+
+
+class CheckpointError(ReproError):
+    """A run checkpoint is missing, corrupt or inconsistent with the run."""

@@ -5,6 +5,7 @@ from repro.optim.base import (
     CachingEvaluator,
     Evaluation,
     ObjectiveFn,
+    ObserverFn,
     OptimizationResult,
     Optimizer,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "OptimizationResult",
     "Evaluation",
     "ObjectiveFn",
+    "ObserverFn",
     "CachingEvaluator",
     "SmsEgoBayesOpt",
     "NsgaII",

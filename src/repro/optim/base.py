@@ -27,6 +27,14 @@ ObjectiveFn = Callable[[Assignment], Sequence[float]]
 #: optimisers stay oblivious.
 BatchObjectiveFn = Callable[[List[Assignment]], Sequence[Sequence[float]]]
 
+#: Called once per *fresh* evaluation, in history order, with the
+#: assignment and its objective vector.  Checkpointing hooks journal
+#: observed points through this: because every optimiser is a
+#: deterministic function of its seed and the observed values, replaying
+#: a journal through the objective function reconstructs the optimiser
+#: state exactly.
+ObserverFn = Callable[[Assignment, np.ndarray], None]
+
 
 @dataclass
 class Evaluation:
@@ -76,12 +84,14 @@ class CachingEvaluator:
     def __init__(self, space: DesignSpace, objective_fn: ObjectiveFn,
                  budget: int,
                  reference: Optional[Sequence[float]] = None,
-                 batch_objective_fn: Optional[BatchObjectiveFn] = None):
+                 batch_objective_fn: Optional[BatchObjectiveFn] = None,
+                 observer: Optional[ObserverFn] = None):
         if budget <= 0:
             raise ConfigError("budget must be positive")
         self.space = space
         self.objective_fn = objective_fn
         self.batch_objective_fn = batch_objective_fn
+        self.observer = observer
         self.budget = budget
         self.reference = None if reference is None else np.asarray(reference,
                                                                    dtype=float)
@@ -170,6 +180,8 @@ class CachingEvaluator:
         if self.reference is not None:
             self._hv = self._updated_hypervolume(objectives)
             self.result.hypervolume_trace.append(self._hv)
+        if self.observer is not None:
+            self.observer(assignment, objectives)
 
     def _updated_hypervolume(self, objectives: np.ndarray) -> float:
         """Fold one point into the running front and return the volume.
@@ -207,12 +219,19 @@ class Optimizer:
 
     def optimize(self, objective_fn: ObjectiveFn, budget: int,
                  reference: Optional[Sequence[float]] = None,
-                 batch_objective_fn: Optional[BatchObjectiveFn] = None
+                 batch_objective_fn: Optional[BatchObjectiveFn] = None,
+                 observer: Optional[ObserverFn] = None
                  ) -> OptimizationResult:
-        """Spend ``budget`` unique evaluations minimising all objectives."""
+        """Spend ``budget`` unique evaluations minimising all objectives.
+
+        ``observer`` is invoked once per fresh evaluation in history
+        order; checkpointing uses it to journal observed points so an
+        interrupted run can be replayed bit-identically.
+        """
         evaluator = CachingEvaluator(self.space, objective_fn, budget,
                                      reference=reference,
-                                     batch_objective_fn=batch_objective_fn)
+                                     batch_objective_fn=batch_objective_fn,
+                                     observer=observer)
         rng = np.random.default_rng(self.seed)
         self.run(evaluator, rng)
         return evaluator.result

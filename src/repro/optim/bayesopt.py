@@ -8,6 +8,14 @@ to the current Pareto front, penalising candidates whose LCB is
 (epsilon-)dominated.  Candidates are drawn from a random pool of unseen
 design points each iteration -- exact maximisation over a categorical
 product space is neither possible nor needed.
+
+Resume semantics: the whole optimiser is a deterministic function of its
+seed and the observed objective values.  Each proposal reads the full
+evaluation history (GP fits) and the set of seen points (pool
+filtering), so checkpointing resumes by *replaying* journalled
+evaluations through the objective function in order -- never by
+pre-loading the evaluator cache, which would let "future" observations
+divert earlier proposals.
 """
 
 from __future__ import annotations

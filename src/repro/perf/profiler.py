@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from repro.core.evalcache import CacheStats, shared_report_cache
+from repro.core.parallel import PoolStats, pool_stats
 
 
 @dataclass
@@ -30,6 +31,8 @@ class PhaseRecord:
     #: Phase 1 rollout transitions), for throughput reporting.
     steps: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
+    #: Worker-pool fault/retry activity within the phase.
+    pool: PoolStats = field(default_factory=PoolStats)
 
     @property
     def evaluations_per_second(self) -> float:
@@ -73,6 +76,15 @@ class ProfileReport:
             total.misses += phase.cache.misses
             total.evictions += phase.cache.evictions
             total.disk_hits += phase.cache.disk_hits
+            total.corrupt += phase.cache.corrupt
+        return total
+
+    @property
+    def overall_pool(self) -> PoolStats:
+        """Worker-pool fault/retry activity summed over all phases."""
+        total = PoolStats()
+        for phase in self.phases:
+            total.merge(phase.pool)
         return total
 
 
@@ -99,6 +111,7 @@ class Profiler:
             self._phases[name] = record
             self._order.append(name)
         cache_before = shared_report_cache().stats.snapshot()
+        pool_before = pool_stats().snapshot()
         start = time.perf_counter()
         try:
             yield record
@@ -110,6 +123,8 @@ class Profiler:
             record.cache.misses += delta.misses
             record.cache.evictions += delta.evictions
             record.cache.disk_hits += delta.disk_hits
+            record.cache.corrupt += delta.corrupt
+            record.pool.merge(pool_stats().since(pool_before))
             if evaluations is not None:
                 record.evaluations += evaluations
 
@@ -169,6 +184,16 @@ def render_profile(report: ProfileReport) -> str:
                  f"{report.total_steps or '-':>9} "
                  f"{'':>9} "
                  f"{(f'{overall.hit_rate:.1%}' if overall.lookups else '-'):>9}")
+    pool = report.overall_pool
+    if pool.total_faults:
+        lines.append(
+            f"pool faults: {pool.chunk_failures} chunk failures, "
+            f"{pool.chunk_retries} retries, {pool.pool_respawns} respawns, "
+            f"{pool.poisoned_chunks} poisoned, "
+            f"{pool.unpicklable_chunks} unpicklable, "
+            f"{pool.serial_fallback_chunks} serial-fallback chunks")
+    if overall.corrupt:
+        lines.append(f"cache entries quarantined: {overall.corrupt}")
     for name in sorted(report.counters):
         lines.append(f"{name}: {report.counters[name]}")
     return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Test-support utilities shipped with the library.
+
+``repro.testing.faults`` provides deterministic, seed-free fault
+injection for the sweep runtime: worker crashes, transient evaluator
+exceptions, pickling failures and simulated kills between checkpoint
+writes.  It is used by the fault-tolerance test suites and by the
+opt-in ``REPRO_FAULTS`` environment hook.
+"""
+
+from repro.testing.faults import (
+    FAULTS_ENV,
+    FaultInjector,
+    FaultRule,
+    SimulatedKill,
+    TransientFault,
+    active_faults,
+    current_injector,
+    install_injector,
+    parse_faults,
+    uninstall_injector,
+)
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultInjector",
+    "FaultRule",
+    "SimulatedKill",
+    "TransientFault",
+    "active_faults",
+    "current_injector",
+    "install_injector",
+    "parse_faults",
+    "uninstall_injector",
+]

@@ -1,0 +1,437 @@
+"""Crash/resume tests for the checkpointing runtime.
+
+The central invariant: a run that is killed between checkpoint writes
+and then resumed produces results *bit-identical* to an uninterrupted
+run -- for the CEM trainer, the Phase 2 Bayesian DSE and the full
+three-phase pipeline.
+"""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.airlearning.scenarios import Scenario
+from repro.airlearning.trainer import CemTrainer
+from repro.core.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    EvaluationJournal,
+    JournalReplayer,
+    RunCheckpoint,
+    RunManifest,
+    atomic_write_json,
+    atomic_write_pickle,
+    load_pickle,
+)
+from repro.core.evalcache import reset_shared_cache
+from repro.core.phase1 import FrontEnd
+from repro.core.phase2 import MultiObjectiveDse
+from repro.core.pipeline import AutoPilot
+from repro.core.spec import TaskSpec, build_design_space
+from repro.errors import CheckpointError, ConfigError
+from repro.nn.template import PolicyHyperparams
+from repro.testing import faults
+from repro.uav.platforms import NANO_ZHANG
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    faults.uninstall_injector()
+    yield
+    faults.uninstall_injector()
+
+
+# ----------------------------------------------------------------------
+# Primitives
+# ----------------------------------------------------------------------
+class TestAtomicWrites:
+    def test_json_round_trip_and_no_temp_left(self, tmp_path):
+        path = tmp_path / "m.json"
+        atomic_write_json(path, {"a": 1})
+        assert json.loads(path.read_text()) == {"a": 1}
+        atomic_write_json(path, {"a": 2})
+        assert json.loads(path.read_text()) == {"a": 2}
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_pickle_round_trip(self, tmp_path):
+        path = tmp_path / "s.pkl"
+        atomic_write_pickle(path, {"x": np.arange(3)})
+        loaded = load_pickle(path)
+        np.testing.assert_array_equal(loaded["x"], np.arange(3))
+
+    def test_kill_fault_fires_before_write(self, tmp_path):
+        path = tmp_path / "m.json"
+        atomic_write_json(path, {"a": 1})
+        with faults.active_faults("kill@checkpoint-write:0"):
+            with pytest.raises(faults.SimulatedKill):
+                atomic_write_json(path, {"a": 2})
+        # The kill landed before the write: the old content survives.
+        assert json.loads(path.read_text()) == {"a": 1}
+
+    def test_corrupt_pickle_is_quarantined(self, tmp_path):
+        path = tmp_path / "s.pkl"
+        path.write_bytes(b"not a pickle")
+        assert load_pickle(path) is None
+        assert not path.exists()
+        assert path.with_name("s.pkl.corrupt").exists()
+
+
+class TestRunManifest:
+    def manifest(self):
+        return RunManifest(uav="Zhang et al. nano-UAV", scenario="dense",
+                           seed=7, budget=40)
+
+    def test_save_load_round_trip(self, tmp_path):
+        manifest = self.manifest()
+        manifest.status["phase1"] = "complete"
+        manifest.save(tmp_path)
+        loaded = RunManifest.load(tmp_path)
+        assert loaded == manifest
+
+    def test_missing_manifest_is_a_distinct_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no run manifest found"):
+            RunManifest.load(tmp_path)
+
+    def test_corrupt_manifest_is_a_distinct_error(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{not json")
+        with pytest.raises(CheckpointError, match="corrupt run manifest"):
+            RunManifest.load(tmp_path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        payload = {"uav": "x", "scenario": "dense", "seed": 0, "budget": 1,
+                   "schema": CHECKPOINT_SCHEMA_VERSION + 1}
+        (tmp_path / "manifest.json").write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="schema"):
+            RunManifest.load(tmp_path)
+
+    def test_missing_required_field_rejected(self, tmp_path):
+        payload = {"uav": "x", "schema": CHECKPOINT_SCHEMA_VERSION}
+        (tmp_path / "manifest.json").write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="corrupt run manifest"):
+            RunManifest.load(tmp_path)
+
+
+class TestEvaluationJournal:
+    def test_append_load_round_trip(self, tmp_path):
+        journal = EvaluationJournal(tmp_path / "j.jnl", kind="test")
+        for i in range(5):
+            journal.append({"i": i, "v": float(i) / 3.0})
+        journal.close()
+        records = EvaluationJournal(tmp_path / "j.jnl", kind="test").load()
+        assert [r["i"] for r in records] == list(range(5))
+        # Pickle framing preserves float bit patterns exactly.
+        assert records[4]["v"] == 4.0 / 3.0
+
+    def test_truncated_tail_is_dropped_then_overwritten(self, tmp_path):
+        path = tmp_path / "j.jnl"
+        journal = EvaluationJournal(path, kind="test")
+        for i in range(3):
+            journal.append({"i": i})
+        journal.close()
+        # Simulate a kill mid-write: append garbage half-record bytes.
+        with path.open("ab") as handle:
+            handle.write(pickle.dumps({"i": 3})[:-4])
+        reread = EvaluationJournal(path, kind="test")
+        assert [r["i"] for r in reread.load()] == [0, 1, 2]
+        # Appending after the load truncates the garbage tail.
+        reread.append({"i": 3})
+        reread.close()
+        final = EvaluationJournal(path, kind="test").load()
+        assert [r["i"] for r in final] == [0, 1, 2, 3]
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        journal = EvaluationJournal(tmp_path / "j.jnl", kind="alpha")
+        journal.append({"i": 0})
+        journal.close()
+        with pytest.raises(CheckpointError, match="not a 'beta' journal"):
+            EvaluationJournal(tmp_path / "j.jnl", kind="beta").load()
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert EvaluationJournal(tmp_path / "none.jnl").load() == []
+
+    def test_reset_discards_records(self, tmp_path):
+        journal = EvaluationJournal(tmp_path / "j.jnl", kind="test")
+        journal.append({"i": 0})
+        journal.reset()
+        assert journal.load() == []
+
+    def test_kill_fault_loses_only_the_in_flight_record(self, tmp_path):
+        journal = EvaluationJournal(tmp_path / "j.jnl", kind="test")
+        journal.append({"i": 0})
+        # The write counter belongs to the injector, so inside the
+        # context the failing append is its write 0.
+        with faults.active_faults("kill@checkpoint-write:0"):
+            with pytest.raises(faults.SimulatedKill):
+                journal.append({"i": 1})
+        journal.close()
+        assert [r["i"] for r in
+                EvaluationJournal(tmp_path / "j.jnl", kind="test").load()] \
+            == [0]
+
+    def test_replayer_cursor(self):
+        replayer = JournalReplayer([1, 2])
+        assert replayer.pending and replayer.remaining == 2
+        assert replayer.take() == 1
+        assert replayer.take() == 2
+        assert not replayer.pending
+        with pytest.raises(CheckpointError):
+            replayer.take()
+
+
+# ----------------------------------------------------------------------
+# CEM trainer resume
+# ----------------------------------------------------------------------
+SMALL_CEM = dict(population_size=4, episodes_per_candidate=1, iterations=3,
+                 seed=11)
+POINT = PolicyHyperparams(num_layers=4, num_filters=32)
+
+
+class TestCemResume:
+    @pytest.mark.parametrize("engine", ["vec", "scalar"])
+    def test_killed_training_resumes_bit_identically(self, tmp_path, engine):
+        baseline = CemTrainer(engine=engine, **SMALL_CEM).train(
+            POINT, Scenario.DENSE)
+        path = tmp_path / "cem.pkl"
+        # Snapshot writes happen once per iteration; kill before the
+        # second one, i.e. mid-run with one generation persisted.
+        with faults.active_faults("kill@checkpoint-write:1"):
+            with pytest.raises(faults.SimulatedKill):
+                CemTrainer(engine=engine, **SMALL_CEM).train(
+                    POINT, Scenario.DENSE, checkpoint_path=path)
+        resumed = CemTrainer(engine=engine, **SMALL_CEM).train(
+            POINT, Scenario.DENSE, checkpoint_path=path)
+        np.testing.assert_array_equal(resumed.best_params,
+                                      baseline.best_params)
+        assert resumed.mean_return_trace == baseline.mean_return_trace
+        assert resumed.success_rate_trace == baseline.success_rate_trace
+        assert resumed.env_steps == baseline.env_steps
+
+    def test_completed_checkpoint_short_circuits(self, tmp_path):
+        path = tmp_path / "cem.pkl"
+        trainer = CemTrainer(**SMALL_CEM)
+        first = trainer.train(POINT, Scenario.DENSE, checkpoint_path=path)
+        again = trainer.train(POINT, Scenario.DENSE, checkpoint_path=path)
+        np.testing.assert_array_equal(first.best_params, again.best_params)
+        assert again.env_steps == first.env_steps
+
+    def test_foreign_snapshot_rejected(self, tmp_path):
+        path = tmp_path / "cem.pkl"
+        CemTrainer(**SMALL_CEM).train(POINT, Scenario.DENSE,
+                                      checkpoint_path=path)
+        other = dict(SMALL_CEM, seed=99)
+        with pytest.raises(CheckpointError, match="different"):
+            CemTrainer(**other).train(POINT, Scenario.DENSE,
+                                      checkpoint_path=path)
+
+    def test_corrupt_snapshot_quarantined_and_retrained(self, tmp_path):
+        path = tmp_path / "cem.pkl"
+        path.write_bytes(b"garbage snapshot")
+        baseline = CemTrainer(**SMALL_CEM).train(POINT, Scenario.DENSE)
+        result = CemTrainer(**SMALL_CEM).train(POINT, Scenario.DENSE,
+                                               checkpoint_path=path)
+        np.testing.assert_array_equal(result.best_params,
+                                      baseline.best_params)
+        assert path.with_name("cem.pkl.corrupt").exists()
+
+
+# ----------------------------------------------------------------------
+# Phase 2 DSE resume
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def task():
+    return TaskSpec(platform=NANO_ZHANG, scenario=Scenario.DENSE)
+
+
+@pytest.fixture(scope="module")
+def database(task):
+    return FrontEnd(backend="surrogate", seed=0).run(task).database
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return build_design_space(layer_choices=(4, 7), filter_choices=(32, 48),
+                              pe_choices=(16, 32), sram_choices=(64, 128))
+
+
+DSE_KWARGS = dict(seed=5, optimizer_kwargs={"num_initial": 4,
+                                            "pool_size": 16})
+
+
+def assert_phase2_equal(a, b):
+    assert len(a.candidates) == len(b.candidates)
+    for x, y in zip(a.candidates, b.candidates):
+        np.testing.assert_array_equal(x.objectives, y.objectives)
+        assert x.design.policy == y.design.policy
+        assert x.design.accelerator == y.design.accelerator
+    np.testing.assert_array_equal(
+        np.asarray(a.optimization.hypervolume_trace),
+        np.asarray(b.optimization.hypervolume_trace))
+    np.testing.assert_array_equal(a.reference, b.reference)
+
+
+class TestPhase2Resume:
+    def test_killed_dse_resumes_bit_identically(self, tmp_path, database,
+                                                task, small_space):
+        baseline = MultiObjectiveDse(database=database, space=small_space,
+                                     **DSE_KWARGS).run(task, budget=12)
+        journal = EvaluationJournal(tmp_path / "phase2.jnl",
+                                    kind="phase2-evaluations")
+        # Kill before the 7th journal append: 6 evaluations persisted.
+        with faults.active_faults("kill@checkpoint-write:6"):
+            with pytest.raises(faults.SimulatedKill):
+                MultiObjectiveDse(database=database, space=small_space,
+                                  **DSE_KWARGS).run(task, budget=12,
+                                                    journal=journal)
+        journal = EvaluationJournal(tmp_path / "phase2.jnl",
+                                    kind="phase2-evaluations")
+        assert len(journal.load()) == 6
+        resumed = MultiObjectiveDse(database=database, space=small_space,
+                                    **DSE_KWARGS).run(task, budget=12,
+                                                      journal=journal,
+                                                      resume=True)
+        assert_phase2_equal(resumed, baseline)
+
+    def test_resume_of_complete_run_is_simulation_free(self, tmp_path,
+                                                       database, task,
+                                                       small_space):
+        journal = EvaluationJournal(tmp_path / "phase2.jnl",
+                                    kind="phase2-evaluations")
+        baseline = MultiObjectiveDse(database=database, space=small_space,
+                                     **DSE_KWARGS).run(task, budget=10,
+                                                       journal=journal)
+        journal = EvaluationJournal(tmp_path / "phase2.jnl",
+                                    kind="phase2-evaluations")
+        resumed = MultiObjectiveDse(database=database, space=small_space,
+                                    **DSE_KWARGS).run(task, budget=10,
+                                                      journal=journal,
+                                                      resume=True)
+        assert_phase2_equal(resumed, baseline)
+
+    def test_mismatched_journal_rejected(self, tmp_path, database, task,
+                                         small_space):
+        journal = EvaluationJournal(tmp_path / "phase2.jnl",
+                                    kind="phase2-evaluations")
+        MultiObjectiveDse(database=database, space=small_space,
+                          **DSE_KWARGS).run(task, budget=8, journal=journal)
+        journal = EvaluationJournal(tmp_path / "phase2.jnl",
+                                    kind="phase2-evaluations")
+        other = MultiObjectiveDse(database=database, space=small_space,
+                                  seed=6,
+                                  optimizer_kwargs={"num_initial": 4,
+                                                    "pool_size": 16})
+        with pytest.raises(CheckpointError, match="does not match"):
+            other.run(task, budget=8, journal=journal, resume=True)
+
+    def test_fresh_run_discards_stale_journal(self, tmp_path, database,
+                                              task, small_space):
+        journal = EvaluationJournal(tmp_path / "phase2.jnl",
+                                    kind="phase2-evaluations")
+        journal.append({"assignment": {}, "candidate": None})
+        journal.close()
+        MultiObjectiveDse(database=database, space=small_space,
+                          **DSE_KWARGS).run(task, budget=6, journal=journal)
+        reread = EvaluationJournal(tmp_path / "phase2.jnl",
+                                   kind="phase2-evaluations")
+        records = reread.load()
+        assert len(records) == 6
+        assert all(r["candidate"] is not None for r in records)
+
+
+# ----------------------------------------------------------------------
+# Full pipeline resume
+# ----------------------------------------------------------------------
+PIPE_KWARGS = dict(seed=9, optimizer_kwargs={"num_initial": 4,
+                                             "pool_size": 16})
+
+
+def assert_pipeline_equal(a, b):
+    assert_phase2_equal(a.phase2, b.phase2)
+    assert a.selected.candidate.design.policy == \
+        b.selected.candidate.design.policy
+    assert a.selected.candidate.design.accelerator == \
+        b.selected.candidate.design.accelerator
+    assert a.num_missions == b.num_missions
+    assert list(a.phase1.database) == list(b.phase1.database)
+
+
+class TestPipelineResume:
+    def test_killed_pipeline_resumes_bit_identically(self, tmp_path, task):
+        baseline = AutoPilot(**PIPE_KWARGS).run(task, budget=10)
+        run_dir = tmp_path / "run"
+        # Counter 35 lands inside Phase 2: 2 manifest writes + 27
+        # Phase 1 journal appends + 1 manifest write + 1 manifest write
+        # = 31 writes before the Phase 2 journal starts.
+        with faults.active_faults("kill@checkpoint-write:35"):
+            with pytest.raises(faults.SimulatedKill):
+                AutoPilot(**PIPE_KWARGS).run(task, budget=10,
+                                             checkpoint_dir=run_dir)
+        manifest = RunManifest.load(run_dir)
+        assert manifest.status["phase1"] == "complete"
+        resumed = AutoPilot(**PIPE_KWARGS).run(task, budget=10,
+                                               checkpoint_dir=run_dir,
+                                               resume=True)
+        assert_pipeline_equal(resumed, baseline)
+        manifest = RunManifest.load(run_dir)
+        assert manifest.status == {"phase1": "complete",
+                                   "phase2": "complete",
+                                   "phase3": "complete"}
+        assert manifest.phase2_evaluations == 10
+
+    def test_resume_requires_checkpoint_dir(self, task):
+        with pytest.raises(ConfigError, match="resume requires"):
+            AutoPilot(**PIPE_KWARGS).run(task, budget=4, resume=True)
+
+    def test_resume_with_missing_manifest_raises(self, tmp_path, task):
+        with pytest.raises(CheckpointError, match="no run manifest found"):
+            AutoPilot(**PIPE_KWARGS).run(task, budget=4,
+                                         checkpoint_dir=tmp_path / "none",
+                                         resume=True)
+
+    def test_resume_under_different_config_rejected(self, tmp_path, task):
+        run_dir = tmp_path / "run"
+        AutoPilot(**PIPE_KWARGS).run(task, budget=6,
+                                     checkpoint_dir=run_dir)
+        with pytest.raises(CheckpointError, match="budget"):
+            AutoPilot(**PIPE_KWARGS).run(task, budget=7,
+                                         checkpoint_dir=run_dir,
+                                         resume=True)
+        with pytest.raises(CheckpointError, match="seed"):
+            AutoPilot(seed=10,
+                      optimizer_kwargs=PIPE_KWARGS["optimizer_kwargs"]).run(
+                task, budget=6, checkpoint_dir=run_dir, resume=True)
+
+
+# ----------------------------------------------------------------------
+# Phase 1 journal resume (trainer backend, per-point CEM snapshots)
+# ----------------------------------------------------------------------
+class TestPhase1TrainerResume:
+    def test_killed_training_sweep_resumes_bit_identically(self, tmp_path,
+                                                           task):
+        points = [PolicyHyperparams(num_layers=4, num_filters=32),
+                  PolicyHyperparams(num_layers=4, num_filters=48)]
+
+        def frontend():
+            # cache=False keeps the shared content-addressed cache out
+            # of the picture: resume must come from the checkpoint.
+            return FrontEnd(backend="trainer", seed=3,
+                            trainer=CemTrainer(cache=False, engine="vec",
+                                               **SMALL_CEM))
+
+        reset_shared_cache()
+        baseline = frontend().run(task, hyperparams=points)
+        checkpoint = RunCheckpoint(tmp_path / "run")
+        # Per point: 3 CEM snapshots + 1 journal append = 4 writes.
+        # Kill at write 5: point 0 complete + journalled, point 1 has
+        # one generation snapshotted.
+        with faults.active_faults("kill@checkpoint-write:5"):
+            with pytest.raises(faults.SimulatedKill):
+                frontend().run(task, hyperparams=points,
+                               checkpoint=checkpoint)
+        resumed = frontend().run(task, hyperparams=points,
+                                 checkpoint=checkpoint, resume=True)
+        assert resumed.trained == baseline.trained
+        assert resumed.env_steps == baseline.env_steps
+        for point in points:
+            assert resumed.database.get(point, task.scenario).success_rate \
+                == baseline.database.get(point, task.scenario).success_rate

@@ -136,6 +136,41 @@ class TestEvalCache:
         fresh = EvalCache(capacity=4, persist_dir=tmp_path)
         assert fresh.get(("k",)) is None
 
+    def test_corrupt_disk_entry_is_quarantined_and_counted(self, tmp_path):
+        cache = EvalCache(capacity=4, persist_dir=tmp_path)
+        cache.put(("k",), "good")
+        path = cache._disk_path(("k",))
+        path.write_bytes(b"not a pickle")
+        fresh = EvalCache(capacity=4, persist_dir=tmp_path)
+        assert fresh.get(("k",)) is None
+        # The garbage file is renamed aside, not deleted and not left
+        # to be re-parsed on every load.
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert fresh.stats.corrupt == 1
+        # A re-put stores a clean entry alongside the quarantined one.
+        fresh.put(("k",), "fresh")
+        reread = EvalCache(capacity=4, persist_dir=tmp_path)
+        assert reread.get(("k",)) == "fresh"
+        assert reread.stats.corrupt == 0
+
+    def test_truncated_disk_entry_is_quarantined(self, tmp_path):
+        cache = EvalCache(capacity=4, persist_dir=tmp_path)
+        cache.put(("k",), {"cycles": 123})
+        path = cache._disk_path(("k",))
+        path.write_bytes(path.read_bytes()[:-3])
+        fresh = EvalCache(capacity=4, persist_dir=tmp_path)
+        assert fresh.get(("k",)) is None
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert fresh.stats.corrupt == 1
+
+    def test_saves_are_atomic_no_temp_files_left(self, tmp_path):
+        cache = EvalCache(capacity=4, persist_dir=tmp_path)
+        cache.put(("k",), "value")
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.name.endswith(".tmp")]
+        assert leftovers == []
+
     def test_disk_entries_survive_clear(self, tmp_path):
         cache = EvalCache(capacity=4, persist_dir=tmp_path)
         cache.put(("k",), "value")

@@ -1,8 +1,19 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.core.checkpoint import RunManifest
+from repro.testing import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    faults.uninstall_injector()
+    yield
+    faults.uninstall_injector()
 
 
 class TestParser:
@@ -15,10 +26,17 @@ class TestParser:
         assert args.uav == "nano"
         assert args.scenario == "dense"
         assert args.budget == 100
+        assert args.checkpoint_dir is None
+        assert args.resume is None
 
     def test_rejects_unknown_uav(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["design", "--uav", "jumbo"])
+
+    def test_checkpoint_dir_and_resume_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["design", "--checkpoint-dir", "a",
+                                       "--resume", "b"])
 
     def test_sweep_validates_choices(self):
         with pytest.raises(SystemExit):
@@ -60,3 +78,66 @@ class TestCommands:
         assert "Jetson TX2" in out
         assert "PULP-DroNet" in out
         assert "AutoPilot" in out
+
+
+DESIGN_ARGS = ["design", "--uav", "nano", "--scenario", "low",
+               "--budget", "15", "--seed", "3"]
+
+
+class TestCheckpointCli:
+    def test_checkpoint_dir_then_resume_round_trip(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(DESIGN_ARGS + ["--checkpoint-dir", str(run_dir)]) == 0
+        first = capsys.readouterr().out
+        assert "AutoPilot design report" in first
+        manifest = RunManifest.load(run_dir)
+        assert manifest.status["phase3"] == "complete"
+        # Resuming a completed run replays the journals and reproduces
+        # the report verbatim -- seed, budget and task all come from
+        # the manifest, not the command line.
+        assert main(["design", "--resume", str(run_dir)]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_interrupted_run_resumes_to_identical_report(self, tmp_path,
+                                                         capsys):
+        assert main(DESIGN_ARGS) == 0
+        baseline = capsys.readouterr().out
+        run_dir = tmp_path / "run"
+        # Kill the process (simulated) mid-phase-2: after the initial
+        # manifest writes and the phase 1 journal, a handful of phase 2
+        # evaluations have been journalled when write #35 dies.
+        with pytest.raises(faults.SimulatedKill):
+            with faults.active_faults("kill@checkpoint-write:35"):
+                main(DESIGN_ARGS + ["--checkpoint-dir", str(run_dir)])
+        capsys.readouterr()
+        assert main(["design", "--resume", str(run_dir)]) == 0
+        assert capsys.readouterr().out == baseline
+
+    def test_resume_missing_manifest_is_a_clean_error(self, tmp_path,
+                                                      capsys):
+        assert main(["design", "--resume", str(tmp_path / "nowhere")]) == 2
+        captured = capsys.readouterr()
+        assert "no run manifest found" in captured.err
+        assert captured.out == ""
+
+    def test_resume_corrupt_manifest_is_a_clean_error(self, tmp_path,
+                                                      capsys):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "manifest.json").write_text("{not json")
+        assert main(["design", "--resume", str(run_dir)]) == 2
+        assert "corrupt run manifest" in capsys.readouterr().err
+
+    def test_resume_ignores_conflicting_command_line_args(self, tmp_path,
+                                                          capsys):
+        run_dir = tmp_path / "run"
+        assert main(DESIGN_ARGS + ["--checkpoint-dir", str(run_dir)]) == 0
+        first = capsys.readouterr().out
+        # Different --seed/--budget on the resume command line are
+        # overridden by the recorded manifest.
+        assert main(["design", "--resume", str(run_dir),
+                     "--seed", "99", "--budget", "40"]) == 0
+        assert capsys.readouterr().out == first
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["seed"] == 3
+        assert manifest["budget"] == 15
