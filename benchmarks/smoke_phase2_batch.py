@@ -1,0 +1,207 @@
+"""Phase 2 batch-path smoke benchmark for CI.
+
+Guards the two tensorised hot loops of the DSE engine:
+
+* **Uncached batch evaluation** -- ``DssocEvaluator.evaluate_batch``
+  routed through the SoA simulator kernel must beat the per-design
+  scalar loop by at least ``MIN_EVAL_SPEEDUP`` on a cold cache, while
+  returning bit-identical evaluations.
+* **BO proposal loop** -- the shared-factorisation
+  :class:`MultiObjectiveGP` with a deferred refit cadence must beat
+  the legacy three-independent-``GaussianProcess`` proposal loop by at
+  least ``MIN_GP_SPEEDUP``.
+
+Both measurements take the best of ``REPS`` repetitions per side so a
+noisy CI machine measures kernel cost, not scheduler jitter.  The
+numbers land in ``BENCH_phase2.json`` next to the repo root.
+
+Run directly (exit code 0/1) or via pytest::
+
+    PYTHONPATH=src python benchmarks/smoke_phase2_batch.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.evalcache import reset_shared_cache
+from repro.nn.template import PolicyHyperparams
+from repro.optim.gp import GaussianProcess, MultiObjectiveGP
+from repro.scalesim.config import (
+    PE_DIM_CHOICES,
+    SRAM_KB_CHOICES,
+    AcceleratorConfig,
+    Dataflow,
+)
+from repro.soc.dssoc import DssocDesign, DssocEvaluator
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_phase2.json"
+
+BATCH_SIZE = 1024
+REPS = 5
+MIN_EVAL_SPEEDUP = 5.0
+
+GP_OBSERVATIONS = 140
+GP_WARM_START = 100
+GP_POOL = 256
+GP_OBJECTIVES = 3
+GP_REFIT_EVERY = 8
+GP_REPS = 3
+MIN_GP_SPEEDUP = 3.0
+
+
+def _random_designs(seed: int, count: int) -> list:
+    # The largest zoo policy: Phase 2 wall-clock is dominated by the
+    # big networks, and a single-workload pool is the batch kernel's
+    # production shape (one simulate_batch group per policy).
+    policy = PolicyHyperparams(num_layers=10, num_filters=64)
+    rng = np.random.default_rng(seed)
+    designs = []
+    for _ in range(count):
+        config = AcceleratorConfig(
+            pe_rows=int(rng.choice(PE_DIM_CHOICES)),
+            pe_cols=int(rng.choice(PE_DIM_CHOICES)),
+            ifmap_sram_kb=int(rng.choice(SRAM_KB_CHOICES)),
+            filter_sram_kb=int(rng.choice(SRAM_KB_CHOICES)),
+            ofmap_sram_kb=int(rng.choice(SRAM_KB_CHOICES)),
+            dataflow=list(Dataflow)[int(rng.integers(3))],
+        )
+        designs.append(DssocDesign(policy=policy, accelerator=config))
+    return designs
+
+
+def bench_batch_eval() -> dict:
+    """Cold-cache scalar loop vs evaluate_batch over the same designs."""
+    designs = _random_designs(seed=11, count=BATCH_SIZE)
+    evaluator = DssocEvaluator()
+
+    scalar_s = float("inf")
+    batch_s = float("inf")
+    scalar_results = batch_results = None
+    for _ in range(REPS):
+        reset_shared_cache()
+        start = time.perf_counter()
+        scalar_results = [evaluator.evaluate(d) for d in designs]
+        scalar_s = min(scalar_s, time.perf_counter() - start)
+
+        reset_shared_cache()
+        start = time.perf_counter()
+        batch_results = evaluator.evaluate_batch(designs)
+        batch_s = min(batch_s, time.perf_counter() - start)
+    reset_shared_cache()
+
+    identical = all(s == b for s, b in zip(scalar_results, batch_results))
+    return {
+        "batch_size": BATCH_SIZE,
+        "reps": REPS,
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "speedup": scalar_s / batch_s,
+        "bit_identical": identical,
+    }
+
+
+def _gp_data(seed: int):
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 9, size=(GP_OBSERVATIONS, 7)) / 8.0
+    y = rng.normal(size=(GP_OBSERVATIONS, GP_OBJECTIVES))
+    pool = rng.integers(0, 9, size=(GP_POOL, 7)) / 8.0
+    return x, y, pool
+
+
+def bench_gp_proposals() -> dict:
+    """Legacy per-objective refit loop vs shared incremental GP."""
+    x, y, pool = _gp_data(seed=29)
+
+    legacy_s = float("inf")
+    for _ in range(GP_REPS):
+        start = time.perf_counter()
+        for n in range(GP_WARM_START, GP_OBSERVATIONS + 1):
+            for j in range(GP_OBJECTIVES):
+                gp = GaussianProcess().fit(x[:n], y[:n, j])
+                gp.predict(pool)
+        legacy_s = min(legacy_s, time.perf_counter() - start)
+
+    shared_s = float("inf")
+    for _ in range(GP_REPS):
+        start = time.perf_counter()
+        gp = MultiObjectiveGP(refit_every=GP_REFIT_EVERY)
+        for n in range(GP_WARM_START, GP_OBSERVATIONS + 1):
+            gp.fit(x[:n], y[:n])
+            gp.predict(pool)
+        shared_s = min(shared_s, time.perf_counter() - start)
+
+    return {
+        "observations": GP_OBSERVATIONS,
+        "proposals": GP_OBSERVATIONS - GP_WARM_START + 1,
+        "pool": GP_POOL,
+        "objectives": GP_OBJECTIVES,
+        "refit_every": GP_REFIT_EVERY,
+        "reps": GP_REPS,
+        "legacy_s": legacy_s,
+        "shared_s": shared_s,
+        "speedup": legacy_s / shared_s,
+    }
+
+
+def run_smoke() -> dict:
+    return {"batch_eval": bench_batch_eval(),
+            "gp_proposals": bench_gp_proposals()}
+
+
+def check(measurements: dict) -> list:
+    """Return a list of failure messages (empty when healthy)."""
+    failures = []
+    eval_bench = measurements["batch_eval"]
+    if not eval_bench["bit_identical"]:
+        failures.append("batch evaluation diverged from the scalar path")
+    if eval_bench["speedup"] < MIN_EVAL_SPEEDUP:
+        failures.append(
+            f"batch-eval speedup {eval_bench['speedup']:.2f}x < "
+            f"{MIN_EVAL_SPEEDUP:.0f}x")
+    gp_bench = measurements["gp_proposals"]
+    if gp_bench["speedup"] < MIN_GP_SPEEDUP:
+        failures.append(
+            f"GP proposal-loop speedup {gp_bench['speedup']:.2f}x < "
+            f"{MIN_GP_SPEEDUP:.0f}x")
+    return failures
+
+
+def main() -> int:
+    measurements = run_smoke()
+    eval_bench = measurements["batch_eval"]
+    gp_bench = measurements["gp_proposals"]
+    print("Phase 2 batch-path smoke benchmark")
+    print(f"  batch eval ({eval_bench['batch_size']} cold designs, "
+          f"best of {eval_bench['reps']}): "
+          f"scalar {eval_bench['scalar_s']:.3f}s, "
+          f"batch {eval_bench['batch_s']:.3f}s "
+          f"-> {eval_bench['speedup']:.2f}x "
+          f"(bit-identical={eval_bench['bit_identical']})")
+    print(f"  GP proposals ({gp_bench['proposals']} proposals, "
+          f"pool {gp_bench['pool']}, best of {gp_bench['reps']}): "
+          f"legacy {gp_bench['legacy_s']:.3f}s, "
+          f"shared {gp_bench['shared_s']:.3f}s "
+          f"-> {gp_bench['speedup']:.2f}x")
+    RESULTS_PATH.write_text(json.dumps(measurements, indent=2) + "\n")
+    print(f"  wrote {RESULTS_PATH.name}")
+    failures = check(measurements)
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    if not failures:
+        print("  OK")
+    return 1 if failures else 0
+
+
+def test_smoke_phase2_batch():
+    """Pytest entry point for the same checks."""
+    assert check(run_smoke()) == []
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -85,6 +85,15 @@ def _add_phase1(parser: argparse.ArgumentParser) -> None:
                         help="episodes per CEM candidate")
 
 
+def _add_phase2(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--gp-refit-every", type=int, default=1,
+                        help="full GP lengthscale-grid refit cadence in "
+                             "observations (1 = refit every proposal, the "
+                             "exact reference behaviour; larger values "
+                             "extend the cached Cholesky factors "
+                             "incrementally between grid refits)")
+
+
 def _autopilot(args: argparse.Namespace) -> AutoPilot:
     trainer = None
     if args.phase1_backend == "trainer":
@@ -93,8 +102,12 @@ def _autopilot(args: argparse.Namespace) -> AutoPilot:
                              episodes_per_candidate=args.cem_episodes,
                              seed=args.seed, engine=args.rollout_engine,
                              cache=True)
+    optimizer_kwargs = None
+    if getattr(args, "gp_refit_every", 1) != 1:
+        optimizer_kwargs = {"gp_refit_every": args.gp_refit_every}
     return AutoPilot(seed=args.seed, workers=args.workers,
-                     frontend_backend=args.phase1_backend, trainer=trainer)
+                     frontend_backend=args.phase1_backend, trainer=trainer,
+                     optimizer_kwargs=optimizer_kwargs)
 
 
 def _restore_from_manifest(args: argparse.Namespace,
@@ -241,6 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
              "and backend are restored from its manifest); the result "
              "is bit-identical to an uninterrupted run")
     _add_phase1(design)
+    _add_phase2(design)
     design.set_defaults(func=cmd_design)
 
     compare = subparsers.add_parser("compare",
@@ -251,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="processes for batched design evaluation "
                               "and Phase 1 training")
     _add_phase1(compare)
+    _add_phase2(compare)
     compare.set_defaults(func=cmd_compare)
 
     f1 = subparsers.add_parser("f1", help="print the F-1 roofline")

@@ -33,7 +33,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Hashable, Optional, Tuple
+from typing import Any, Callable, Hashable, Iterable, Optional, Tuple
 
 from repro.errors import ConfigError
 
@@ -78,10 +78,18 @@ def config_fingerprint(config: Any) -> Tuple[Hashable, ...]:
     )
 
 
-def design_key(workload: Any, config: Any) -> Tuple[Hashable, ...]:
-    """Content-addressed key for one (workload, accelerator) simulation."""
+def design_key(workload: Any, config: Any, *,
+               workload_fp: Tuple[Hashable, ...] | None = None
+               ) -> Tuple[Hashable, ...]:
+    """Content-addressed key for one (workload, accelerator) simulation.
+
+    ``workload_fp`` lets batch callers hoist the (per-layer) workload
+    fingerprint out of a loop over many configs of the same workload.
+    """
+    if workload_fp is None:
+        workload_fp = workload_fingerprint(workload)
     return ("run_report", CACHE_SCHEMA_VERSION,
-            config_fingerprint(config), workload_fingerprint(workload))
+            config_fingerprint(config), workload_fp)
 
 
 def trainer_fingerprint(trainer: Any) -> Tuple[Hashable, ...]:
@@ -212,6 +220,27 @@ class EvalCache:
         with self._lock:
             self._insert(key, value)
         self._save_to_disk(key, value)
+
+    def put_many(self, items: Iterable[Tuple[Tuple[Hashable, ...], Any]]
+                 ) -> None:
+        """Insert many ``(key, value)`` pairs under one lock acquisition.
+
+        Semantically identical to calling :meth:`put` per pair; the
+        batched evaluation path uses it to amortise locking and LRU
+        bookkeeping over whole design pools.
+        """
+        items = list(items)
+        with self._lock:
+            entries = self._entries
+            for key, value in items:
+                entries[key] = value
+                entries.move_to_end(key)
+            while len(entries) > self.capacity:
+                entries.popitem(last=False)
+                self.stats.evictions += 1
+        if self.persist_dir is not None:
+            for key, value in items:
+                self._save_to_disk(key, value)
 
     def get_or_compute(self, key: Tuple[Hashable, ...],
                        compute: Callable[[], Any]) -> Any:

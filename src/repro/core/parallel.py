@@ -367,11 +367,15 @@ class BatchDssocEvaluator:
                        ) -> List[DssocEvaluation]:
         """Evaluate a batch, simulating uncached designs in parallel.
 
-        Results are ordered like ``designs``.  Only the simulation (the
-        expensive, pure part) runs in the pool; the cheap power/weight
-        assembly runs in-process so every returned evaluation is built
-        against the parent's shared cache.
+        Results are ordered like ``designs``.  With ``workers > 1``
+        only the simulation (the expensive, pure part) runs in the
+        pool; power/weight assembly -- and, serially, the simulation of
+        cache misses through the SoA batch kernel -- happens in-process
+        via :meth:`DssocEvaluator.evaluate_batch`, so every returned
+        evaluation is built against the parent's shared cache and is
+        bit-identical to a scalar :meth:`evaluate` loop.
         """
+        designs = list(designs)
         if self.workers > 1:
             missing = self._uncached_unique(designs)
             if len(missing) > 1:
@@ -380,7 +384,9 @@ class BatchDssocEvaluator:
                         _simulate_design, missing, workers=self.workers,
                         chunksize=self.chunksize, retry=self.retry):
                     cache.put(key, report)
-        return [self._evaluator.evaluate(design) for design in designs]
+        if len(designs) <= 1:
+            return [self._evaluator.evaluate(design) for design in designs]
+        return self._evaluator.evaluate_batch(designs)
 
     def _uncached_unique(self, designs: Iterable[DssocDesign]
                          ) -> List[DssocDesign]:

@@ -12,7 +12,15 @@ from repro.optim.base import (
 from repro.optim.bayesopt import SmsEgoBayesOpt
 from repro.optim.exhaustive import ExhaustiveSearch
 from repro.optim.genetic import NsgaII
-from repro.optim.gp import GaussianProcess, se_kernel
+from repro.optim.gp import (
+    GaussianProcess,
+    GpStats,
+    MultiObjectiveGP,
+    gp_stats,
+    kernel_from_sq,
+    pairwise_sq,
+    se_kernel,
+)
 from repro.optim.hypervolume import hypervolume, hypervolume_contribution
 from repro.optim.pareto import (
     crowding_distance,
@@ -43,6 +51,11 @@ __all__ = [
     "ReinforceSearch",
     "ExhaustiveSearch",
     "GaussianProcess",
+    "GpStats",
+    "MultiObjectiveGP",
+    "gp_stats",
+    "kernel_from_sq",
+    "pairwise_sq",
     "se_kernel",
     "hypervolume",
     "hypervolume_contribution",

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.optim.base import CachingEvaluator, Optimizer
-from repro.optim.gp import GaussianProcess
+from repro.optim.gp import MultiObjectiveGP
 from repro.optim.hypervolume import hypervolume_contributions
 from repro.optim.pareto import non_dominated_mask
 from repro.optim.space import Assignment, DesignSpace
@@ -44,6 +44,10 @@ class SmsEgoBayesOpt(Optimizer):
         gain: SMS-EGO epsilon-dominance penalty steepness.
         reference_margin: Fractional margin used to derive the internal
             hypervolume reference point from observed objective ranges.
+        gp_refit_every: Full GP lengthscale-grid refit cadence in
+            observations.  The default 1 refits every proposal (the
+            exact legacy behaviour); larger values extend the cached
+            Cholesky factors incrementally between grid refits.
     """
 
     name = "bayesopt"
@@ -51,21 +55,29 @@ class SmsEgoBayesOpt(Optimizer):
     def __init__(self, space: DesignSpace, seed: int = 0,
                  num_initial: int = 12, pool_size: int = 256,
                  kappa: float = 1.0, gain: float = 1.0,
-                 reference_margin: float = 0.1):
+                 reference_margin: float = 0.1,
+                 gp_refit_every: int = 1):
         super().__init__(space, seed)
         if num_initial < 2:
             raise ConfigError("num_initial must be at least 2")
         if pool_size < 1:
             raise ConfigError("pool_size must be positive")
+        if gp_refit_every < 1:
+            raise ConfigError("gp_refit_every must be at least 1")
         self.num_initial = num_initial
         self.pool_size = pool_size
         self.kappa = kappa
         self.gain = gain
         self.reference_margin = reference_margin
+        self.gp_refit_every = gp_refit_every
+        self._gp: Optional[MultiObjectiveGP] = None
 
     # ------------------------------------------------------------------
     def run(self, evaluator: CachingEvaluator,
             rng: np.random.Generator) -> None:
+        # The surrogate state is per run: optimize() may be called again
+        # (or replayed) on the same instance and must start fresh.
+        self._gp = None
         self._initial_sampling(evaluator, rng)
         while not evaluator.exhausted:
             candidate = self._propose(evaluator, rng)
@@ -77,39 +89,59 @@ class SmsEgoBayesOpt(Optimizer):
     def _initial_sampling(self, evaluator: CachingEvaluator,
                           rng: np.random.Generator) -> None:
         """Queue the random warm-up points, then evaluate them as one
-        batch so the fan-out can run in parallel."""
+        batch so the fan-out can run in parallel.
+
+        Points are drawn in vectorised blocks sized to the still-needed
+        count (capped at the remaining consecutive-miss budget, so even
+        the near-exhausted-space break fires after the exact same draws
+        as the seed's one-point-at-a-time loop).
+        """
         target = min(self.num_initial, evaluator.budget,
                      evaluator.space.size())
+        miss_limit = 100 * target
         misses = 0
         queued: List[Assignment] = []
         queued_keys = set()
-        while evaluator.evaluations_used + len(queued) < target:
-            point = evaluator.space.sample(rng, 1)[0]
-            key = evaluator.space.key(point)
-            if key in queued_keys or evaluator.seen(point):
-                misses += 1
-                if misses > 100 * target:
-                    break
-                continue
-            misses = 0
-            queued_keys.add(key)
-            queued.append(point)
+        while (evaluator.evaluations_used + len(queued) < target
+               and misses <= miss_limit):
+            needed = target - evaluator.evaluations_used - len(queued)
+            block = min(needed, miss_limit + 1 - misses)
+            points, keys = evaluator.space.sample_block(rng, block)
+            for point, key in zip(points, keys):
+                if key in queued_keys or evaluator.seen(point):
+                    misses += 1
+                    if misses > miss_limit:
+                        break
+                    continue
+                misses = 0
+                queued_keys.add(key)
+                queued.append(point)
         if queued:
             evaluator.evaluate_batch(queued)
 
     def _candidate_pool(self, evaluator: CachingEvaluator,
                         rng: np.random.Generator) -> List[Assignment]:
+        """Draw up to ``pool_size`` unseen points in vectorised blocks.
+
+        Each block is sized to the still-needed count and capped at the
+        remaining attempt budget, which reproduces the seed's
+        draw-by-draw loop exactly: a block only fills the pool on its
+        final draw, so no draw ever happens that the scalar loop would
+        have skipped.
+        """
         pool: List[Assignment] = []
         seen_keys = set()
         attempts = 0
-        while len(pool) < self.pool_size and attempts < 20 * self.pool_size:
-            attempts += 1
-            point = evaluator.space.sample(rng, 1)[0]
-            key = evaluator.space.key(point)
-            if key in seen_keys or evaluator.seen(point):
-                continue
-            seen_keys.add(key)
-            pool.append(point)
+        attempt_limit = 20 * self.pool_size
+        while len(pool) < self.pool_size and attempts < attempt_limit:
+            block = min(self.pool_size - len(pool), attempt_limit - attempts)
+            points, keys = evaluator.space.sample_block(rng, block)
+            attempts += block
+            for point, key in zip(points, keys):
+                if key in seen_keys or evaluator.seen(point):
+                    continue
+                seen_keys.add(key)
+                pool.append(point)
         return pool
 
     def _propose(self, evaluator: CachingEvaluator,
@@ -124,12 +156,12 @@ class SmsEgoBayesOpt(Optimizer):
         num_objectives = objectives.shape[1]
 
         x_pool = evaluator.space.encode_many(pool)
-        means = np.empty((len(pool), num_objectives))
-        stds = np.empty((len(pool), num_objectives))
-        for j in range(num_objectives):
-            gp = GaussianProcess()
-            gp.fit(x_train, objectives[:, j])
-            means[:, j], stds[:, j] = gp.predict(x_pool)
+        gp = self._gp
+        if gp is None or gp.num_objectives not in (0, num_objectives):
+            gp = self._gp = MultiObjectiveGP(
+                refit_every=self.gp_refit_every)
+        gp.fit(x_train, objectives)
+        means, stds = gp.predict(x_pool)
 
         lcb = means - self.kappa * stds
         front = objectives[non_dominated_mask(objectives)]

@@ -66,6 +66,8 @@ class DesignSpace:
             raise DesignSpaceError("dimension names must be unique")
         self.dimensions: Tuple[Dimension, ...] = tuple(dimensions)
         self._by_name = {d.name: d for d in self.dimensions}
+        self._names = tuple(d.name for d in self.dimensions)
+        self._value_counts = np.array([len(d.values) for d in self.dimensions])
 
     @property
     def num_dimensions(self) -> int:
@@ -122,13 +124,31 @@ class DesignSpace:
 
     def sample(self, rng: np.random.Generator, count: int = 1) -> List[Assignment]:
         """Draw ``count`` uniform random points."""
-        points = []
-        for _ in range(count):
-            points.append({
-                dim.name: dim.values[rng.integers(len(dim.values))]
-                for dim in self.dimensions
-            })
-        return points
+        return self.sample_block(rng, count)[0]
+
+    def sample_block(self, rng: np.random.Generator, count: int
+                     ) -> Tuple[List[Assignment], List[Tuple[object, ...]]]:
+        """Draw ``count`` uniform points in one vectorised block.
+
+        Returns the assignments plus their dedup keys (:meth:`key`) so
+        batched callers skip one validate-and-index pass per point.  The
+        block draw consumes the generator stream bit-identically to
+        ``count`` sequential :meth:`sample` calls of the seed
+        implementation (one bounded draw per dimension, point-major),
+        so optimiser trajectories are unchanged.
+        """
+        if count <= 0:
+            return [], []
+        draws = rng.integers(self._value_counts,
+                             size=(count, self.num_dimensions))
+        dims = self.dimensions
+        points: List[Assignment] = []
+        keys: List[Tuple[object, ...]] = []
+        for row in draws.tolist():
+            values = [dim.values[index] for dim, index in zip(dims, row)]
+            points.append(dict(zip(self._names, values)))
+            keys.append(tuple(values))
+        return points, keys
 
     def neighbor(self, assignment: Assignment,
                  rng: np.random.Generator) -> Assignment:

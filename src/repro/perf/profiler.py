@@ -17,6 +17,8 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.core.evalcache import CacheStats, shared_report_cache
 from repro.core.parallel import PoolStats, pool_stats
+from repro.optim.gp import GpStats, gp_stats
+from repro.soc.batch import BatchStats, batch_stats
 
 
 @dataclass
@@ -33,6 +35,12 @@ class PhaseRecord:
     cache: CacheStats = field(default_factory=CacheStats)
     #: Worker-pool fault/retry activity within the phase.
     pool: PoolStats = field(default_factory=PoolStats)
+    #: GP surrogate fitting activity (full refits vs incremental
+    #: factor updates) within the phase.
+    gp: GpStats = field(default_factory=GpStats)
+    #: Batched-evaluation activity (calls, designs, kernel-simulated
+    #: designs) within the phase.
+    batch: BatchStats = field(default_factory=BatchStats)
 
     @property
     def evaluations_per_second(self) -> float:
@@ -87,6 +95,22 @@ class ProfileReport:
             total.merge(phase.pool)
         return total
 
+    @property
+    def overall_gp(self) -> GpStats:
+        """GP fitting activity summed over all phases."""
+        total = GpStats()
+        for phase in self.phases:
+            total.merge(phase.gp)
+        return total
+
+    @property
+    def overall_batch(self) -> BatchStats:
+        """Batched-evaluation activity summed over all phases."""
+        total = BatchStats()
+        for phase in self.phases:
+            total.merge(phase.batch)
+        return total
+
 
 class Profiler:
     """Collects phase timings, counters and cache deltas for one run."""
@@ -112,6 +136,8 @@ class Profiler:
             self._order.append(name)
         cache_before = shared_report_cache().stats.snapshot()
         pool_before = pool_stats().snapshot()
+        gp_before = gp_stats().snapshot()
+        batch_before = batch_stats().snapshot()
         start = time.perf_counter()
         try:
             yield record
@@ -125,6 +151,8 @@ class Profiler:
             record.cache.disk_hits += delta.disk_hits
             record.cache.corrupt += delta.corrupt
             record.pool.merge(pool_stats().since(pool_before))
+            record.gp.merge(gp_stats().since(gp_before))
+            record.batch.merge(batch_stats().since(batch_before))
             if evaluations is not None:
                 record.evaluations += evaluations
 
@@ -184,6 +212,19 @@ def render_profile(report: ProfileReport) -> str:
                  f"{report.total_steps or '-':>9} "
                  f"{'':>9} "
                  f"{(f'{overall.hit_rate:.1%}' if overall.lookups else '-'):>9}")
+    for phase in report.phases:
+        if phase.gp.full_fits or phase.gp.incremental_updates:
+            lines.append(
+                f"{phase.name} gp: {phase.gp.full_fits} full fits "
+                f"({phase.gp.fit_wall_s:.3f} s), "
+                f"{phase.gp.incremental_updates} incremental updates "
+                f"({phase.gp.update_wall_s:.3f} s), "
+                f"{phase.gp.factorisations} factorisations")
+        if phase.batch.batch_calls:
+            lines.append(
+                f"{phase.name} batches: {phase.batch.batch_calls} calls, "
+                f"mean batch size {phase.batch.mean_batch_size:.1f}, "
+                f"{phase.batch.kernel_designs} kernel-simulated designs")
     pool = report.overall_pool
     if pool.total_faults:
         lines.append(

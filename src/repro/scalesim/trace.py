@@ -49,16 +49,28 @@ class TraceWindow:
 
 
 def layer_trace(layer: LayerReport, start_cycle: int = 0,
-                windows: int = 8) -> List[TraceWindow]:
-    """Split one layer's activity into equal-cycle windows."""
+                windows: int = 8,
+                bytes_per_element: int = 1) -> List[TraceWindow]:
+    """Split one layer's activity into equal-cycle windows.
+
+    ``sram_writes`` counts write *accesses*: the ofmap writes from the
+    mapping plus the ifmap/filter fill writes that back the layer's
+    DRAM reads.  The fills are recorded by the traffic analysis in
+    bytes, so they are converted to accesses via ``bytes_per_element``
+    (the workload's operand width) -- the seed implementation summed
+    the raw byte count into the access count, silently mixing units
+    whenever an element is wider than one byte.
+    """
     if windows < 1:
         raise ConfigError("windows must be at least 1")
+    if bytes_per_element < 1:
+        raise ConfigError("bytes_per_element must be at least 1")
     total_cycles = layer.total_cycles
     sram_reads = (layer.mapping.ifmap_sram_reads
                   + layer.mapping.filter_sram_reads
                   + layer.mapping.ofmap_sram_reads)
-    sram_writes = (layer.mapping.ofmap_sram_writes
-                   + layer.traffic.dram_read_bytes)
+    fill_accesses = layer.traffic.dram_read_bytes // bytes_per_element
+    sram_writes = layer.mapping.ofmap_sram_writes + fill_accesses
     dram_reads = layer.traffic.dram_read_bytes
     dram_writes = layer.traffic.dram_write_bytes
 
@@ -81,13 +93,15 @@ def layer_trace(layer: LayerReport, start_cycle: int = 0,
     return out
 
 
-def run_trace(report: RunReport, windows_per_layer: int = 8) -> List[TraceWindow]:
+def run_trace(report: RunReport, windows_per_layer: int = 8,
+              bytes_per_element: int = 1) -> List[TraceWindow]:
     """Concatenated windowed trace for a full network inference."""
     trace: List[TraceWindow] = []
     cycle = 0
     for layer in report.layers:
         trace.extend(layer_trace(layer, start_cycle=cycle,
-                                 windows=windows_per_layer))
+                                 windows=windows_per_layer,
+                                 bytes_per_element=bytes_per_element))
         cycle += layer.total_cycles
     return trace
 

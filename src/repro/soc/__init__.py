@@ -10,6 +10,7 @@ from repro.soc.components import (
     fixed_components,
     fixed_components_power_w,
 )
+from repro.soc.batch import BatchStats, batch_stats, evaluate_design_batch
 from repro.soc.dssoc import (
     DssocDesign,
     DssocEvaluation,
@@ -32,6 +33,9 @@ __all__ = [
     "SENSOR_FRAMERATE_CHOICES",
     "fixed_components",
     "fixed_components_power_w",
+    "BatchStats",
+    "batch_stats",
+    "evaluate_design_batch",
     "DssocDesign",
     "DssocEvaluation",
     "DssocEvaluator",

@@ -6,8 +6,9 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.nn.template import PolicyHyperparams, build_policy_network
+from repro.nn.workload import lower_network
 from repro.scalesim.config import AcceleratorConfig
-from repro.scalesim.simulator import simulate
+from repro.scalesim.simulator import SystolicArraySimulator, simulate
 from repro.scalesim.trace import (
     layer_trace,
     peak_dram_bandwidth,
@@ -82,6 +83,54 @@ class TestRunTrace:
 
     def test_peak_of_empty_trace_is_zero(self):
         assert peak_dram_bandwidth([]) == 0.0
+
+
+class TestSramWriteUnits:
+    """Regression: sram_writes must count accesses, never raw bytes."""
+
+    def test_totals_are_ofmap_writes_plus_fill_accesses(self, report):
+        for layer in report.layers:
+            trace = layer_trace(layer, windows=4)
+            total = sum(w.sram_writes for w in trace)
+            # Default workloads use 1-byte elements, so the fill access
+            # count equals the DRAM read byte count.
+            expected = (layer.mapping.ofmap_sram_writes
+                        + layer.traffic.dram_read_bytes // 1)
+            assert total == expected
+
+    def test_wide_elements_convert_fill_bytes_to_accesses(self):
+        config = AcceleratorConfig(pe_rows=16, pe_cols=16, ifmap_sram_kb=32,
+                                   filter_sram_kb=32, ofmap_sram_kb=32)
+        network = build_policy_network(PolicyHyperparams(3, 32))
+        workload = lower_network(network, bytes_per_element=2)
+        wide = SystolicArraySimulator(config).run(workload)
+        layer = max(wide.layers, key=lambda l: l.traffic.dram_read_bytes)
+        assert layer.traffic.dram_read_bytes > 0
+        trace = layer_trace(layer, windows=5, bytes_per_element=2)
+        total = sum(w.sram_writes for w in trace)
+        corrected = (layer.mapping.ofmap_sram_writes
+                     + layer.traffic.dram_read_bytes // 2)
+        buggy = (layer.mapping.ofmap_sram_writes
+                 + layer.traffic.dram_read_bytes)
+        assert total == corrected
+        assert total != buggy
+
+    def test_run_trace_forwards_word_size(self):
+        config = AcceleratorConfig(pe_rows=16, pe_cols=16, ifmap_sram_kb=32,
+                                   filter_sram_kb=32, ofmap_sram_kb=32)
+        network = build_policy_network(PolicyHyperparams(3, 32))
+        workload = lower_network(network, bytes_per_element=4)
+        wide = SystolicArraySimulator(config).run(workload)
+        trace = run_trace(wide, windows_per_layer=3, bytes_per_element=4)
+        total = sum(w.sram_writes for w in trace)
+        expected = sum(l.mapping.ofmap_sram_writes
+                       + l.traffic.dram_read_bytes // 4
+                       for l in wide.layers)
+        assert total == expected
+
+    def test_rejects_bad_word_size(self, report):
+        with pytest.raises(ConfigError):
+            layer_trace(report.layers[0], bytes_per_element=0)
 
 
 class TestCsvExport:
