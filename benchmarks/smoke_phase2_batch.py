@@ -188,7 +188,16 @@ def main() -> int:
           f"legacy {gp_bench['legacy_s']:.3f}s, "
           f"shared {gp_bench['shared_s']:.3f}s "
           f"-> {gp_bench['speedup']:.2f}x")
-    RESULTS_PATH.write_text(json.dumps(measurements, indent=2) + "\n")
+    # Merge instead of overwrite: other smoke benchmarks (e.g. the
+    # q-batch acquisition one) keep their own sections in the file.
+    existing = {}
+    if RESULTS_PATH.exists():
+        try:
+            existing = json.loads(RESULTS_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            existing = {}
+    existing.update(measurements)
+    RESULTS_PATH.write_text(json.dumps(existing, indent=2) + "\n")
     print(f"  wrote {RESULTS_PATH.name}")
     failures = check(measurements)
     for failure in failures:

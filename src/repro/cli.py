@@ -92,6 +92,12 @@ def _add_phase2(parser: argparse.ArgumentParser) -> None:
                              "exact reference behaviour; larger values "
                              "extend the cached Cholesky factors "
                              "incrementally between grid refits)")
+    parser.add_argument("--proposal-batch", type=int, default=1,
+                        help="SMS-EGO candidates proposed per GP fit (q); "
+                             "each group is submitted as one evaluation "
+                             "batch so the process pool and the batched "
+                             "SoC kernel stay saturated mid-run (1 = the "
+                             "exact serial reference behaviour)")
 
 
 def _autopilot(args: argparse.Namespace) -> AutoPilot:
@@ -102,12 +108,14 @@ def _autopilot(args: argparse.Namespace) -> AutoPilot:
                              episodes_per_candidate=args.cem_episodes,
                              seed=args.seed, engine=args.rollout_engine,
                              cache=True)
-    optimizer_kwargs = None
+    optimizer_kwargs = {}
     if getattr(args, "gp_refit_every", 1) != 1:
-        optimizer_kwargs = {"gp_refit_every": args.gp_refit_every}
+        optimizer_kwargs["gp_refit_every"] = args.gp_refit_every
+    if getattr(args, "proposal_batch", 1) != 1:
+        optimizer_kwargs["proposal_batch"] = args.proposal_batch
     return AutoPilot(seed=args.seed, workers=args.workers,
                      frontend_backend=args.phase1_backend, trainer=trainer,
-                     optimizer_kwargs=optimizer_kwargs)
+                     optimizer_kwargs=optimizer_kwargs or None)
 
 
 def _restore_from_manifest(args: argparse.Namespace,
@@ -116,6 +124,7 @@ def _restore_from_manifest(args: argparse.Namespace,
     args.seed = manifest.seed
     args.budget = manifest.budget
     args.phase1_backend = manifest.frontend_backend
+    args.proposal_batch = manifest.proposal_batch
     if manifest.trainer:
         args.cem_population = manifest.trainer["population_size"]
         args.cem_iterations = manifest.trainer["iterations"]

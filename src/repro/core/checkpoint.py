@@ -135,6 +135,11 @@ class RunManifest:
     frontend_backend: str = "surrogate"
     #: CemTrainer constructor arguments for the trainer backend, or None.
     trainer: Optional[Dict[str, Any]] = None
+    #: SMS-EGO candidates proposed per GP fit (q).  Part of the run
+    #: identity: the proposal sequence depends on it, so resuming with a
+    #: different value would diverge from the journal.  Defaults to 1 so
+    #: manifests written before this field existed load unchanged.
+    proposal_batch: int = 1
     status: Dict[str, str] = field(default_factory=lambda: {
         "phase1": "pending", "phase2": "pending", "phase3": "pending"})
     #: Completed Phase 2 evaluations at the last manifest write.

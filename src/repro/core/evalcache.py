@@ -33,7 +33,8 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Hashable, Iterable, Optional, Tuple
+from typing import (Any, Callable, Dict, Hashable, Iterable, List, Optional,
+                    Tuple)
 
 from repro.errors import ConfigError
 
@@ -186,6 +187,9 @@ class EvalCache:
         self.stats = CacheStats()
         self._entries: "OrderedDict[Tuple[Hashable, ...], Any]" = OrderedDict()
         self._lock = threading.Lock()
+        # In-flight computations keyed by cache key: [key_lock, refcount].
+        # Guarded by self._lock; see get_or_compute.
+        self._inflight: Dict[Tuple[Hashable, ...], List[Any]] = {}
         if self.persist_dir is not None:
             self.persist_dir.mkdir(parents=True, exist_ok=True)
 
@@ -244,11 +248,35 @@ class EvalCache:
 
     def get_or_compute(self, key: Tuple[Hashable, ...],
                        compute: Callable[[], Any]) -> Any:
-        """Return the cached value, computing and storing it on a miss."""
+        """Return the cached value, computing and storing it on a miss.
+
+        Concurrent callers missing the same key serialise on a per-key
+        in-flight lock: exactly one runs ``compute()`` while the rest
+        block and are then served the stored value -- so parallel
+        sweeps never double-simulate a design.  Distinct keys never
+        contend, and ``self._lock`` is never held while computing, so
+        nested ``get_or_compute`` calls for other keys cannot deadlock.
+        """
         value = self.get(key)
-        if value is None:
-            value = compute()
-            self.put(key, value)
+        if value is not None:
+            return value
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is None:
+                entry = self._inflight[key] = [threading.Lock(), 0]
+            entry[1] += 1
+            key_lock = entry[0]
+        try:
+            with key_lock:
+                value = self.get(key)
+                if value is None:
+                    value = compute()
+                    self.put(key, value)
+        finally:
+            with self._lock:
+                entry[1] -= 1
+                if entry[1] == 0 and self._inflight.get(key) is entry:
+                    del self._inflight[key]
         return value
 
     def clear(self) -> None:
@@ -347,5 +375,11 @@ def configure_shared_cache(capacity: int = DEFAULT_CAPACITY,
 
 
 def reset_shared_cache() -> None:
-    """Drop every entry of the shared cache (used by tests/benchmarks)."""
-    _shared_cache.clear()
+    """Drop every entry of the shared cache (used by tests/benchmarks).
+
+    Takes the configuration lock so a clear racing a concurrent
+    :func:`configure_shared_cache` swap always clears the *current*
+    instance instead of one already being replaced.
+    """
+    with _shared_lock:
+        _shared_cache.clear()

@@ -379,10 +379,16 @@ class BatchDssocEvaluator:
         if self.workers > 1:
             missing = self._uncached_unique(designs)
             if len(missing) > 1:
+                # Spread small batches (e.g. a q-point proposal group no
+                # larger than one configured chunk) across every worker
+                # instead of handing them to a single process; results
+                # are keyed and ordered, so chunking never affects them.
+                chunksize = min(self.chunksize,
+                                -(-len(missing) // self.workers))
                 cache = shared_report_cache()
                 for key, report in parallel_map(
                         _simulate_design, missing, workers=self.workers,
-                        chunksize=self.chunksize, retry=self.retry):
+                        chunksize=chunksize, retry=self.retry):
                     cache.put(key, report)
         if len(designs) <= 1:
             return [self._evaluator.evaluate(design) for design in designs]

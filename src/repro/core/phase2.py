@@ -99,7 +99,9 @@ class MultiObjectiveDse:
         optimizer_cls: Pluggable search strategy.
         space: The joint design space; Table II by default.
         seed: Optimiser RNG seed.
-        optimizer_kwargs: Extra optimiser constructor arguments.
+        optimizer_kwargs: Extra optimiser constructor arguments, e.g.
+            ``proposal_batch=q`` to make SMS-EGO propose q candidates
+            per GP fit and submit them as one evaluation batch.
         workers: Process count for batched evaluation fan-out; ``None``
             consults ``REPRO_WORKERS`` and defaults to serial.
     """
@@ -231,7 +233,11 @@ class MultiObjectiveDse:
                              ) -> List[Sequence[float]]:
             # The optimiser re-issues the same deterministic request
             # sequence on resume, so journalled records line up with the
-            # batch prefix; the remainder is evaluated live.
+            # batch prefix; the remainder is evaluated live.  This also
+            # covers q-point proposal groups interrupted mid-batch: the
+            # journal records per evaluation, the optimiser reconstructs
+            # the identical group from the replayed history, and only
+            # the unjournalled tail of the group is simulated.
             out: List[Sequence[float]] = []
             position = 0
             while position < len(assignments) and replayer.pending:

@@ -173,7 +173,9 @@ class AutoPilot:
                            seed=self.seed, budget=budget,
                            sensor_fps=task.sensor_fps,
                            frontend_backend=self.frontend.backend,
-                           trainer=trainer_cfg)
+                           trainer=trainer_cfg,
+                           proposal_batch=(self.optimizer_kwargs or {}).get(
+                               "proposal_batch", 1))
 
     @staticmethod
     def _verify_manifest(previous: RunManifest, current: RunManifest,
@@ -181,7 +183,8 @@ class AutoPilot:
         """Refuse to resume a run under a different configuration."""
         mismatched = [
             name for name in ("uav", "scenario", "seed", "budget",
-                              "sensor_fps", "frontend_backend", "trainer")
+                              "sensor_fps", "frontend_backend", "trainer",
+                              "proposal_batch")
             if getattr(previous, name) != getattr(current, name)]
         if mismatched:
             details = ", ".join(

@@ -126,8 +126,7 @@ class CachingEvaluator:
         if self.exhausted:
             raise ConfigError("evaluation budget exhausted")
         objectives = np.asarray(self.objective_fn(assignment), dtype=float)
-        self._record(key, assignment, objectives)
-        return objectives
+        return self._record(key, assignment, objectives)
 
     def evaluate_batch(self, assignments: Sequence[Assignment]
                        ) -> List[Optional[np.ndarray]]:
@@ -170,10 +169,19 @@ class CachingEvaluator:
         return [self._cache.get(key) for key in keys]
 
     def _record(self, key: Tuple[object, ...], assignment: Assignment,
-                objectives: np.ndarray) -> None:
-        """Store one fresh evaluation: cache, history and trace."""
+                objectives: np.ndarray) -> np.ndarray:
+        """Store one fresh evaluation: cache, history and trace.
+
+        Returns the recorded vector.  The cache, the history entry, the
+        hypervolume front and every caller all share this one array, so
+        it is frozen (``writeable=False``) -- an accidental in-place
+        mutation anywhere downstream would silently corrupt the recorded
+        history.  A private copy is frozen, never the caller's array.
+        """
         if objectives.ndim != 1:
             raise ConfigError("objective function must return a 1-D vector")
+        objectives = np.array(objectives, dtype=float)
+        objectives.flags.writeable = False
         self._cache[key] = objectives
         self.result.evaluations.append(
             Evaluation(assignment=dict(assignment), objectives=objectives))
@@ -182,6 +190,7 @@ class CachingEvaluator:
             self.result.hypervolume_trace.append(self._hv)
         if self.observer is not None:
             self.observer(assignment, objectives)
+        return objectives
 
     def _updated_hypervolume(self, objectives: np.ndarray) -> float:
         """Fold one point into the running front and return the volume.

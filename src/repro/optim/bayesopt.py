@@ -9,13 +9,25 @@ to the current Pareto front, penalising candidates whose LCB is
 design points each iteration -- exact maximisation over a categorical
 product space is neither possible nor needed.
 
+Batched acquisition: with ``proposal_batch`` (q) above 1, each GP fit
+proposes q candidates instead of one, selected greedily with a
+kriging-believer-style inner loop -- after each pick, the winner's LCB
+is folded into a *virtual front* so the next pick is penalised for
+overlapping hypervolume -- and the whole group is submitted through
+``CachingEvaluator.evaluate_batch`` so the process pool and the SoA
+batch kernel see full batches mid-run, not just during warm-up.  q = 1
+reduces exactly to the serial one-point-per-fit behaviour (same pool
+draws, same single argmax, same ``evaluate`` call path).
+
 Resume semantics: the whole optimiser is a deterministic function of its
-seed and the observed objective values.  Each proposal reads the full
-evaluation history (GP fits) and the set of seen points (pool
+seed and the observed objective values.  Each proposal group reads the
+full evaluation history (GP fits) and the set of seen points (pool
 filtering), so checkpointing resumes by *replaying* journalled
 evaluations through the objective function in order -- never by
 pre-loading the evaluator cache, which would let "future" observations
-divert earlier proposals.
+divert earlier proposals.  Because the q picks within a group depend
+only on that frozen history, replay reconstructs the exact same
+q-groups bit-identically, including a group interrupted mid-batch.
 """
 
 from __future__ import annotations
@@ -26,10 +38,20 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.optim.base import CachingEvaluator, Optimizer
-from repro.optim.gp import MultiObjectiveGP
+from repro.optim.gp import MultiObjectiveGP, gp_stats
 from repro.optim.hypervolume import hypervolume_contributions
 from repro.optim.pareto import non_dominated_mask
 from repro.optim.space import Assignment, DesignSpace
+
+#: Absolute floor on the per-objective observed span when deriving the
+#: internal hypervolume reference point.  With a purely relative floor,
+#: a degenerate objective (every observation ties, span ~ 0) collapses
+#: the margin to ~1e-10, and the ``reference - 1e-12`` clip in
+#: :meth:`SmsEgoBayesOpt._sms_ego_scores` lands essentially on top of
+#: ``worst`` -- every candidate is then treated as gaining no volume on
+#: that axis and penalised.  An absolute epsilon keeps the margin well
+#: clear of the clip in the degenerate case.
+SPAN_EPSILON = 1e-6
 
 
 class SmsEgoBayesOpt(Optimizer):
@@ -48,6 +70,11 @@ class SmsEgoBayesOpt(Optimizer):
             observations.  The default 1 refits every proposal (the
             exact legacy behaviour); larger values extend the cached
             Cholesky factors incrementally between grid refits.
+        proposal_batch: Candidates proposed per GP fit (q).  The default
+            1 is the exact serial behaviour; larger values select q
+            points greedily with virtual-front penalisation and submit
+            them as one evaluation batch, amortising the GP fit and
+            keeping the parallel evaluator saturated mid-run.
     """
 
     name = "bayesopt"
@@ -56,7 +83,8 @@ class SmsEgoBayesOpt(Optimizer):
                  num_initial: int = 12, pool_size: int = 256,
                  kappa: float = 1.0, gain: float = 1.0,
                  reference_margin: float = 0.1,
-                 gp_refit_every: int = 1):
+                 gp_refit_every: int = 1,
+                 proposal_batch: int = 1):
         super().__init__(space, seed)
         if num_initial < 2:
             raise ConfigError("num_initial must be at least 2")
@@ -64,12 +92,15 @@ class SmsEgoBayesOpt(Optimizer):
             raise ConfigError("pool_size must be positive")
         if gp_refit_every < 1:
             raise ConfigError("gp_refit_every must be at least 1")
+        if proposal_batch < 1:
+            raise ConfigError("proposal_batch must be at least 1")
         self.num_initial = num_initial
         self.pool_size = pool_size
         self.kappa = kappa
         self.gain = gain
         self.reference_margin = reference_margin
         self.gp_refit_every = gp_refit_every
+        self.proposal_batch = proposal_batch
         self._gp: Optional[MultiObjectiveGP] = None
 
     # ------------------------------------------------------------------
@@ -80,10 +111,16 @@ class SmsEgoBayesOpt(Optimizer):
         self._gp = None
         self._initial_sampling(evaluator, rng)
         while not evaluator.exhausted:
-            candidate = self._propose(evaluator, rng)
-            if candidate is None:
+            batch = self._propose(evaluator, rng)
+            if not batch:
                 break
-            evaluator.evaluate(candidate)
+            if len(batch) == 1:
+                # Single proposals keep the exact legacy call path, so a
+                # q=1 run is indistinguishable from the serial optimiser.
+                evaluator.evaluate(batch[0])
+            else:
+                self._count_proposal_submission(len(batch))
+                evaluator.evaluate_batch(batch)
 
     # ------------------------------------------------------------------
     def _initial_sampling(self, evaluator: CachingEvaluator,
@@ -145,10 +182,21 @@ class SmsEgoBayesOpt(Optimizer):
         return pool
 
     def _propose(self, evaluator: CachingEvaluator,
-                 rng: np.random.Generator) -> Optional[Assignment]:
+                 rng: np.random.Generator) -> List[Assignment]:
+        """Fit the GP and greedily select up to q pool candidates.
+
+        The first pick is the plain SMS-EGO argmax.  Each further pick
+        re-scores the pool against a *virtual front* -- the observed
+        front plus the LCB estimates of the picks so far (the
+        kriging-believer trick) -- so a pick promising the same region
+        of objective space as an earlier one is penalised for the
+        overlapping volume.  The group size is clamped to the remaining
+        budget, so a group never spills into ``evaluate_batch``'s
+        budget-skip path.
+        """
         pool = self._candidate_pool(evaluator, rng)
         if not pool:
-            return None
+            return []
 
         history = evaluator.result.evaluations
         x_train = evaluator.space.encode_many([e.assignment for e in history])
@@ -166,14 +214,46 @@ class SmsEgoBayesOpt(Optimizer):
         lcb = means - self.kappa * stds
         front = objectives[non_dominated_mask(objectives)]
         reference = self._reference_point(objectives)
-        scores = self._sms_ego_scores(lcb, front, reference)
-        best = int(np.argmax(scores))
-        return pool[best]
+
+        budget_left = evaluator.budget - evaluator.evaluations_used
+        group_size = min(self.proposal_batch, len(pool), budget_left)
+        picks: List[int] = []
+        virtual_front = front
+        scores = self._sms_ego_scores(lcb, virtual_front, reference)
+        while True:
+            picks.append(int(np.argmax(scores)))
+            if len(picks) >= group_size:
+                break
+            believed = np.vstack([virtual_front, lcb[picks[-1]][None, :]])
+            virtual_front = believed[non_dominated_mask(believed)]
+            scores = self._sms_ego_scores(lcb, virtual_front, reference)
+            # Penalties are finite, so already-picked candidates must be
+            # masked out explicitly or the argmax could repeat them.
+            scores[np.asarray(picks)] = -np.inf
+        stats = gp_stats()
+        stats.proposal_groups += 1
+        stats.proposed_points += len(picks)
+        return [pool[i] for i in picks]
+
+    @staticmethod
+    def _count_proposal_submission(size: int) -> None:
+        """Credit one mid-run proposal batch to the SoC batch counters.
+
+        Imported lazily: the optimiser layer works standalone (toy
+        objectives, unit tests) without the SoC evaluation stack.
+        """
+        try:
+            from repro.soc.batch import batch_stats
+        except ImportError:  # pragma: no cover - optim used standalone
+            return
+        stats = batch_stats()
+        stats.proposal_calls += 1
+        stats.proposal_designs += size
 
     def _reference_point(self, objectives: np.ndarray) -> np.ndarray:
         worst = objectives.max(axis=0)
         best = objectives.min(axis=0)
-        span = np.maximum(worst - best, 1e-9)
+        span = np.maximum(worst - best, SPAN_EPSILON)
         return worst + self.reference_margin * span
 
     def _sms_ego_scores(self, lcb: np.ndarray, front: np.ndarray,

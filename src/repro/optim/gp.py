@@ -139,6 +139,15 @@ class GpStats:
     factorisations: int = 0       # Cholesky factorisations performed
     fit_wall_s: float = 0.0       # time spent in full (grid) fits
     update_wall_s: float = 0.0    # time spent in incremental updates
+    proposal_groups: int = 0      # acquisition rounds (one per GP fit)
+    proposed_points: int = 0      # candidates proposed across all groups
+
+    @property
+    def mean_proposal_group(self) -> float:
+        """Average candidates proposed per acquisition round."""
+        if self.proposal_groups == 0:
+            return 0.0
+        return self.proposed_points / self.proposal_groups
 
     def snapshot(self) -> "GpStats":
         """A copy, for delta accounting across a profiling window."""

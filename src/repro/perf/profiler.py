@@ -220,11 +220,21 @@ def render_profile(report: ProfileReport) -> str:
                 f"{phase.gp.incremental_updates} incremental updates "
                 f"({phase.gp.update_wall_s:.3f} s), "
                 f"{phase.gp.factorisations} factorisations")
-        if phase.batch.batch_calls:
+        if phase.gp.proposal_groups:
             lines.append(
+                f"{phase.name} proposals: {phase.gp.proposal_groups} "
+                f"groups, {phase.gp.proposed_points} points, "
+                f"mean group size {phase.gp.mean_proposal_group:.1f}")
+        if phase.batch.batch_calls:
+            line = (
                 f"{phase.name} batches: {phase.batch.batch_calls} calls, "
                 f"mean batch size {phase.batch.mean_batch_size:.1f}, "
                 f"{phase.batch.kernel_designs} kernel-simulated designs")
+            if phase.batch.proposal_calls:
+                line += (
+                    f", {phase.batch.proposal_calls} proposal batches "
+                    f"(mean {phase.batch.mean_proposal_batch:.1f})")
+            lines.append(line)
     pool = report.overall_pool
     if pool.total_faults:
         lines.append(

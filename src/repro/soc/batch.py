@@ -63,6 +63,8 @@ class BatchStats:
     batch_calls: int = 0       # evaluate_batch invocations
     batched_designs: int = 0   # designs handed to evaluate_batch
     kernel_designs: int = 0    # uncached designs simulated by the kernel
+    proposal_calls: int = 0    # optimiser proposal groups submitted batched
+    proposal_designs: int = 0  # designs across those proposal groups
 
     @property
     def mean_batch_size(self) -> float:
@@ -70,6 +72,13 @@ class BatchStats:
         if self.batch_calls == 0:
             return 0.0
         return self.batched_designs / self.batch_calls
+
+    @property
+    def mean_proposal_batch(self) -> float:
+        """Average designs per mid-run proposal-group submission."""
+        if self.proposal_calls == 0:
+            return 0.0
+        return self.proposal_designs / self.proposal_calls
 
     def snapshot(self) -> "BatchStats":
         """A copy, for delta accounting across a profiling window."""

@@ -111,6 +111,22 @@ class TestRunManifest:
         with pytest.raises(CheckpointError, match="corrupt run manifest"):
             RunManifest.load(tmp_path)
 
+    def test_proposal_batch_round_trips(self, tmp_path):
+        manifest = self.manifest()
+        manifest.proposal_batch = 8
+        manifest.save(tmp_path)
+        assert RunManifest.load(tmp_path).proposal_batch == 8
+
+    def test_manifest_without_proposal_batch_defaults_to_serial(
+            self, tmp_path):
+        """Manifests written before the field existed still load."""
+        manifest = self.manifest()
+        manifest.save(tmp_path)
+        payload = json.loads((tmp_path / "manifest.json").read_text())
+        del payload["proposal_batch"]
+        (tmp_path / "manifest.json").write_text(json.dumps(payload))
+        assert RunManifest.load(tmp_path).proposal_batch == 1
+
 
 class TestEvaluationJournal:
     def test_append_load_round_trip(self, tmp_path):
@@ -292,6 +308,34 @@ class TestPhase2Resume:
                                                       resume=True)
         assert_phase2_equal(resumed, baseline)
 
+    def test_killed_qbatch_dse_resumes_bit_identically(self, tmp_path,
+                                                       database, task,
+                                                       small_space):
+        """q>1 kill-and-resume, dying *mid proposal group*: 4 warm-up
+        evaluations plus 2 of the first 4-point group are journalled;
+        replay must reconstruct the identical group and evaluate only
+        its unjournalled tail."""
+        kwargs = dict(seed=5, optimizer_kwargs={"num_initial": 4,
+                                                "pool_size": 16,
+                                                "proposal_batch": 4})
+        baseline = MultiObjectiveDse(database=database, space=small_space,
+                                     **kwargs).run(task, budget=14)
+        journal = EvaluationJournal(tmp_path / "phase2.jnl",
+                                    kind="phase2-evaluations")
+        with faults.active_faults("kill@checkpoint-write:6"):
+            with pytest.raises(faults.SimulatedKill):
+                MultiObjectiveDse(database=database, space=small_space,
+                                  **kwargs).run(task, budget=14,
+                                                journal=journal)
+        journal = EvaluationJournal(tmp_path / "phase2.jnl",
+                                    kind="phase2-evaluations")
+        assert len(journal.load()) == 6
+        resumed = MultiObjectiveDse(database=database, space=small_space,
+                                    **kwargs).run(task, budget=14,
+                                                  journal=journal,
+                                                  resume=True)
+        assert_phase2_equal(resumed, baseline)
+
     def test_resume_of_complete_run_is_simulation_free(self, tmp_path,
                                                        database, task,
                                                        small_space):
@@ -399,6 +443,11 @@ class TestPipelineResume:
         with pytest.raises(CheckpointError, match="seed"):
             AutoPilot(seed=10,
                       optimizer_kwargs=PIPE_KWARGS["optimizer_kwargs"]).run(
+                task, budget=6, checkpoint_dir=run_dir, resume=True)
+        with pytest.raises(CheckpointError, match="proposal_batch"):
+            AutoPilot(seed=9,
+                      optimizer_kwargs={**PIPE_KWARGS["optimizer_kwargs"],
+                                        "proposal_batch": 2}).run(
                 task, budget=6, checkpoint_dir=run_dir, resume=True)
 
 

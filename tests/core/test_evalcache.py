@@ -1,6 +1,8 @@
 """Unit tests for the content-addressed evaluation cache."""
 
 import pickle
+import threading
+import time
 
 import pytest
 
@@ -186,6 +188,78 @@ class TestEvalCache:
             assert pickle.load(handle) == [1, 2, 3]
 
 
+class TestGetOrComputeConcurrency:
+    """Thundering-herd regression: one compute per key, ever."""
+
+    def test_concurrent_misses_compute_once(self):
+        cache = EvalCache(capacity=8)
+        calls = []
+        gate = threading.Event()
+        results = []
+
+        def compute():
+            calls.append(1)
+            time.sleep(0.05)  # widen the window the race needs
+            return 42
+
+        def worker():
+            gate.wait()
+            results.append(cache.get_or_compute(("k",), compute))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        gate.set()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 1
+        assert results == [42] * 8
+
+    def test_distinct_keys_each_computed_once(self):
+        cache = EvalCache(capacity=32)
+        counts = {key: 0 for key in range(4)}
+        gate = threading.Event()
+
+        def worker(key):
+            def compute():
+                counts[key] += 1
+                time.sleep(0.02)
+                return key * 10
+            gate.wait()
+            assert cache.get_or_compute((key,), compute) == key * 10
+
+        threads = [threading.Thread(target=worker, args=(key,))
+                   for key in range(4) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        gate.set()
+        for thread in threads:
+            thread.join()
+        assert counts == {0: 1, 1: 1, 2: 1, 3: 1}
+
+    def test_inflight_table_drains(self):
+        cache = EvalCache(capacity=8)
+        threads = [threading.Thread(
+            target=lambda k=key: cache.get_or_compute((k,), lambda: k))
+            for key in range(6) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert cache._inflight == {}
+
+    def test_exception_in_compute_releases_the_key(self):
+        cache = EvalCache(capacity=8)
+
+        def boom():
+            raise RuntimeError("simulated failure")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute(("k",), boom)
+        assert cache._inflight == {}
+        assert cache.get_or_compute(("k",), lambda: 7) == 7
+
+
 class TestCacheStats:
     def test_snapshot_is_independent_copy(self):
         stats = CacheStats(hits=2, misses=1)
@@ -226,6 +300,23 @@ class TestSharedCache:
         cache.put(("test-entry",), 1)
         reset_shared_cache()
         assert ("test-entry",) not in cache
+
+    def test_reset_waits_for_configuration_lock(self):
+        """Clearing must serialise with a concurrent configure swap so
+        it never clears an instance that is already being replaced."""
+        from repro.core import evalcache
+
+        evalcache._shared_lock.acquire()
+        done = threading.Event()
+        thread = threading.Thread(
+            target=lambda: (reset_shared_cache(), done.set()))
+        thread.start()
+        try:
+            assert not done.wait(0.1)
+        finally:
+            evalcache._shared_lock.release()
+        assert done.wait(2.0)
+        thread.join()
 
 
 class TestTrainingKey:

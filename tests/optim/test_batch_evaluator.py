@@ -108,6 +108,100 @@ class TestEvaluateBatch:
             evaluator.evaluate_batch(points)
 
 
+class TestFrozenObjectiveVectors:
+    """Recorded vectors are shared by cache, history and callers --
+    they must be immutable so no consumer can corrupt the history."""
+
+    def test_evaluate_returns_readonly_vector(self):
+        space = make_space()
+        point = next(iter(space.all_points()))
+        evaluator = CachingEvaluator(space, objective, budget=5)
+        vector = evaluator.evaluate(point)
+        assert vector.flags.writeable is False
+        with pytest.raises(ValueError):
+            vector[0] = 99.0
+
+    def test_batch_returns_readonly_vectors(self):
+        space = make_space()
+        points = list(space.all_points())[:4]
+        evaluator = CachingEvaluator(space, objective, budget=10)
+        for vector in evaluator.evaluate_batch(points):
+            assert vector.flags.writeable is False
+            with pytest.raises(ValueError):
+                vector += 1.0
+
+    def test_history_entries_readonly(self):
+        space = make_space()
+        points = list(space.all_points())[:4]
+        evaluator = CachingEvaluator(space, objective, budget=10,
+                                     reference=[2.0, 2.0, 2.0])
+        evaluator.evaluate_batch(points)
+        for evaluation in evaluator.result.evaluations:
+            with pytest.raises(ValueError):
+                evaluation.objectives[:] = 0.0
+
+    def test_callers_array_is_not_frozen(self):
+        """Freezing applies to a private copy, never to an array object
+        the objective function keeps a reference to."""
+        space = make_space()
+        point = next(iter(space.all_points()))
+        owned = np.asarray(objective(point), dtype=float)
+        evaluator = CachingEvaluator(space, lambda a: owned, budget=5)
+        evaluator.evaluate(point)
+        assert owned.flags.writeable is True
+        owned[0] = -1.0  # must not touch the recorded history
+        np.testing.assert_array_equal(
+            evaluator.result.evaluations[0].objectives, objective(point))
+
+
+class TestBudgetExhaustionMidBatch:
+    """Mixed cached/uncached batch with the budget running out."""
+
+    def test_cached_vectors_skipped_nones_and_observer_order(self):
+        space = make_space()
+        points = list(space.all_points())[:6]
+        observed = []
+
+        def observer(assignment, objectives):
+            observed.append(dict(assignment))
+
+        evaluator = CachingEvaluator(space, objective, budget=4,
+                                     observer=observer)
+        evaluator.evaluate(points[0])
+        evaluator.evaluate(points[1])
+
+        # cached, new, new, cached, new, new -- budget allows 2 more.
+        batch = [points[0], points[2], points[3],
+                 points[1], points[4], points[5]]
+        results = evaluator.evaluate_batch(batch)
+
+        np.testing.assert_array_equal(results[0], objective(points[0]))
+        np.testing.assert_array_equal(results[1], objective(points[2]))
+        np.testing.assert_array_equal(results[2], objective(points[3]))
+        np.testing.assert_array_equal(results[3], objective(points[1]))
+        assert results[4] is None and results[5] is None
+        assert evaluator.exhausted
+        assert evaluator.evaluations_used == 4
+        # Observer saw every fresh evaluation in input order: the two
+        # pre-batch points, then the two in-batch points that fit.
+        assert observed == [points[0], points[1], points[2], points[3]]
+
+    def test_history_matches_observer_after_mid_batch_exhaustion(self):
+        space = make_space()
+        points = list(space.all_points())[:5]
+        observed = []
+        evaluator = CachingEvaluator(
+            space, objective, budget=3, reference=[2.0, 2.0, 2.0],
+            observer=lambda a, o: observed.append((dict(a), o.copy())))
+        evaluator.evaluate_batch(points)
+        assert len(evaluator.result.evaluations) == 3
+        assert len(evaluator.result.hypervolume_trace) == 3
+        for (seen_a, seen_o), evaluation in zip(
+                observed, evaluator.result.evaluations):
+            assert seen_a == evaluation.assignment
+            np.testing.assert_array_equal(seen_o, evaluation.objectives)
+
+
 class TestIncrementalHypervolumeTrace:
     """Property: the O(front) trace equals the full recompute."""
 

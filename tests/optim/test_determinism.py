@@ -87,12 +87,18 @@ class TestObserverHook:
             assert seen_a == evaluation.assignment
             np.testing.assert_array_equal(seen_o, evaluation.objectives)
 
-    def test_replaying_observed_values_reproduces_the_run(self, toy_space):
+    @pytest.mark.parametrize("proposal_batch", [1, 4])
+    def test_replaying_observed_values_reproduces_the_run(self, toy_space,
+                                                          proposal_batch):
         """The resume contract, in miniature: re-running the optimiser
         while serving journalled values in order reconstructs the exact
-        history without consulting the real objective."""
+        history without consulting the real objective.  With
+        ``proposal_batch > 1`` this also pins that replay reconstructs
+        the same q-point groups bit-identically."""
         journal = []
-        baseline = SmsEgoBayesOpt(toy_space, seed=5, num_initial=4).optimize(
+        baseline = SmsEgoBayesOpt(
+            toy_space, seed=5, num_initial=4,
+            proposal_batch=proposal_batch).optimize(
             toy_objectives, budget=16, reference=REFERENCE,
             observer=lambda a, o: journal.append((dict(a), o.copy())))
 
@@ -103,7 +109,9 @@ class TestObserverHook:
             assert recorded_assignment == dict(assignment)
             return objectives
 
-        replay = SmsEgoBayesOpt(toy_space, seed=5, num_initial=4).optimize(
+        replay = SmsEgoBayesOpt(
+            toy_space, seed=5, num_initial=4,
+            proposal_batch=proposal_batch).optimize(
             replayed, budget=16, reference=REFERENCE)
         assert [e.assignment for e in replay.evaluations] == \
             [e.assignment for e in baseline.evaluations]
@@ -112,3 +120,61 @@ class TestObserverHook:
         np.testing.assert_array_equal(
             np.asarray(replay.hypervolume_trace),
             np.asarray(baseline.hypervolume_trace))
+
+
+class TestProposalBatchDeterminism:
+    """q>1 runs obey the same purity contract as serial runs."""
+
+    @pytest.mark.parametrize("proposal_batch", [2, 4])
+    def test_qbatch_history_bit_identical_across_runs(self, toy_space,
+                                                      proposal_batch):
+        def run():
+            return SmsEgoBayesOpt(
+                toy_space, seed=13, num_initial=4,
+                proposal_batch=proposal_batch).optimize(
+                toy_objectives, budget=24, reference=REFERENCE)
+        a, b = run(), run()
+        assert [e.assignment for e in a.evaluations] == \
+            [e.assignment for e in b.evaluations]
+        np.testing.assert_array_equal(a.objective_matrix,
+                                      b.objective_matrix)
+        np.testing.assert_array_equal(
+            np.asarray(a.hypervolume_trace), np.asarray(b.hypervolume_trace))
+
+    def test_batched_replay_reconstructs_group_boundaries(self, toy_space):
+        """Replaying through a *batch* objective function (the phase 2
+        resume path) re-issues the exact same q-groups: every replayed
+        batch must line up with the recorded group sizes and contents."""
+        recorded_groups = []
+
+        def live_batch(assignments):
+            recorded_groups.append([dict(a) for a in assignments])
+            return [toy_objectives(a) for a in assignments]
+
+        def make():
+            return SmsEgoBayesOpt(toy_space, seed=8, num_initial=4,
+                                  proposal_batch=4)
+
+        baseline = make().optimize(toy_objectives, budget=20,
+                                   reference=REFERENCE,
+                                   batch_objective_fn=live_batch)
+
+        replayed_groups = []
+        flat = [e for group in recorded_groups for e in group]
+        cursor = iter(flat)
+
+        def replay_batch(assignments):
+            replayed_groups.append([dict(a) for a in assignments])
+            out = []
+            for assignment in assignments:
+                recorded = next(cursor)
+                assert recorded == dict(assignment)
+                out.append(toy_objectives(assignment))
+            return out
+
+        replay = make().optimize(toy_objectives, budget=20,
+                                 reference=REFERENCE,
+                                 batch_objective_fn=replay_batch)
+        assert replayed_groups == recorded_groups
+        np.testing.assert_array_equal(replay.objective_matrix,
+                                      baseline.objective_matrix)

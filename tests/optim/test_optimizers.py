@@ -91,6 +91,123 @@ class TestBayesOpt:
             SmsEgoBayesOpt(toy_space, num_initial=1)
         with pytest.raises(ConfigError):
             SmsEgoBayesOpt(toy_space, pool_size=0)
+        with pytest.raises(ConfigError):
+            SmsEgoBayesOpt(toy_space, proposal_batch=0)
+
+
+class TestProposalBatch:
+    """q-point batched acquisition (kriging-believer inner loop)."""
+
+    def test_q1_keeps_serial_call_path(self, toy_space):
+        """With q=1 only the warm-up goes through the batch fan-out;
+        every proposal uses the exact legacy evaluate() path."""
+        sizes = []
+
+        def batch_fn(assignments):
+            sizes.append(len(assignments))
+            return [toy_objectives(a) for a in assignments]
+
+        SmsEgoBayesOpt(toy_space, seed=2, num_initial=6).optimize(
+            toy_objectives, budget=16, reference=REFERENCE,
+            batch_objective_fn=batch_fn)
+        assert sizes == [6]
+
+    def test_mid_run_groups_submitted_as_full_batches(self, toy_space):
+        sizes = []
+
+        def batch_fn(assignments):
+            sizes.append(len(assignments))
+            return [toy_objectives(a) for a in assignments]
+
+        SmsEgoBayesOpt(toy_space, seed=2, num_initial=6,
+                       proposal_batch=4).optimize(
+            toy_objectives, budget=26, reference=REFERENCE,
+            batch_objective_fn=batch_fn)
+        assert sizes == [6, 4, 4, 4, 4, 4]
+
+    def test_last_group_clamped_to_remaining_budget(self, toy_space):
+        sizes = []
+
+        def batch_fn(assignments):
+            sizes.append(len(assignments))
+            return [toy_objectives(a) for a in assignments]
+
+        result = SmsEgoBayesOpt(toy_space, seed=2, num_initial=6,
+                                proposal_batch=4).optimize(
+            toy_objectives, budget=24, reference=REFERENCE,
+            batch_objective_fn=batch_fn)
+        assert sizes == [6, 4, 4, 4, 4, 2]
+        assert len(result.evaluations) == 24
+
+    def test_group_members_are_distinct_unseen_points(self, toy_space):
+        opt = SmsEgoBayesOpt(toy_space, seed=9, num_initial=6,
+                             proposal_batch=4)
+        evaluator = CachingEvaluator(toy_space, toy_objectives, budget=30,
+                                     reference=REFERENCE)
+        rng = np.random.default_rng(opt.seed)
+        opt._gp = None
+        opt._initial_sampling(evaluator, rng)
+        batch = opt._propose(evaluator, rng)
+        assert len(batch) == 4
+        keys = {toy_space.key(a) for a in batch}
+        assert len(keys) == 4
+        assert not any(evaluator.seen(a) for a in batch)
+
+    def test_first_pick_matches_serial_argmax(self, toy_space):
+        """The greedy loop's first pick is the plain SMS-EGO winner, so
+        q>1 only adds points after the serial choice."""
+        def first_pick(q):
+            opt = SmsEgoBayesOpt(toy_space, seed=9, num_initial=6,
+                                 proposal_batch=q)
+            evaluator = CachingEvaluator(toy_space, toy_objectives,
+                                         budget=30, reference=REFERENCE)
+            rng = np.random.default_rng(opt.seed)
+            opt._gp = None
+            opt._initial_sampling(evaluator, rng)
+            return opt._propose(evaluator, rng)[0]
+        assert toy_space.key(first_pick(1)) == toy_space.key(first_pick(4))
+
+    @pytest.mark.parametrize("q", [2, 8])
+    def test_budget_respected_exactly_with_batching(self, toy_space, q):
+        result = SmsEgoBayesOpt(toy_space, seed=1, num_initial=6,
+                                proposal_batch=q).optimize(
+            toy_objectives, budget=29, reference=REFERENCE)
+        assert len(result.evaluations) == 29
+        keys = [toy_space.key(e.assignment) for e in result.evaluations]
+        assert len(set(keys)) == len(keys)
+
+
+class TestDegenerateReference:
+    """Constant-objective histories must not collapse the reference."""
+
+    def constant_second_objective(self, point):
+        return [point["x"] / 11.0, 0.5]
+
+    def test_reference_stays_clear_of_worst(self, toy_space):
+        opt = SmsEgoBayesOpt(toy_space, seed=0)
+        objectives = np.column_stack([np.linspace(0.1, 0.9, 6),
+                                      np.full(6, 0.5)])
+        reference = opt._reference_point(objectives)
+        # The clip in _sms_ego_scores subtracts 1e-12; the margin on the
+        # degenerate axis must survive it with room to spare.
+        assert np.all(reference - objectives.max(axis=0) >= 1e-8)
+
+    def test_improvement_scores_positive_on_degenerate_axis(self, toy_space):
+        from repro.optim.pareto import non_dominated_mask
+        opt = SmsEgoBayesOpt(toy_space, seed=0)
+        objectives = np.array([[0.4, 0.5], [0.6, 0.5], [0.8, 0.5]])
+        front = objectives[non_dominated_mask(objectives)]
+        reference = opt._reference_point(objectives)
+        lcb = np.array([[0.2, 0.5]])   # better on axis 0, ties on axis 1
+        scores = opt._sms_ego_scores(lcb, front, reference)
+        assert scores[0] > 1e-10
+
+    def test_full_run_with_constant_objective_completes(self, toy_space):
+        result = SmsEgoBayesOpt(toy_space, seed=4, num_initial=6).optimize(
+            self.constant_second_objective, budget=20, reference=REFERENCE)
+        assert len(result.evaluations) == 20
+        keys = [toy_space.key(e.assignment) for e in result.evaluations]
+        assert len(set(keys)) == len(keys)
 
 
 class TestNsgaII:
