@@ -1,0 +1,47 @@
+"""Shared merge-write helper for the smoke-benchmark result files.
+
+Each smoke benchmark owns one section of ``BENCH_phase1.json`` or
+``BENCH_phase2.json`` at the repo root.  Benchmarks merge their numbers
+into the file instead of overwriting it, so the files accumulate the
+latest measurement from every benchmark regardless of run order, and a
+corrupt or missing file degrades to a fresh one rather than an error.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Phase 1 smoke-benchmark numbers (training throughput).
+PHASE1_RESULTS = REPO_ROOT / "BENCH_phase1.json"
+#: Phase 2 smoke-benchmark numbers (DSE, batching, checkpointing,
+#: q-batch acquisition, multi-fidelity screening).
+PHASE2_RESULTS = REPO_ROOT / "BENCH_phase2.json"
+
+
+def merge_results(path: Path, measurements: dict,
+                  *, section: Optional[str] = None) -> None:
+    """Merge ``measurements`` into the JSON results file at ``path``.
+
+    With ``section`` the measurements land under that single key;
+    without it the top-level keys of ``measurements`` are merged in
+    directly (for benchmarks that own several sections).  Existing
+    sections written by other benchmarks are preserved; an unreadable
+    file is treated as empty.
+    """
+    existing = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            existing = {}
+    if not isinstance(existing, dict):
+        existing = {}
+    if section is not None:
+        existing[section] = measurements
+    else:
+        existing.update(measurements)
+    path.write_text(json.dumps(existing, indent=2) + "\n")

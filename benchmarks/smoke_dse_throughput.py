@@ -15,6 +15,7 @@ from __future__ import annotations
 import sys
 import time
 
+from _results import PHASE2_RESULTS, merge_results
 from repro.airlearning.scenarios import Scenario
 from repro.core.evalcache import reset_shared_cache, shared_report_cache
 from repro.core.pipeline import AutoPilot
@@ -82,6 +83,8 @@ def main() -> int:
           f"misses={measurements['repeat_misses']} "
           f"hit rate={measurements['repeat_hit_rate']:.1%})")
     print(f"  missions per charge: {measurements['first_missions']:.1f}")
+    merge_results(PHASE2_RESULTS, measurements, section="dse_throughput")
+    print(f"  wrote {PHASE2_RESULTS.name} (dse_throughput section)")
     failures = check(measurements)
     for failure in failures:
         print(f"  FAIL: {failure}")

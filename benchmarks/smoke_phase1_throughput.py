@@ -29,6 +29,7 @@ from __future__ import annotations
 import sys
 import time
 
+from _results import PHASE1_RESULTS, merge_results
 from repro.airlearning.scenarios import Scenario
 from repro.airlearning.trainer import CemTrainer
 from repro.core.evalcache import reset_shared_cache, shared_report_cache
@@ -134,6 +135,9 @@ def main() -> int:
           f"({new['env_steps']} steps executed, "
           f"{new['cache_hits']} cache hits)")
     print(f"  backend speedup: {measurements['speedup']:.1f}x")
+    merge_results(PHASE1_RESULTS, measurements,
+                  section="training_throughput")
+    print(f"  wrote {PHASE1_RESULTS.name} (training_throughput section)")
     failures = check(measurements)
     for failure in failures:
         print(f"  FAIL: {failure}")

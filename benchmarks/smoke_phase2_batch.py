@@ -22,13 +22,12 @@ Run directly (exit code 0/1) or via pytest::
 
 from __future__ import annotations
 
-import json
 import sys
 import time
-from pathlib import Path
 
 import numpy as np
 
+from _results import PHASE2_RESULTS, merge_results
 from repro.core.evalcache import reset_shared_cache
 from repro.nn.template import PolicyHyperparams
 from repro.optim.gp import GaussianProcess, MultiObjectiveGP
@@ -39,8 +38,6 @@ from repro.scalesim.config import (
     Dataflow,
 )
 from repro.soc.dssoc import DssocDesign, DssocEvaluator
-
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_phase2.json"
 
 BATCH_SIZE = 1024
 REPS = 5
@@ -190,15 +187,8 @@ def main() -> int:
           f"-> {gp_bench['speedup']:.2f}x")
     # Merge instead of overwrite: other smoke benchmarks (e.g. the
     # q-batch acquisition one) keep their own sections in the file.
-    existing = {}
-    if RESULTS_PATH.exists():
-        try:
-            existing = json.loads(RESULTS_PATH.read_text())
-        except (json.JSONDecodeError, OSError):
-            existing = {}
-    existing.update(measurements)
-    RESULTS_PATH.write_text(json.dumps(existing, indent=2) + "\n")
-    print(f"  wrote {RESULTS_PATH.name}")
+    merge_results(PHASE2_RESULTS, measurements)
+    print(f"  wrote {PHASE2_RESULTS.name}")
     failures = check(measurements)
     for failure in failures:
         print(f"  FAIL: {failure}")

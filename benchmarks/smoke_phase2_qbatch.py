@@ -23,13 +23,12 @@ Run directly (exit code 0/1) or via pytest::
 
 from __future__ import annotations
 
-import json
 import sys
 import time
-from pathlib import Path
 
 import numpy as np
 
+from _results import PHASE2_RESULTS, merge_results
 from repro.airlearning.scenarios import Scenario
 from repro.core.evalcache import reset_shared_cache
 from repro.core.phase1 import FrontEnd
@@ -40,8 +39,6 @@ from repro.optim.gp import MultiObjectiveGP, gp_stats
 from repro.optim.pareto import non_dominated_mask
 from repro.soc.batch import batch_stats
 from repro.uav.platforms import NANO_ZHANG
-
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_phase2.json"
 
 BUDGET = 64
 NUM_INITIAL = 12
@@ -174,17 +171,6 @@ def check(measurements: dict) -> list:
     return failures
 
 
-def _merge_results(measurements: dict) -> None:
-    existing = {}
-    if RESULTS_PATH.exists():
-        try:
-            existing = json.loads(RESULTS_PATH.read_text())
-        except (json.JSONDecodeError, OSError):
-            existing = {}
-    existing["qbatch"] = measurements
-    RESULTS_PATH.write_text(json.dumps(existing, indent=2) + "\n")
-
-
 def main() -> int:
     measurements = run_smoke()
     q1, q8 = measurements["q1"], measurements[f"q{Q}"]
@@ -200,8 +186,8 @@ def main() -> int:
           f"{q8['proposals_per_s']:.1f} proposals/s, "
           f"mid-run mean batch {q8['mid_run_mean_batch']:.2f}, "
           f"hv/s {q8['hypervolume_per_s']:.2f}")
-    _merge_results(measurements)
-    print(f"  wrote {RESULTS_PATH.name} (qbatch section)")
+    merge_results(PHASE2_RESULTS, measurements, section="qbatch")
+    print(f"  wrote {PHASE2_RESULTS.name} (qbatch section)")
     failures = check(measurements)
     for failure in failures:
         print(f"  FAIL: {failure}")

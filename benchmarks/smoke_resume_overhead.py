@@ -21,6 +21,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from _results import PHASE2_RESULTS, merge_results
 from repro.airlearning.scenarios import Scenario
 from repro.core.evalcache import reset_shared_cache
 from repro.core.pipeline import AutoPilot
@@ -128,6 +129,12 @@ def main() -> int:
     print(f"  missions per charge: baseline "
           f"{measurements['baseline_missions']:.1f}, resumed "
           f"{measurements['resumed_missions']:.1f}")
+    # The design objects are not JSON; persist the numeric subset only.
+    merge_results(PHASE2_RESULTS,
+                  {key: value for key, value in measurements.items()
+                   if not key.endswith("_design")},
+                  section="resume_overhead")
+    print(f"  wrote {PHASE2_RESULTS.name} (resume_overhead section)")
     failures = check(measurements)
     for failure in failures:
         print(f"  FAIL: {failure}")

@@ -98,6 +98,17 @@ def _add_phase2(parser: argparse.ArgumentParser) -> None:
                              "batch so the process pool and the batched "
                              "SoC kernel stay saturated mid-run (1 = the "
                              "exact serial reference behaviour)")
+    parser.add_argument("--fidelity", choices=("off", "on"), default="off",
+                        help="multi-fidelity Phase 2: screen each proposal "
+                             "group with the closed-form tier-0 bound "
+                             "estimator and promote only the most promising "
+                             "points to the exact simulator (off = the "
+                             "exact single-fidelity reference behaviour)")
+    parser.add_argument("--promotion-eta", type=float, default=0.5,
+                        help="fraction of each screened group promoted to "
+                             "the exact simulator on tier-0 merit; points "
+                             "whose optimistic bounds could still dominate "
+                             "the current front are always promoted")
 
 
 def _autopilot(args: argparse.Namespace) -> AutoPilot:
@@ -115,7 +126,9 @@ def _autopilot(args: argparse.Namespace) -> AutoPilot:
         optimizer_kwargs["proposal_batch"] = args.proposal_batch
     return AutoPilot(seed=args.seed, workers=args.workers,
                      frontend_backend=args.phase1_backend, trainer=trainer,
-                     optimizer_kwargs=optimizer_kwargs or None)
+                     optimizer_kwargs=optimizer_kwargs or None,
+                     fidelity=getattr(args, "fidelity", "off"),
+                     promotion_eta=getattr(args, "promotion_eta", 0.5))
 
 
 def _restore_from_manifest(args: argparse.Namespace,
@@ -125,6 +138,8 @@ def _restore_from_manifest(args: argparse.Namespace,
     args.budget = manifest.budget
     args.phase1_backend = manifest.frontend_backend
     args.proposal_batch = manifest.proposal_batch
+    args.fidelity = manifest.fidelity
+    args.promotion_eta = manifest.promotion_eta
     if manifest.trainer:
         args.cem_population = manifest.trainer["population_size"]
         args.cem_iterations = manifest.trainer["iterations"]

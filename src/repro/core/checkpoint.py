@@ -140,6 +140,15 @@ class RunManifest:
     #: different value would diverge from the journal.  Defaults to 1 so
     #: manifests written before this field existed load unchanged.
     proposal_batch: int = 1
+    #: Multi-fidelity mode (``"off"``/``"on"``) and successive-halving
+    #: promotion fraction.  Part of the run identity for the same reason
+    #: as ``proposal_batch``: with fidelity on, which proposals consume
+    #: budget depends on the promotion decisions, so resuming with a
+    #: different mode or eta would diverge from the journals.  Defaults
+    #: keep manifests written before these fields existed loading
+    #: unchanged (and bit-identical single-fidelity behaviour).
+    fidelity: str = "off"
+    promotion_eta: float = 0.5
     status: Dict[str, str] = field(default_factory=lambda: {
         "phase1": "pending", "phase2": "pending", "phase3": "pending"})
     #: Completed Phase 2 evaluations at the last manifest write.
@@ -327,6 +336,7 @@ class RunCheckpoint:
           phase1/trainings.jnl       journal of validated template points
           phase1/cem-L<l>-F<f>-<scenario>.pkl   per-point CEM snapshots
           phase2/evaluations.jnl     journal of completed DSE evaluations
+          phase2/promotions.jnl      journal of multi-fidelity promotions
     """
 
     def __init__(self, run_dir: Union[str, os.PathLike]):
@@ -346,6 +356,11 @@ class RunCheckpoint:
         """Journal of completed Phase 2 design evaluations."""
         return EvaluationJournal(self.run_dir / "phase2" / "evaluations.jnl",
                                  kind="phase2-evaluations")
+
+    def phase2_promotions_journal(self) -> EvaluationJournal:
+        """Journal of multi-fidelity promotion decisions (fidelity on)."""
+        return EvaluationJournal(self.run_dir / "phase2" / "promotions.jnl",
+                                 kind="phase2-promotions")
 
     def cem_checkpoint_path(self, hyperparams, scenario) -> Path:
         """Per-template-point CEM trainer snapshot file."""

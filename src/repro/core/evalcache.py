@@ -49,6 +49,20 @@ CACHE_SCHEMA_VERSION = 1
 DEFAULT_CAPACITY = 16384
 
 
+class _MissType:
+    """Sentinel distinguishing 'absent from the cache' from a stored
+    ``None`` value, so legitimately-``None`` results are cacheable."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<MISS>"
+
+
+#: The unique miss marker returned by :meth:`EvalCache.lookup`.
+_MISS = _MissType()
+
+
 def workload_fingerprint(workload: Any) -> Tuple[Hashable, ...]:
     """Stable, content-only key for a lowered network workload.
 
@@ -90,6 +104,22 @@ def design_key(workload: Any, config: Any, *,
     if workload_fp is None:
         workload_fp = workload_fingerprint(workload)
     return ("run_report", CACHE_SCHEMA_VERSION,
+            config_fingerprint(config), workload_fp)
+
+
+def estimate_key(workload: Any, config: Any, *,
+                 workload_fp: Tuple[Hashable, ...] | None = None
+                 ) -> Tuple[Hashable, ...]:
+    """Content-addressed key for one tier-0 bound estimate.
+
+    The leading tag differs from :func:`design_key`'s ``"run_report"``
+    so the low-fidelity estimates and the exact simulation reports of
+    the same (workload, config) pair can never alias in the shared
+    cache, whatever order the fidelity tiers touch it in.
+    """
+    if workload_fp is None:
+        workload_fp = workload_fingerprint(workload)
+    return ("tier0_estimate", CACHE_SCHEMA_VERSION,
             config_fingerprint(config), workload_fp)
 
 
@@ -201,23 +231,37 @@ class EvalCache:
             return key in self._entries
 
     # ------------------------------------------------------------------
-    def get(self, key: Tuple[Hashable, ...]) -> Optional[Any]:
-        """Look up ``key``; counts a hit or a miss."""
+    def lookup(self, key: Tuple[Hashable, ...]) -> Any:
+        """Look up ``key``; returns :data:`_MISS` when absent.
+
+        Unlike :meth:`get` this distinguishes a stored ``None`` (a hit)
+        from an absent entry, so ``None`` is a first-class cache value.
+        Counts a hit or a miss either way.
+        """
         with self._lock:
-            value = self._entries.get(key)
-            if value is not None:
+            if key in self._entries:
+                value = self._entries[key]
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
                 return value
         value = self._load_from_disk(key)
         with self._lock:
-            if value is not None:
+            if value is not _MISS:
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
                 self._insert(key, value)
             else:
                 self.stats.misses += 1
         return value
+
+    def get(self, key: Tuple[Hashable, ...]) -> Optional[Any]:
+        """Look up ``key``; counts a hit or a miss.
+
+        Returns ``None`` on a miss -- callers that may cache ``None``
+        values should use :meth:`lookup` / :meth:`get_or_compute`.
+        """
+        value = self.lookup(key)
+        return None if value is _MISS else value
 
     def put(self, key: Tuple[Hashable, ...], value: Any) -> None:
         """Insert ``key`` -> ``value`` (and persist it, if enabled)."""
@@ -257,8 +301,8 @@ class EvalCache:
         contend, and ``self._lock`` is never held while computing, so
         nested ``get_or_compute`` calls for other keys cannot deadlock.
         """
-        value = self.get(key)
-        if value is not None:
+        value = self.lookup(key)
+        if value is not _MISS:
             return value
         with self._lock:
             entry = self._inflight.get(key)
@@ -268,8 +312,8 @@ class EvalCache:
             key_lock = entry[0]
         try:
             with key_lock:
-                value = self.get(key)
-                if value is None:
+                value = self.lookup(key)
+                if value is _MISS:
                     value = compute()
                     self.put(key, value)
         finally:
@@ -302,10 +346,10 @@ class EvalCache:
             return None
         return self.persist_dir / f"{key_digest(key)}.pkl"
 
-    def _load_from_disk(self, key: Tuple[Hashable, ...]) -> Optional[Any]:
+    def _load_from_disk(self, key: Tuple[Hashable, ...]) -> Any:
         path = self._disk_path(key)
         if path is None or not path.exists():
-            return None
+            return _MISS
         try:
             with path.open("rb") as handle:
                 return pickle.load(handle)
@@ -315,7 +359,7 @@ class EvalCache:
             # it is quarantined (renamed aside) so it is not re-parsed
             # on every subsequent load, and the event is surfaced.
             self._quarantine(path, exc)
-            return None
+            return _MISS
 
     def _quarantine(self, path: Path, exc: Exception) -> None:
         """Move a corrupt persisted entry aside and count the event."""

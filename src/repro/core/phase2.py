@@ -104,19 +104,36 @@ class MultiObjectiveDse:
             per GP fit and submit them as one evaluation batch.
         workers: Process count for batched evaluation fan-out; ``None``
             consults ``REPRO_WORKERS`` and defaults to serial.
+        fidelity: ``"on"`` screens every proposal group through the
+            tier-0 closed-form bound estimator and promotes only the
+            top ``promotion_eta`` fraction (plus safety-rail survivors)
+            to the exact simulator; ``"off"`` (default) keeps the
+            single-fidelity behaviour bit-identical to earlier
+            revisions.
+        promotion_eta: Successive-halving promotion fraction in
+            ``(0, 1]``; only meaningful with ``fidelity="on"``.
     """
 
     def __init__(self, database: AirLearningDatabase,
                  optimizer_cls: Type[Optimizer] = SmsEgoBayesOpt,
                  space: Optional[DesignSpace] = None, seed: int = 0,
                  optimizer_kwargs: Optional[dict] = None,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None,
+                 fidelity: str = "off",
+                 promotion_eta: float = 0.5):
+        if fidelity not in ("off", "on"):
+            raise ConfigError(
+                f"fidelity must be 'off' or 'on', got {fidelity!r}")
+        if not 0.0 < promotion_eta <= 1.0:
+            raise ConfigError("promotion_eta must be in (0, 1]")
         self.database = database
         self.optimizer_cls = optimizer_cls
         self.space = space or build_design_space()
         self.seed = seed
         self.optimizer_kwargs = dict(optimizer_kwargs or {})
         self.workers = workers
+        self.fidelity = fidelity
+        self.promotion_eta = promotion_eta
 
     def derive_reference(self, evaluator: Optional[DssocEvaluator] = None
                          ) -> List[float]:
@@ -161,7 +178,9 @@ class MultiObjectiveDse:
     def run(self, task: TaskSpec, budget: int = 120,
             reference: Optional[Sequence[float]] = None,
             profiler=None, journal: Optional[EvaluationJournal] = None,
-            resume: bool = False) -> Phase2Result:
+            resume: bool = False,
+            promotion_journal: Optional[EvaluationJournal] = None
+            ) -> Phase2Result:
         """Spend ``budget`` unique evaluations and collect candidates.
 
         Args:
@@ -183,6 +202,12 @@ class MultiObjectiveDse:
                 optimiser actually requests; a mismatch (journal from a
                 different seed/space/configuration) raises
                 :class:`~repro.errors.CheckpointError`.
+            promotion_journal: Optional journal of the multi-fidelity
+                promotion decisions (one record per screened proposal
+                group, appended *before* the group's evaluations).  On
+                resume the recomputed decisions are verified against
+                the journalled ones, so a resumed multi-fidelity run is
+                provably replaying the same promotion sequence.
         """
         if budget <= 0:
             raise ConfigError("budget must be positive")
@@ -257,13 +282,69 @@ class MultiObjectiveDse:
                                        **self.optimizer_kwargs)
         if reference is None:
             reference = self.derive_reference(evaluator)
+
+        fidelity_kwargs: dict = {}
+        if self.fidelity == "on":
+            from repro.soc.estimate import Tier0Estimator
+
+            estimator = Tier0Estimator(evaluator)
+
+            def screen(assignments: Sequence[Assignment]) -> np.ndarray:
+                designs = [assignment_to_design(a) for a in assignments]
+                bounds = estimator.estimate_designs(designs)
+                # The success objective has no cheaper tier: the Phase 1
+                # database lookup *is* the exact value, so the bound
+                # vector carries it verbatim.
+                failure = np.asarray([
+                    1.0 - self.database.success_rate(d.policy, task.scenario)
+                    for d in designs])
+                return np.stack(
+                    [failure, bounds.latency_s, bounds.soc_power_w], axis=1)
+
+            promotion_replayer = JournalReplayer([])
+            if promotion_journal is not None:
+                if resume:
+                    promotion_replayer = JournalReplayer(
+                        promotion_journal.load())
+                else:
+                    promotion_journal.reset()
+
+            def on_promotions(assignments: Sequence[Assignment],
+                              decisions: Sequence[bool]) -> None:
+                record = {
+                    "keys": tuple(tuple(self.space.key(a))
+                                  for a in assignments),
+                    "promoted": tuple(bool(d) for d in decisions),
+                }
+                if promotion_replayer.pending:
+                    expected = promotion_replayer.take()
+                    if expected != record:
+                        raise CheckpointError(
+                            "phase 2 promotion journal does not match the "
+                            "resumed run: recorded decisions "
+                            f"{expected} but the screen recomputed "
+                            f"{record} (different seed, space, fidelity "
+                            "or promotion_eta?)")
+                    return
+                if promotion_journal is not None:
+                    promotion_journal.append(record)
+
+            fidelity_kwargs = {
+                "screen_fn": screen,
+                "promotion_eta": self.promotion_eta,
+                "promotion_observer": on_promotions,
+            }
+
         try:
             record = optimizer.optimize(objectives, budget=budget,
                                         reference=reference,
-                                        batch_objective_fn=batch_objectives)
+                                        batch_objective_fn=batch_objectives,
+                                        **fidelity_kwargs)
         finally:
             if journal is not None:
                 journal.close()
+            if promotion_journal is not None:
+                promotion_journal.close()
         if profiler is not None:
             profiler.add_evaluations("phase2", len(record.evaluations))
         return Phase2Result(candidates=candidates, optimization=record,

@@ -64,8 +64,12 @@ class AutoPilot:
                  enable_finetuning: bool = True,
                  weight_feedback: bool = True,
                  workers: Optional[int] = None,
-                 trainer: Optional[CemTrainer] = None):
+                 trainer: Optional[CemTrainer] = None,
+                 fidelity: str = "off",
+                 promotion_eta: float = 0.5):
         self.seed = seed
+        self.fidelity = fidelity
+        self.promotion_eta = promotion_eta
         self.frontend = FrontEnd(backend=frontend_backend, seed=seed,
                                  trainer=trainer, workers=workers)
         self.optimizer_cls = optimizer_cls
@@ -129,15 +133,21 @@ class AutoPilot:
                                     optimizer_cls=self.optimizer_cls,
                                     seed=self.seed,
                                     optimizer_kwargs=self.optimizer_kwargs,
-                                    workers=self.workers)
+                                    workers=self.workers,
+                                    fidelity=self.fidelity,
+                                    promotion_eta=self.promotion_eta)
             journal = (checkpoint.phase2_journal()
                        if checkpoint is not None else None)
+            promotion_journal = (checkpoint.phase2_promotions_journal()
+                                 if checkpoint is not None else None)
             if manifest is not None:
                 manifest.status["phase2"] = "running"
                 manifest.save(checkpoint.run_dir)
             with profiler.phase("phase2"):
                 phase2 = dse.run(task, budget=budget, profiler=profiler,
-                                 journal=journal, resume=resume)
+                                 journal=journal,
+                                 promotion_journal=promotion_journal,
+                                 resume=resume)
             self._phase2_cache[cache_key] = phase2
         if manifest is not None:
             manifest.status["phase2"] = "complete"
@@ -175,7 +185,9 @@ class AutoPilot:
                            frontend_backend=self.frontend.backend,
                            trainer=trainer_cfg,
                            proposal_batch=(self.optimizer_kwargs or {}).get(
-                               "proposal_batch", 1))
+                               "proposal_batch", 1),
+                           fidelity=self.fidelity,
+                           promotion_eta=self.promotion_eta)
 
     @staticmethod
     def _verify_manifest(previous: RunManifest, current: RunManifest,
@@ -184,7 +196,7 @@ class AutoPilot:
         mismatched = [
             name for name in ("uav", "scenario", "seed", "budget",
                               "sensor_fps", "frontend_backend", "trainer",
-                              "proposal_batch")
+                              "proposal_batch", "fidelity", "promotion_eta")
             if getattr(previous, name) != getattr(current, name)]
         if mismatched:
             details = ", ".join(

@@ -11,6 +11,11 @@ from repro.optim.base import (
 )
 from repro.optim.bayesopt import SmsEgoBayesOpt
 from repro.optim.exhaustive import ExhaustiveSearch
+from repro.optim.fidelity import (
+    FidelityStats,
+    MultiFidelityEvaluator,
+    fidelity_stats,
+)
 from repro.optim.genetic import NsgaII
 from repro.optim.gp import (
     GaussianProcess,
@@ -44,6 +49,9 @@ __all__ = [
     "ObjectiveFn",
     "ObserverFn",
     "CachingEvaluator",
+    "MultiFidelityEvaluator",
+    "FidelityStats",
+    "fidelity_stats",
     "SmsEgoBayesOpt",
     "NsgaII",
     "SimulatedAnnealing",

@@ -229,18 +229,41 @@ class Optimizer:
     def optimize(self, objective_fn: ObjectiveFn, budget: int,
                  reference: Optional[Sequence[float]] = None,
                  batch_objective_fn: Optional[BatchObjectiveFn] = None,
-                 observer: Optional[ObserverFn] = None
+                 observer: Optional[ObserverFn] = None,
+                 screen_fn: Optional[Callable] = None,
+                 promotion_eta: float = 0.5,
+                 promotion_observer: Optional[Callable] = None
                  ) -> OptimizationResult:
         """Spend ``budget`` unique evaluations minimising all objectives.
 
         ``observer`` is invoked once per fresh evaluation in history
         order; checkpointing uses it to journal observed points so an
         interrupted run can be replayed bit-identically.
+
+        ``screen_fn`` switches on two-tier multi-fidelity evaluation:
+        the evaluator becomes a
+        :class:`~repro.optim.fidelity.MultiFidelityEvaluator` screening
+        proposal groups through the tier-0 bound estimate and promoting
+        the top ``promotion_eta`` fraction (plus the safety-rail
+        survivors) to the exact tier-1 evaluation.
+        ``promotion_observer`` journals the per-group decisions.
         """
-        evaluator = CachingEvaluator(self.space, objective_fn, budget,
-                                     reference=reference,
-                                     batch_objective_fn=batch_objective_fn,
-                                     observer=observer)
+        if screen_fn is not None:
+            # Imported lazily: fidelity depends on this module.
+            from repro.optim.fidelity import MultiFidelityEvaluator
+            evaluator: CachingEvaluator = MultiFidelityEvaluator(
+                self.space, objective_fn, budget,
+                screen_fn=screen_fn,
+                promotion_eta=promotion_eta,
+                promotion_observer=promotion_observer,
+                reference=reference,
+                batch_objective_fn=batch_objective_fn,
+                observer=observer)
+        else:
+            evaluator = CachingEvaluator(self.space, objective_fn, budget,
+                                         reference=reference,
+                                         batch_objective_fn=batch_objective_fn,
+                                         observer=observer)
         rng = np.random.default_rng(self.seed)
         self.run(evaluator, rng)
         return evaluator.result

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.optim.base import CachingEvaluator, Optimizer
+from repro.optim.fidelity import MultiFidelityEvaluator
 from repro.optim.gp import MultiObjectiveGP, gp_stats
 from repro.optim.hypervolume import hypervolume_contributions
 from repro.optim.pareto import non_dominated_mask
@@ -79,6 +80,13 @@ class SmsEgoBayesOpt(Optimizer):
 
     name = "bayesopt"
 
+    #: Consecutive screened proposal groups allowed to promote nothing
+    #: before the run stops early.  With multi-fidelity screening a
+    #: group can be pruned wholesale (no budget consumed); if the pool
+    #: keeps producing only provably-dominated candidates the loop
+    #: would otherwise never exhaust the budget.
+    MAX_BARREN_ROUNDS = 10
+
     def __init__(self, space: DesignSpace, seed: int = 0,
                  num_initial: int = 12, pool_size: int = 256,
                  kappa: float = 1.0, gain: float = 1.0,
@@ -110,11 +118,24 @@ class SmsEgoBayesOpt(Optimizer):
         # (or replayed) on the same instance and must start fresh.
         self._gp = None
         self._initial_sampling(evaluator, rng)
+        screened = isinstance(evaluator, MultiFidelityEvaluator)
+        barren_rounds = 0
         while not evaluator.exhausted:
             batch = self._propose(evaluator, rng)
             if not batch:
                 break
-            if len(batch) == 1:
+            if screened:
+                used_before = evaluator.evaluations_used
+                if len(batch) > 1:
+                    self._count_proposal_submission(len(batch))
+                evaluator.evaluate_screened(batch)
+                if evaluator.evaluations_used == used_before:
+                    barren_rounds += 1
+                    if barren_rounds >= self.MAX_BARREN_ROUNDS:
+                        break
+                else:
+                    barren_rounds = 0
+            elif len(batch) == 1:
                 # Single proposals keep the exact legacy call path, so a
                 # q=1 run is indistinguishable from the serial optimiser.
                 evaluator.evaluate(batch[0])

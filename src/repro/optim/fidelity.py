@@ -1,0 +1,241 @@
+"""Two-tier multi-fidelity evaluation with successive-halving promotion.
+
+Tier-0 is a *screen*: a cheap, certified lower-bound estimate of every
+objective (see :mod:`repro.scalesim.estimate` / :mod:`repro.soc.estimate`
+for the Phase 2 screen).  Tier-1 is the exact evaluation the budget
+pays for.  :class:`MultiFidelityEvaluator` runs successive halving
+inside each proposal group: the whole group is scored at tier-0, the
+top ``promotion_eta`` fraction (by hypervolume contribution of the
+optimistic bounds) is promoted to tier-1, and -- the safety rail -- so
+is every *potential dominator*: a point whose lower-bound vector is
+component-wise ``<=`` some already-observed front point, because its
+true objectives might still displace that front point and no screen can
+rule it out.  Everything else is pruned: its optimistic bounds already
+fail to dominate any front member, so at best it would fill a gap the
+``promotion_eta`` quota exists to explore.  Pruned points cost no
+tier-1 budget and are never fed to the GP.
+
+Determinism and resume: a promotion decision is a pure function of the
+screen bounds (deterministic per design), the evaluator's observed
+history at decision time, ``promotion_eta`` and the reference point --
+so replaying journalled evaluations through the optimiser reproduces
+every decision bit-identically.  The ``promotion_observer`` hook fires
+once per screened group *before* the promoted evaluations are recorded,
+letting checkpointing journal decisions ahead of the evaluations they
+gate (and verify them on resume).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.optim.base import (
+    BatchObjectiveFn,
+    CachingEvaluator,
+    ObjectiveFn,
+    ObserverFn,
+)
+from repro.optim.hypervolume import hypervolume_contributions
+from repro.optim.pareto import non_dominated_mask
+from repro.optim.space import Assignment, DesignSpace
+
+#: Tier-0 screen: a list of assignments -> an (n, d) matrix of
+#: component-wise *lower bounds* on the objective vectors (minimisation
+#: convention).  Soundness of the pruning rail rests on every entry
+#: truly bounding the tier-1 objective from below.
+ScreenFn = Callable[[List[Assignment]], Sequence[Sequence[float]]]
+
+#: Invoked once per screened group with the fresh (deduplicated,
+#: uncached) assignments and the per-point promotion decisions, before
+#: any of the promoted evaluations are recorded.
+PromotionObserverFn = Callable[[List[Assignment], List[bool]], None]
+
+
+@dataclass
+class FidelityStats:
+    """Process-wide counters for the multi-fidelity screening path.
+
+    Mirrors :class:`repro.soc.batch.BatchStats`: the profiler snapshots
+    the module-wide instance per phase and reports deltas.
+    """
+
+    screen_calls: int = 0      # screened proposal groups
+    screened: int = 0          # fresh points scored at tier-0
+    promoted: int = 0          # points promoted to tier-1
+    rail_promotions: int = 0   # promotions owed to the safety rail alone
+    screen_wall_s: float = 0.0  # wall time inside the tier-0 screen
+    tier1_wall_s: float = 0.0   # wall time inside promoted tier-1 evals
+    tier1_points: int = 0       # points evaluated in those tier-1 calls
+
+    @property
+    def pruned(self) -> int:
+        """Screened points never promoted (simulator evals avoided)."""
+        return self.screened - self.promoted
+
+    @property
+    def promotion_rate(self) -> float:
+        """Fraction of screened points promoted to tier-1."""
+        if self.screened == 0:
+            return 0.0
+        return self.promoted / self.screened
+
+    @property
+    def mean_tier1_eval_s(self) -> float:
+        """Mean wall seconds per promoted tier-1 evaluation."""
+        if self.tier1_points == 0:
+            return 0.0
+        return self.tier1_wall_s / self.tier1_points
+
+    @property
+    def est_sim_seconds_saved(self) -> float:
+        """Pruned points priced at the measured tier-1 cost."""
+        return self.pruned * self.mean_tier1_eval_s
+
+    def snapshot(self) -> "FidelityStats":
+        """A copy, for delta accounting across a profiling window."""
+        return FidelityStats(**vars(self))
+
+    def since(self, baseline: "FidelityStats") -> "FidelityStats":
+        """Counter deltas relative to an earlier :meth:`snapshot`."""
+        return FidelityStats(**{name: value - getattr(baseline, name)
+                                for name, value in vars(self).items()})
+
+    def merge(self, delta: "FidelityStats") -> None:
+        """Accumulate another stats record into this one."""
+        for name, value in vars(delta).items():
+            setattr(self, name, getattr(self, name) + value)
+
+
+_fidelity_stats = FidelityStats()
+
+
+def fidelity_stats() -> FidelityStats:
+    """The process-wide multi-fidelity screening counters."""
+    return _fidelity_stats
+
+
+class MultiFidelityEvaluator(CachingEvaluator):
+    """A :class:`CachingEvaluator` with a tier-0 screening front end.
+
+    The inherited :meth:`evaluate` / :meth:`evaluate_batch` stay
+    unscreened (warm-up and non-screening optimisers use them
+    unchanged); screening optimisers submit proposal groups through
+    :meth:`evaluate_screened`.  The budget still counts unique *tier-1*
+    evaluations only -- screens and pruned points are free.
+
+    Pruned points are remembered and reported as seen, so the candidate
+    pool never re-proposes a point already proven dominated.
+    """
+
+    def __init__(self, space: DesignSpace, objective_fn: ObjectiveFn,
+                 budget: int, *,
+                 screen_fn: ScreenFn,
+                 promotion_eta: float = 0.5,
+                 promotion_observer: Optional[PromotionObserverFn] = None,
+                 reference: Optional[Sequence[float]] = None,
+                 batch_objective_fn: Optional[BatchObjectiveFn] = None,
+                 observer: Optional[ObserverFn] = None):
+        if reference is None:
+            raise ConfigError(
+                "multi-fidelity evaluation needs a reference point: "
+                "promotion scores are hypervolume contributions")
+        if not 0.0 < promotion_eta <= 1.0:
+            raise ConfigError("promotion_eta must be in (0, 1]")
+        super().__init__(space, objective_fn, budget, reference=reference,
+                         batch_objective_fn=batch_objective_fn,
+                         observer=observer)
+        self.screen_fn = screen_fn
+        self.promotion_eta = promotion_eta
+        self.promotion_observer = promotion_observer
+        self._pruned_keys: set = set()
+
+    def seen(self, assignment: Assignment) -> bool:
+        """True for evaluated *and* pruned points (never re-propose)."""
+        key = self.space.key(assignment)
+        return key in self._cache or key in self._pruned_keys
+
+    def evaluate_screened(self, assignments: Sequence[Assignment]
+                          ) -> List[Optional[np.ndarray]]:
+        """Screen a proposal group at tier-0; evaluate only promotions.
+
+        Returns one entry per input, in order: the tier-1 objective
+        vector for cached or promoted-and-evaluated points, ``None``
+        for pruned (or budget-skipped) ones.
+        """
+        keys = [self.space.key(a) for a in assignments]
+        fresh_indices: List[int] = []
+        pending = set()
+        for i, key in enumerate(keys):
+            if key in self._cache or key in self._pruned_keys \
+                    or key in pending:
+                continue
+            pending.add(key)
+            fresh_indices.append(i)
+
+        if fresh_indices:
+            fresh = [assignments[i] for i in fresh_indices]
+            start = time.perf_counter()
+            bounds = np.asarray(self.screen_fn(fresh), dtype=float)
+            _fidelity_stats.screen_calls += 1
+            _fidelity_stats.screened += len(fresh)
+            _fidelity_stats.screen_wall_s += time.perf_counter() - start
+            if bounds.shape != (len(fresh), self.reference.shape[0]):
+                raise ConfigError(
+                    f"screen function returned shape {bounds.shape}, "
+                    f"expected ({len(fresh)}, {self.reference.shape[0]})")
+            mask = self._promotion_mask(bounds)
+            if self.promotion_observer is not None:
+                self.promotion_observer(fresh,
+                                        [bool(m) for m in mask])
+            promoted = [a for a, m in zip(fresh, mask) if m]
+            for key_index, keep in zip(fresh_indices, mask):
+                if not keep:
+                    self._pruned_keys.add(keys[key_index])
+            _fidelity_stats.promoted += len(promoted)
+            if promoted:
+                start = time.perf_counter()
+                super().evaluate_batch(promoted)
+                _fidelity_stats.tier1_wall_s += time.perf_counter() - start
+                _fidelity_stats.tier1_points += len(promoted)
+        return [self._cache.get(key) for key in keys]
+
+    def _promotion_mask(self, bounds: np.ndarray) -> np.ndarray:
+        """Successive-halving promotion decisions for one group.
+
+        Top ``ceil(eta * n)`` bound vectors by hypervolume contribution
+        against the observed front, unioned with the safety rail: every
+        potential dominator, i.e. every point whose bound is
+        component-wise ``<=`` some observed front point -- its true
+        objectives might dominate that front point, and no lower-bound
+        screen can prove otherwise, so it is never pruned.  Deterministic
+        given the evaluator history -- stable argsort, no RNG -- which
+        is what makes resume-by-replay exact.
+        """
+        count = bounds.shape[0]
+        history = self.result.evaluations
+        if not history:
+            return np.ones(count, dtype=bool)
+        objectives = np.vstack([e.objectives for e in history])
+        front = objectives[non_dominated_mask(objectives)]
+
+        quota = min(count, max(1, int(np.ceil(
+            self.promotion_eta * count))))
+        clipped = np.minimum(bounds, self.reference[None, :] - 1e-12)
+        scores = hypervolume_contributions(front, clipped, self.reference)
+        order = np.argsort(-scores, kind="stable")
+        mask = np.zeros(count, dtype=bool)
+        mask[order[:quota]] = True
+
+        # Safety rail: bound(p) <= front point f means p's true
+        # objectives may dominate f -- never prune such a point.
+        potential_dominator = np.any(
+            np.all(bounds[:, None, :] <= front[None, :, :], axis=2),
+            axis=1)
+        rail = potential_dominator & ~mask
+        _fidelity_stats.rail_promotions += int(np.count_nonzero(rail))
+        return mask | potential_dominator

@@ -17,6 +17,7 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.core.evalcache import CacheStats, shared_report_cache
 from repro.core.parallel import PoolStats, pool_stats
+from repro.optim.fidelity import FidelityStats, fidelity_stats
 from repro.optim.gp import GpStats, gp_stats
 from repro.soc.batch import BatchStats, batch_stats
 
@@ -41,6 +42,9 @@ class PhaseRecord:
     #: Batched-evaluation activity (calls, designs, kernel-simulated
     #: designs) within the phase.
     batch: BatchStats = field(default_factory=BatchStats)
+    #: Multi-fidelity screening activity (tier-0 screens, promotions,
+    #: pruned simulator evaluations) within the phase.
+    fidelity: FidelityStats = field(default_factory=FidelityStats)
 
     @property
     def evaluations_per_second(self) -> float:
@@ -111,6 +115,14 @@ class ProfileReport:
             total.merge(phase.batch)
         return total
 
+    @property
+    def overall_fidelity(self) -> FidelityStats:
+        """Multi-fidelity screening activity summed over all phases."""
+        total = FidelityStats()
+        for phase in self.phases:
+            total.merge(phase.fidelity)
+        return total
+
 
 class Profiler:
     """Collects phase timings, counters and cache deltas for one run."""
@@ -138,6 +150,7 @@ class Profiler:
         pool_before = pool_stats().snapshot()
         gp_before = gp_stats().snapshot()
         batch_before = batch_stats().snapshot()
+        fidelity_before = fidelity_stats().snapshot()
         start = time.perf_counter()
         try:
             yield record
@@ -153,6 +166,7 @@ class Profiler:
             record.pool.merge(pool_stats().since(pool_before))
             record.gp.merge(gp_stats().since(gp_before))
             record.batch.merge(batch_stats().since(batch_before))
+            record.fidelity.merge(fidelity_stats().since(fidelity_before))
             if evaluations is not None:
                 record.evaluations += evaluations
 
@@ -235,6 +249,15 @@ def render_profile(report: ProfileReport) -> str:
                     f", {phase.batch.proposal_calls} proposal batches "
                     f"(mean {phase.batch.mean_proposal_batch:.1f})")
             lines.append(line)
+        if phase.fidelity.screen_calls:
+            fid = phase.fidelity
+            lines.append(
+                f"{phase.name} fidelity: {fid.screened} screened in "
+                f"{fid.screen_calls} groups ({fid.screen_wall_s:.3f} s), "
+                f"{fid.promoted} promoted ({fid.promotion_rate:.0%}, "
+                f"{fid.rail_promotions} via safety rail), "
+                f"{fid.pruned} simulator evals avoided "
+                f"(~{fid.est_sim_seconds_saved:.2f} s saved)")
     pool = report.overall_pool
     if pool.total_faults:
         lines.append(

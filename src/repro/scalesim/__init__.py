@@ -14,6 +14,12 @@ from repro.scalesim.config import (
     hardware_space_size,
 )
 from repro.scalesim.dataflow import MappingStats, map_gemm
+from repro.scalesim.estimate import (
+    BoundEstimate,
+    WorkloadAggregates,
+    estimate_batch,
+    lower_workload_aggregates,
+)
 from repro.scalesim.memory import TrafficStats, analyze_traffic
 from repro.scalesim.report import LayerReport, RunReport
 from repro.scalesim.simulator import SystolicArraySimulator, simulate
@@ -32,6 +38,10 @@ __all__ = [
     "analyze_traffic_batch",
     "BatchSimulation",
     "simulate_batch",
+    "BoundEstimate",
+    "WorkloadAggregates",
+    "estimate_batch",
+    "lower_workload_aggregates",
     "LayerReport",
     "RunReport",
     "SystolicArraySimulator",

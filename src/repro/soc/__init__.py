@@ -11,6 +11,7 @@ from repro.soc.components import (
     fixed_components_power_w,
 )
 from repro.soc.batch import BatchStats, batch_stats, evaluate_design_batch
+from repro.soc.estimate import DesignBounds, Tier0Estimator, power_weight_floor
 from repro.soc.dssoc import (
     DssocDesign,
     DssocEvaluation,
@@ -36,6 +37,9 @@ __all__ = [
     "BatchStats",
     "batch_stats",
     "evaluate_design_batch",
+    "DesignBounds",
+    "Tier0Estimator",
+    "power_weight_floor",
     "DssocDesign",
     "DssocEvaluation",
     "DssocEvaluator",

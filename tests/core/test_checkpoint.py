@@ -127,6 +127,27 @@ class TestRunManifest:
         (tmp_path / "manifest.json").write_text(json.dumps(payload))
         assert RunManifest.load(tmp_path).proposal_batch == 1
 
+    def test_fidelity_round_trips(self, tmp_path):
+        manifest = self.manifest()
+        manifest.fidelity = "on"
+        manifest.promotion_eta = 0.25
+        manifest.save(tmp_path)
+        loaded = RunManifest.load(tmp_path)
+        assert loaded.fidelity == "on"
+        assert loaded.promotion_eta == 0.25
+
+    def test_manifest_without_fidelity_defaults_to_off(self, tmp_path):
+        """Manifests written before the fields existed still load."""
+        manifest = self.manifest()
+        manifest.save(tmp_path)
+        payload = json.loads((tmp_path / "manifest.json").read_text())
+        del payload["fidelity"]
+        del payload["promotion_eta"]
+        (tmp_path / "manifest.json").write_text(json.dumps(payload))
+        loaded = RunManifest.load(tmp_path)
+        assert loaded.fidelity == "off"
+        assert loaded.promotion_eta == 0.5
+
 
 class TestEvaluationJournal:
     def test_append_load_round_trip(self, tmp_path):
@@ -383,6 +404,100 @@ class TestPhase2Resume:
 
 
 # ----------------------------------------------------------------------
+# Phase 2 multi-fidelity resume (promotion-decision journal)
+# ----------------------------------------------------------------------
+MF_DSE_KWARGS = dict(seed=5,
+                     optimizer_kwargs={"num_initial": 4, "pool_size": 16,
+                                       "proposal_batch": 4},
+                     fidelity="on", promotion_eta=0.5)
+
+
+class TestMultiFidelityResume:
+    def test_killed_multifidelity_dse_resumes_bit_identically(
+            self, tmp_path, database, task, small_space):
+        """Kill mid proposal group: 4 warm-up evaluations, the first
+        group's promotion record and one of its promoted evaluations
+        are persisted; the resumed run must replay the journalled
+        promotion decision (verified, not recomputed blind) and
+        evaluate only the unjournalled tail."""
+        baseline = MultiObjectiveDse(database=database, space=small_space,
+                                     **MF_DSE_KWARGS).run(task, budget=14)
+        journal = EvaluationJournal(tmp_path / "phase2.jnl",
+                                    kind="phase2-evaluations")
+        promotions = EvaluationJournal(tmp_path / "promotions.jnl",
+                                       kind="phase2-promotions")
+        # Writes 0-3: warm-up evaluations.  Write 4: the first group's
+        # promotion record (appended before its evaluations).  Writes
+        # 5+: the group's promoted evaluations.  Kill at write 6 --
+        # one promoted evaluation journalled, the rest in flight.
+        with faults.active_faults("kill@checkpoint-write:6"):
+            with pytest.raises(faults.SimulatedKill):
+                MultiObjectiveDse(database=database, space=small_space,
+                                  **MF_DSE_KWARGS).run(
+                    task, budget=14, journal=journal,
+                    promotion_journal=promotions)
+        journal = EvaluationJournal(tmp_path / "phase2.jnl",
+                                    kind="phase2-evaluations")
+        promotions = EvaluationJournal(tmp_path / "promotions.jnl",
+                                       kind="phase2-promotions")
+        assert len(journal.load()) == 5
+        records = promotions.load()
+        assert len(records) == 1
+        assert set(records[0]) == {"keys", "promoted"}
+        resumed = MultiObjectiveDse(database=database, space=small_space,
+                                    **MF_DSE_KWARGS).run(
+            task, budget=14, journal=journal,
+            promotion_journal=promotions, resume=True)
+        assert_phase2_equal(resumed, baseline)
+
+    def test_resume_of_complete_multifidelity_run_replays_promotions(
+            self, tmp_path, database, task, small_space):
+        journal = EvaluationJournal(tmp_path / "phase2.jnl",
+                                    kind="phase2-evaluations")
+        promotions = EvaluationJournal(tmp_path / "promotions.jnl",
+                                       kind="phase2-promotions")
+        baseline = MultiObjectiveDse(database=database, space=small_space,
+                                     **MF_DSE_KWARGS).run(
+            task, budget=10, journal=journal,
+            promotion_journal=promotions)
+        recorded = EvaluationJournal(tmp_path / "promotions.jnl",
+                                     kind="phase2-promotions").load()
+        assert recorded
+        journal = EvaluationJournal(tmp_path / "phase2.jnl",
+                                    kind="phase2-evaluations")
+        promotions = EvaluationJournal(tmp_path / "promotions.jnl",
+                                       kind="phase2-promotions")
+        resumed = MultiObjectiveDse(database=database, space=small_space,
+                                    **MF_DSE_KWARGS).run(
+            task, budget=10, journal=journal,
+            promotion_journal=promotions, resume=True)
+        assert_phase2_equal(resumed, baseline)
+        # Verified replay appends nothing: the journal is unchanged.
+        replayed = EvaluationJournal(tmp_path / "promotions.jnl",
+                                     kind="phase2-promotions").load()
+        assert replayed == recorded
+
+    def test_mismatched_promotion_journal_rejected(self, tmp_path,
+                                                   database, task,
+                                                   small_space):
+        promotions = EvaluationJournal(tmp_path / "promotions.jnl",
+                                       kind="phase2-promotions")
+        MultiObjectiveDse(database=database, space=small_space,
+                          **MF_DSE_KWARGS).run(
+            task, budget=10, promotion_journal=promotions)
+        promotions = EvaluationJournal(tmp_path / "promotions.jnl",
+                                       kind="phase2-promotions")
+        other = MultiObjectiveDse(
+            database=database, space=small_space, seed=6,
+            optimizer_kwargs=MF_DSE_KWARGS["optimizer_kwargs"],
+            fidelity="on", promotion_eta=0.5)
+        with pytest.raises(CheckpointError,
+                           match="promotion journal does not match"):
+            other.run(task, budget=10, promotion_journal=promotions,
+                      resume=True)
+
+
+# ----------------------------------------------------------------------
 # Full pipeline resume
 # ----------------------------------------------------------------------
 PIPE_KWARGS = dict(seed=9, optimizer_kwargs={"num_initial": 4,
@@ -422,6 +537,33 @@ class TestPipelineResume:
                                    "phase3": "complete"}
         assert manifest.phase2_evaluations == 10
 
+    def test_killed_multifidelity_pipeline_resumes_bit_identically(
+            self, tmp_path, task):
+        """The pipeline wires both Phase 2 journals (evaluations and
+        promotions) out of the run directory; a kill landing inside a
+        screened proposal group must resume bit-identically."""
+        kwargs = dict(seed=9,
+                      optimizer_kwargs={"num_initial": 4, "pool_size": 16,
+                                        "proposal_batch": 4},
+                      fidelity="on", promotion_eta=0.5)
+        baseline = AutoPilot(**kwargs).run(task, budget=10)
+        run_dir = tmp_path / "run"
+        # 31 writes precede the Phase 2 journals (see above); counter
+        # 37 lands past the warm-up batch (31-34) and the first
+        # promotion record (35), inside the first group's evaluations.
+        with faults.active_faults("kill@checkpoint-write:37"):
+            with pytest.raises(faults.SimulatedKill):
+                AutoPilot(**kwargs).run(task, budget=10,
+                                        checkpoint_dir=run_dir)
+        assert (run_dir / "phase2" / "promotions.jnl").exists()
+        resumed = AutoPilot(**kwargs).run(task, budget=10,
+                                          checkpoint_dir=run_dir,
+                                          resume=True)
+        assert_pipeline_equal(resumed, baseline)
+        manifest = RunManifest.load(run_dir)
+        assert manifest.fidelity == "on"
+        assert manifest.status["phase2"] == "complete"
+
     def test_resume_requires_checkpoint_dir(self, task):
         with pytest.raises(ConfigError, match="resume requires"):
             AutoPilot(**PIPE_KWARGS).run(task, budget=4, resume=True)
@@ -448,6 +590,12 @@ class TestPipelineResume:
             AutoPilot(seed=9,
                       optimizer_kwargs={**PIPE_KWARGS["optimizer_kwargs"],
                                         "proposal_batch": 2}).run(
+                task, budget=6, checkpoint_dir=run_dir, resume=True)
+        with pytest.raises(CheckpointError, match="fidelity"):
+            AutoPilot(fidelity="on", **PIPE_KWARGS).run(
+                task, budget=6, checkpoint_dir=run_dir, resume=True)
+        with pytest.raises(CheckpointError, match="promotion_eta"):
+            AutoPilot(promotion_eta=0.25, **PIPE_KWARGS).run(
                 task, budget=6, checkpoint_dir=run_dir, resume=True)
 
 

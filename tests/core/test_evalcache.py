@@ -319,6 +319,50 @@ class TestSharedCache:
         thread.join()
 
 
+class TestNoneValues:
+    """A stored ``None`` is a value, not a miss (regression).
+
+    ``get_or_compute`` used to re-run the compute function on every
+    call when the computed value was ``None``, because the hit test was
+    ``get(key) is not None``.  Entries are now looked up through a
+    sentinel, so ``None`` round-trips like any other value.
+    """
+
+    def test_get_or_compute_computes_none_once(self):
+        cache = EvalCache(capacity=4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_compute(
+                ("k",), lambda: calls.append(1) and None)
+        assert value is None
+        assert len(calls) == 1
+
+    def test_stored_none_is_a_hit(self):
+        cache = EvalCache(capacity=4)
+        cache.put(("k",), None)
+        cache.get(("k",))
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 0
+
+    def test_lookup_distinguishes_none_from_missing(self):
+        from repro.core.evalcache import _MISS
+        cache = EvalCache(capacity=4)
+        cache.put(("stored",), None)
+        assert cache.lookup(("stored",)) is None
+        assert cache.lookup(("missing",)) is _MISS
+        assert cache.get(("missing",)) is None
+
+    def test_none_round_trips_through_disk(self, tmp_path):
+        first = EvalCache(capacity=4, persist_dir=tmp_path)
+        first.put(("k",), None)
+        second = EvalCache(capacity=4, persist_dir=tmp_path)
+        calls = []
+        value = second.get_or_compute(
+            ("k",), lambda: calls.append(1) and "recomputed")
+        assert value is None
+        assert calls == []
+
+
 class TestTrainingKey:
     """Phase 1 training-cache soundness: no two distinct runs may alias."""
 
