@@ -10,6 +10,8 @@ corrupt or missing file degrades to a fresh one rather than an error.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Optional
 
@@ -31,6 +33,11 @@ def merge_results(path: Path, measurements: dict,
     directly (for benchmarks that own several sections).  Existing
     sections written by other benchmarks are preserved; an unreadable
     file is treated as empty.
+
+    The write is atomic (temp file + ``os.replace`` in the target
+    directory): a benchmark killed mid-write leaves the previous file
+    intact instead of a truncated JSON document, so concurrent or
+    interrupted benchmark runs never corrupt each other's sections.
     """
     existing = {}
     if path.exists():
@@ -44,4 +51,16 @@ def merge_results(path: Path, measurements: dict,
         existing[section] = measurements
     else:
         existing.update(measurements)
-    path.write_text(json.dumps(existing, indent=2) + "\n")
+    payload = json.dumps(existing, indent=2) + "\n"
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                    prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

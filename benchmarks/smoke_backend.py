@@ -1,0 +1,161 @@
+"""Array-backend smoke benchmark for CI.
+
+Guards the pluggable backend seam on its production shape — a large
+cold-cache ``evaluate_batch`` routed through the SoA simulator kernel:
+
+* **Bit-identity** -- the ``threaded`` backend (chunk-split oracle
+  kernels on a thread pool) must return evaluations bit-identical to
+  the ``numpy`` oracle, on any machine.
+* **Speedup** -- on a multi-core machine the threaded backend must
+  beat the oracle by at least ``MIN_THREADED_SPEEDUP``.  Single-core
+  runners skip the speedup assertion (recorded as ``skipped``): with
+  one worker the threaded backend takes the direct path and measures
+  only dispatch overhead.
+
+Best of ``REPS`` repetitions per side; numbers land in the ``backend``
+section of ``BENCH_phase2.json``.
+
+Run directly (exit code 0/1) or via pytest::
+
+    PYTHONPATH=src python benchmarks/smoke_backend.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from _results import PHASE2_RESULTS, merge_results
+from repro.backend import get_backend, use_backend
+from repro.backend.autotune import reset_autotuner
+from repro.core.evalcache import reset_shared_cache
+from repro.nn.template import PolicyHyperparams
+from repro.scalesim.config import (
+    PE_DIM_CHOICES,
+    SRAM_KB_CHOICES,
+    AcceleratorConfig,
+    Dataflow,
+)
+from repro.soc.dssoc import DssocDesign, DssocEvaluator
+
+BATCH_SIZE = 2048
+REPS = 5
+MIN_THREADED_SPEEDUP = 1.5
+
+
+def _random_designs(seed: int, count: int) -> list:
+    # Single-workload pool with the largest zoo policy: one
+    # simulate_batch group, maximal kernel share of the wall time.
+    policy = PolicyHyperparams(num_layers=10, num_filters=64)
+    rng = np.random.default_rng(seed)
+    designs = []
+    for _ in range(count):
+        config = AcceleratorConfig(
+            pe_rows=int(rng.choice(PE_DIM_CHOICES)),
+            pe_cols=int(rng.choice(PE_DIM_CHOICES)),
+            ifmap_sram_kb=int(rng.choice(SRAM_KB_CHOICES)),
+            filter_sram_kb=int(rng.choice(SRAM_KB_CHOICES)),
+            ofmap_sram_kb=int(rng.choice(SRAM_KB_CHOICES)),
+            dataflow=list(Dataflow)[int(rng.integers(3))],
+        )
+        designs.append(DssocDesign(policy=policy, accelerator=config))
+    return designs
+
+
+def _timed_batch_eval(backend_name: str, designs: list) -> tuple:
+    """Best-of-REPS cold-cache evaluate_batch under one backend."""
+    evaluator = DssocEvaluator()
+    backend = get_backend(backend_name)
+    best_s = float("inf")
+    results = None
+    with use_backend(backend):
+        for _ in range(REPS):
+            reset_shared_cache()
+            start = time.perf_counter()
+            results = evaluator.evaluate_batch(designs)
+            best_s = min(best_s, time.perf_counter() - start)
+    reset_shared_cache()
+    return best_s, results
+
+
+def bench_backend_eval() -> dict:
+    """numpy oracle vs threaded backend over the same cold designs."""
+    designs = _random_designs(seed=17, count=BATCH_SIZE)
+    # Keep the benchmark hermetic: tune into a throwaway store so the
+    # run neither reads nor pollutes the per-machine profile.
+    with tempfile.TemporaryDirectory() as tmp:
+        reset_autotuner(path=os.path.join(tmp, "autotune.json"))
+        try:
+            numpy_s, numpy_results = _timed_batch_eval("numpy", designs)
+            threaded_s, threaded_results = _timed_batch_eval(
+                "threaded", designs)
+        finally:
+            reset_autotuner()
+
+    identical = all(a == b
+                    for a, b in zip(numpy_results, threaded_results))
+    cores = os.cpu_count() or 1
+    return {
+        "batch_size": BATCH_SIZE,
+        "reps": REPS,
+        "cpu_count": cores,
+        "numpy_s": numpy_s,
+        "threaded_s": threaded_s,
+        "speedup": numpy_s / threaded_s,
+        "bit_identical": identical,
+        "speedup_check_skipped": cores < 2,
+    }
+
+
+def run_smoke() -> dict:
+    return {"batch_eval": bench_backend_eval()}
+
+
+def check(measurements: dict) -> list:
+    """Return a list of failure messages (empty when healthy)."""
+    failures = []
+    bench = measurements["batch_eval"]
+    if not bench["bit_identical"]:
+        failures.append("threaded backend diverged from the numpy oracle")
+    if bench["speedup_check_skipped"]:
+        return failures
+    if bench["speedup"] < MIN_THREADED_SPEEDUP:
+        failures.append(
+            f"threaded speedup {bench['speedup']:.2f}x < "
+            f"{MIN_THREADED_SPEEDUP:.1f}x")
+    return failures
+
+
+def main() -> int:
+    measurements = run_smoke()
+    bench = measurements["batch_eval"]
+    print("Array-backend smoke benchmark")
+    print(f"  batch eval ({bench['batch_size']} cold designs, "
+          f"best of {bench['reps']}, {bench['cpu_count']} cores): "
+          f"numpy {bench['numpy_s']:.3f}s, "
+          f"threaded {bench['threaded_s']:.3f}s "
+          f"-> {bench['speedup']:.2f}x "
+          f"(bit-identical={bench['bit_identical']})")
+    if bench["speedup_check_skipped"]:
+        print("  speedup check skipped: single-core machine")
+    merge_results(PHASE2_RESULTS, measurements, section="backend")
+    print(f"  wrote {PHASE2_RESULTS.name}")
+    failures = check(measurements)
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    if not failures:
+        print("  OK")
+    return 1 if failures else 0
+
+
+def test_smoke_backend():
+    """Pytest entry point for the same checks."""
+    assert check(run_smoke()) == []
+
+
+if __name__ == "__main__":
+    sys.exit(main())

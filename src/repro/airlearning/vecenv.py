@@ -48,6 +48,7 @@ from repro.airlearning.env import (
     SUCCESS_REWARD,
 )
 from repro.airlearning.sensors import RaycastSensor
+from repro.backend import active_backend
 from repro.errors import ConfigError, SimulationError
 
 #: UAV body margin used by :meth:`Arena.collides` (its default argument).
@@ -56,6 +57,84 @@ COLLISION_MARGIN_M = 0.15
 _SPEEDS = np.asarray(SPEED_LEVELS)
 _YAW_RATES = np.asarray(YAW_RATE_LEVELS)
 _TWO_PI = 2.0 * math.pi
+
+
+def step_lanes_kernel(act: np.ndarray, speed: np.ndarray,
+                      heading: np.ndarray, x: np.ndarray, y: np.ndarray,
+                      steps: np.ndarray, prev_goal: np.ndarray,
+                      goal_x: np.ndarray, goal_y: np.ndarray,
+                      obstacle_x: np.ndarray, obstacle_y: np.ndarray,
+                      obstacle_r: np.ndarray, obstacle_mask: np.ndarray, *,
+                      alpha: float, dt: float, size_m: float,
+                      max_steps: int):
+    """One lockstep transition over gathered lane rows (pure function).
+
+    This is the oracle step kernel behind the backend seam: inputs are
+    the *pre-step* rows for the active lanes (``steps`` is the counter
+    before this transition), outputs are the post-step state columns
+    plus the reward/termination flags, in the order ``(speed, heading,
+    x, y, goal_distance, reward, collided, success, done)``.  Every
+    output row depends only on its own input row, so chunk-splitting
+    the lane axis is bit-neutral.
+    """
+    # Dynamics — identical op order to PointMassDynamics.step.
+    command_speed = _SPEEDS[act // len(YAW_RATE_LEVELS)]
+    yaw_rate = _YAW_RATES[act % len(YAW_RATE_LEVELS)]
+    new_speed = speed + alpha * (command_speed - speed)
+    new_heading = (heading + yaw_rate * dt) % _TWO_PI
+    new_x = x + new_speed * np.cos(new_heading) * dt
+    new_y = y + new_speed * np.sin(new_heading) * dt
+
+    # Collision — Arena.collides with the default body margin.
+    margin = COLLISION_MARGIN_M
+    inside = ((margin <= new_x) & (new_x <= size_m - margin)
+              & (margin <= new_y) & (new_y <= size_m - margin))
+    dxo = obstacle_x - new_x[:, None]
+    dyo = obstacle_y - new_y[:, None]
+    clearance = np.sqrt(dxo * dxo + dyo * dyo) - obstacle_r
+    obstacle_hit = ((clearance <= margin) & obstacle_mask).any(axis=1)
+    collided = ~inside | obstacle_hit
+
+    gdx = goal_x - new_x
+    gdy = goal_y - new_y
+    goal_distance = np.sqrt(gdx * gdx + gdy * gdy)
+    success = (goal_distance <= GOAL_RADIUS_M) & ~collided
+
+    reward = STEP_COST + PROGRESS_REWARD * (prev_goal - goal_distance)
+    reward = np.where(collided, reward + COLLISION_PENALTY, reward)
+    reward = np.where(success, reward + SUCCESS_REWARD, reward)
+
+    done = collided | success | ((steps + 1) >= max_steps)
+    return (new_speed, new_heading, new_x, new_y, goal_distance, reward,
+            collided, success, done)
+
+
+def observe_lanes_kernel(sensor: RaycastSensor, size_m: float,
+                         x: np.ndarray, y: np.ndarray, heading: np.ndarray,
+                         speed: np.ndarray, goal_x: np.ndarray,
+                         goal_y: np.ndarray, obstacle_x: np.ndarray,
+                         obstacle_y: np.ndarray, obstacle_r: np.ndarray,
+                         obstacle_mask: np.ndarray) -> np.ndarray:
+    """Fresh observation rows for gathered lanes (pure function).
+
+    The oracle observation kernel behind the backend seam:
+    ``NavigationEnv._observe`` batched over the given lane rows.  Each
+    returned row is a pure function of its own lane's state, so the
+    lane axis is chunkable without changing any value.
+    """
+    rays = sensor.sense_batch(size_m, x, y, heading, obstacle_x,
+                              obstacle_y, obstacle_r, obstacle_mask)
+    gdx = goal_x - x
+    gdy = goal_y - y
+    distance = np.sqrt(gdx * gdx + gdy * gdy)
+    bearing = np.arctan2(gdy, gdx) - heading
+    rows = np.empty((x.shape[0], sensor.num_rays + 4))
+    rows[:, :sensor.num_rays] = rays
+    rows[:, -4] = np.cos(bearing)
+    rows[:, -3] = np.sin(bearing)
+    rows[:, -2] = np.minimum(1.0, distance / size_m)
+    rows[:, -1] = speed / 2.0
+    return rows
 
 
 @dataclass
@@ -86,12 +165,16 @@ class VecNavigationEnv:
         sensor: Shared raycast sensor (defaults to the scalar default).
         max_steps: Per-episode step limit.
         dynamics: Point-mass dynamics supplying ``dt``/``speed_tau``.
+        backend: Array backend executing the step/observe kernels
+            (defaults to the process-wide active backend at
+            construction time).
     """
 
     def __init__(self, schedules: Sequence[Sequence[Arena]],
                  sensor: Optional[RaycastSensor] = None,
                  max_steps: int = MAX_EPISODE_STEPS,
-                 dynamics: Optional[PointMassDynamics] = None):
+                 dynamics: Optional[PointMassDynamics] = None,
+                 backend=None):
         if not schedules or any(len(s) == 0 for s in schedules):
             raise ConfigError("every lane needs at least one arena")
         self._schedules: List[List[Arena]] = [list(s) for s in schedules]
@@ -100,6 +183,7 @@ class VecNavigationEnv:
             raise ConfigError("all scheduled arenas must share one size")
         self.size_m = sizes.pop()
         self.sensor = sensor or RaycastSensor()
+        self.backend = backend if backend is not None else active_backend()
         self.dynamics = dynamics or PointMassDynamics()
         self.max_steps = max_steps
         # The scalar dynamics recompute dt / (speed_tau + dt) each step;
@@ -196,45 +280,25 @@ class VecNavigationEnv:
         if ((act < 0) | (act >= NUM_ACTIONS)).any():
             raise ConfigError(f"actions must be in [0, {NUM_ACTIONS})")
 
-        # Dynamics — identical op order to PointMassDynamics.step.
-        command_speed = _SPEEDS[act // len(YAW_RATE_LEVELS)]
-        yaw_rate = _YAW_RATES[act % len(YAW_RATE_LEVELS)]
-        dt = self.dynamics.dt
-        speed = self._speed[lanes] + self._alpha * (command_speed
-                                                    - self._speed[lanes])
-        heading = (self._heading[lanes] + yaw_rate * dt) % _TWO_PI
-        x = self._x[lanes] + speed * np.cos(heading) * dt
-        y = self._y[lanes] + speed * np.sin(heading) * dt
+        # The per-step arithmetic lives in step_lanes_kernel behind the
+        # backend seam; the env keeps the state scatter and episode
+        # bookkeeping.
+        (speed, heading, x, y, goal_distance, reward, collided, success,
+         done) = self.backend.step_lanes(
+            act, self._speed[lanes], self._heading[lanes],
+            self._x[lanes], self._y[lanes], self._steps[lanes],
+            self._prev_goal[lanes], self._goal_x[lanes],
+            self._goal_y[lanes], self._obstacle_x[lanes],
+            self._obstacle_y[lanes], self._obstacle_r[lanes],
+            self._obstacle_mask[lanes],
+            alpha=self._alpha, dt=self.dynamics.dt, size_m=self.size_m,
+            max_steps=self.max_steps)
         self._speed[lanes] = speed
         self._heading[lanes] = heading
         self._x[lanes] = x
         self._y[lanes] = y
         self._steps[lanes] += 1
-
-        # Collision — Arena.collides with the default body margin.
-        margin = COLLISION_MARGIN_M
-        inside = ((margin <= x) & (x <= self.size_m - margin)
-                  & (margin <= y) & (y <= self.size_m - margin))
-        dxo = self._obstacle_x[lanes] - x[:, None]
-        dyo = self._obstacle_y[lanes] - y[:, None]
-        clearance = np.sqrt(dxo * dxo + dyo * dyo) - self._obstacle_r[lanes]
-        obstacle_hit = ((clearance <= margin)
-                        & self._obstacle_mask[lanes]).any(axis=1)
-        collided = ~inside | obstacle_hit
-
-        gdx = self._goal_x[lanes] - x
-        gdy = self._goal_y[lanes] - y
-        goal_distance = np.sqrt(gdx * gdx + gdy * gdy)
-        success = (goal_distance <= GOAL_RADIUS_M) & ~collided
-
-        reward = STEP_COST + PROGRESS_REWARD * (self._prev_goal[lanes]
-                                                - goal_distance)
-        reward = np.where(collided, reward + COLLISION_PENALTY, reward)
-        reward = np.where(success, reward + SUCCESS_REWARD, reward)
         self._prev_goal[lanes] = goal_distance
-
-        done = (collided | success
-                | (self._steps[lanes] >= self.max_steps))
         self.total_env_steps += lanes.size
 
         # Scatter the compact results back to batch width.
@@ -302,22 +366,11 @@ class VecNavigationEnv:
         """
         if lanes is None:
             lanes = slice(None)
-        x = self._x[lanes]
-        y = self._y[lanes]
-        heading = self._heading[lanes]
-        rays = self.sensor.sense_batch(
-            self.size_m, x, y, heading,
+        rows = self.backend.observe_lanes(
+            self.sensor, self.size_m, self._x[lanes], self._y[lanes],
+            self._heading[lanes], self._speed[lanes],
+            self._goal_x[lanes], self._goal_y[lanes],
             self._obstacle_x[lanes], self._obstacle_y[lanes],
             self._obstacle_r[lanes], self._obstacle_mask[lanes])
-        gdx = self._goal_x[lanes] - x
-        gdy = self._goal_y[lanes] - y
-        distance = np.sqrt(gdx * gdx + gdy * gdy)
-        bearing = np.arctan2(gdy, gdx) - heading
-        rows = self._observations[lanes]
-        rows[:, :self.sensor.num_rays] = rays
-        rows[:, -4] = np.cos(bearing)
-        rows[:, -3] = np.sin(bearing)
-        rows[:, -2] = np.minimum(1.0, distance / self.size_m)
-        rows[:, -1] = self._speed[lanes] / 2.0
         self._observations[lanes] = rows
         return self._observations.copy()

@@ -1,0 +1,319 @@
+"""Optional accelerated backends: numba (JIT loops) and jax (XLA).
+
+Neither package is a dependency -- they ship behind the ``accel``
+extra, the registry registers these backends only when the package is
+importable, and CI runs with zero accelerators present.  To keep the
+code *testable* in that environment, each backend's math lives in a
+plain function that runs without its accelerator:
+
+* the numba backend jit-compiles :func:`simulate_loops` -- a pure
+  Python/``math`` per-``(config, layer)`` loop nest mirroring the
+  scalar model -- but the same function runs un-jitted, so the
+  oracle-equivalence tests exercise the exact code numba would compile;
+* the jax backend evaluates :func:`simulate_expressions` -- the SoA
+  expressions parameterised over an array namespace ``xp`` -- with
+  ``jax.numpy``; the tests evaluate it with ``xp=numpy``.
+
+Both backends accelerate only the simulator surface (the dominant
+kernel cost); the power and rollout surfaces fall through to the
+oracle.  They declare non-exact tolerance tiers (fused JIT loops and
+XLA may regroup float ops; jax may run single-precision on GPU) and
+are validated against the oracle by :mod:`repro.backend.validate`
+rather than by bit-equality.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+from repro.backend.tiers import TIER_FP32, TIER_FP64
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.nn.workload import NetworkWorkload
+    from repro.scalesim.batch import BatchSimulation
+    from repro.scalesim.config import AcceleratorConfig
+
+#: Dataflow codes used by the loop kernel (enum objects cannot cross
+#: the nopython boundary).
+DATAFLOW_OS, DATAFLOW_WS, DATAFLOW_IS = 0, 1, 2
+
+#: Output planes of :func:`simulate_loops` / :func:`simulate_expressions`,
+#: in order.
+PLANES = (
+    "compute_cycles", "folds", "ifmap_sram_reads", "filter_sram_reads",
+    "ofmap_sram_writes", "ofmap_sram_reads",
+    "dram_ifmap_read_bytes", "dram_filter_read_bytes",
+    "dram_ofmap_write_bytes", "dram_cycles", "first_fill_cycles",
+    "total_cycles",
+)
+
+
+def simulate_loops(m, k, n, ifmap_bytes, filter_bytes, ofmap_bytes,
+                   pe_rows, pe_cols, ifmap_capacity, filter_capacity,
+                   bandwidth, dataflow_code, out):
+    """The scalar mapping/traffic model as an explicit loop nest.
+
+    Workload columns are ``(L,)`` int64, config columns ``(B,)`` int64,
+    ``out`` is ``(len(PLANES), B, L)`` int64.  Written in the numba
+    nopython subset (scalars, ``math.ceil``, no object types) so the
+    jitted and un-jitted runs execute the same statements.
+    """
+    num_configs = pe_rows.shape[0]
+    num_layers = m.shape[0]
+    for b in range(num_configs):
+        r = pe_rows[b]
+        c = pe_cols[b]
+        code = dataflow_code[b]
+        if_cap = ifmap_capacity[b]
+        fil_cap = filter_capacity[b]
+        bw = bandwidth[b]
+        for l in range(num_layers):
+            ml = m[l]
+            kl = k[l]
+            nl = n[l]
+            if code == DATAFLOW_OS:
+                m_folds = int(math.ceil(ml / r))
+                n_folds = int(math.ceil(nl / c))
+                folds = m_folds * n_folds
+                compute = folds * (2 * r + c + kl - 2)
+                if_reads = ml * n_folds * kl
+                fil_reads = nl * m_folds * kl
+                of_writes = ml * nl
+                of_reads = 0
+            elif code == DATAFLOW_WS:
+                k_folds = int(math.ceil(kl / r))
+                n_folds = int(math.ceil(nl / c))
+                folds = k_folds * n_folds
+                compute = folds * (ml + 2 * r + c - 2)
+                if_reads = ml * kl * n_folds
+                fil_reads = kl * nl
+                of_writes = ml * nl * k_folds
+                of_reads = ml * nl * (k_folds - 1)
+            else:
+                k_folds = int(math.ceil(kl / r))
+                m_folds = int(math.ceil(ml / c))
+                folds = k_folds * m_folds
+                compute = folds * (nl + 2 * r + c - 2)
+                if_reads = ml * kl
+                fil_reads = kl * nl * m_folds
+                of_writes = ml * nl * k_folds
+                of_reads = ml * nl * (k_folds - 1)
+
+            if_bytes = ifmap_bytes[l]
+            fil_bytes = filter_bytes[l]
+            either_fits = if_bytes <= if_cap or fil_bytes <= fil_cap
+            if either_fits:
+                dram_if = if_bytes
+                dram_fil = fil_bytes
+            else:
+                filter_chunks = int(math.ceil(fil_bytes / fil_cap))
+                ifmap_chunks = int(math.ceil(if_bytes / if_cap))
+                refetch_ifmap = if_bytes * filter_chunks + fil_bytes
+                refetch_filter = fil_bytes * ifmap_chunks + if_bytes
+                if refetch_ifmap <= refetch_filter:
+                    dram_if = if_bytes * filter_chunks
+                    dram_fil = fil_bytes
+                else:
+                    dram_if = if_bytes
+                    dram_fil = fil_bytes * ifmap_chunks
+            total_bytes = dram_if + dram_fil + ofmap_bytes[l]
+            dram_cycles = int(math.ceil(total_bytes / bw))
+            fill_bytes = min(if_cap, if_bytes) + min(fil_cap, fil_bytes)
+            if fill_bytes > dram_if + dram_fil:
+                fill_bytes = dram_if + dram_fil
+            fill_cycles = int(math.ceil(fill_bytes / bw))
+            total = compute
+            if dram_cycles > total:
+                total = dram_cycles
+            total += fill_cycles
+
+            out[0, b, l] = compute
+            out[1, b, l] = folds
+            out[2, b, l] = if_reads
+            out[3, b, l] = fil_reads
+            out[4, b, l] = of_writes
+            out[5, b, l] = of_reads
+            out[6, b, l] = dram_if
+            out[7, b, l] = dram_fil
+            out[8, b, l] = ofmap_bytes[l]
+            out[9, b, l] = dram_cycles
+            out[10, b, l] = fill_cycles
+            out[11, b, l] = total
+
+
+def simulate_expressions(xp, m, k, n, ifmap_bytes, filter_bytes,
+                         ofmap_bytes, pe_rows, pe_cols, ifmap_capacity,
+                         filter_capacity, bandwidth, dataflow_code):
+    """The SoA mapping/traffic expressions over array namespace ``xp``.
+
+    Inputs as in :func:`simulate_loops` (``(L,)`` workload rows,
+    ``(B,)`` config columns); returns a ``(len(PLANES), B, L)`` array
+    in ``xp``'s array type.  The expression tree mirrors the oracle's
+    ``map_gemm_batch`` / ``analyze_traffic_batch`` with the three
+    dataflow branches blended by ``xp.where`` on the code column --
+    shape-static and branch-free, i.e. jittable as one XLA program.
+    """
+    r = pe_rows[:, None]
+    c = pe_cols[:, None]
+    code = dataflow_code[:, None]
+    ceil_div = lambda a, b: xp.ceil(a / b).astype(xp.int64)  # noqa: E731
+
+    mr_folds = ceil_div(m, r)   # OS row folds
+    kr_folds = ceil_div(k, r)   # WS/IS contraction folds
+    nc_folds = ceil_div(n, c)   # OS/WS column folds
+    mc_folds = ceil_div(m, c)   # IS row folds
+
+    os_folds = mr_folds * nc_folds
+    ws_folds = kr_folds * nc_folds
+    is_folds = kr_folds * mc_folds
+    pick = lambda os_v, ws_v, is_v: xp.where(  # noqa: E731
+        code == DATAFLOW_OS, os_v,
+        xp.where(code == DATAFLOW_WS, ws_v, is_v))
+    zeros = xp.zeros_like(os_folds)
+
+    folds = pick(os_folds, ws_folds, is_folds)
+    compute = pick(os_folds * (2 * r + c + k - 2),
+                   ws_folds * (m + 2 * r + c - 2),
+                   is_folds * (n + 2 * r + c - 2))
+    if_reads = pick(m * nc_folds * k, m * k * nc_folds,
+                    (m * k) + zeros)
+    fil_reads = pick(n * mr_folds * k, (k * n) + zeros,
+                     k * n * mc_folds)
+    of_writes = pick((m * n) + zeros, m * n * kr_folds, m * n * kr_folds)
+    of_reads = pick(zeros, m * n * (kr_folds - 1), m * n * (kr_folds - 1))
+
+    if_cap = ifmap_capacity[:, None]
+    fil_cap = filter_capacity[:, None]
+    bw = bandwidth[:, None]
+    either_fits = (ifmap_bytes <= if_cap) | (filter_bytes <= fil_cap)
+    filter_chunks = ceil_div(filter_bytes, fil_cap)
+    ifmap_chunks = ceil_div(ifmap_bytes, if_cap)
+    stream_ifmap = (ifmap_bytes * filter_chunks + filter_bytes
+                    <= filter_bytes * ifmap_chunks + ifmap_bytes)
+    dram_if = xp.where(
+        either_fits | ~stream_ifmap, ifmap_bytes + (0 * if_cap),
+        ifmap_bytes * filter_chunks)
+    dram_fil = xp.where(
+        either_fits | stream_ifmap, filter_bytes + (0 * fil_cap),
+        filter_bytes * ifmap_chunks)
+    dram_of = ofmap_bytes + (0 * if_cap)
+    dram_cycles = ceil_div(dram_if + dram_fil + ofmap_bytes, bw)
+    fill_bytes = xp.minimum(
+        xp.minimum(if_cap, ifmap_bytes) + xp.minimum(fil_cap, filter_bytes),
+        dram_if + dram_fil)
+    fill_cycles = ceil_div(fill_bytes, bw)
+    total = xp.maximum(compute, dram_cycles) + fill_cycles
+
+    return xp.stack((compute, folds, if_reads, fil_reads, of_writes,
+                     of_reads, dram_if, dram_fil, dram_of, dram_cycles,
+                     fill_cycles, total))
+
+
+def _lowered_columns(workload: "NetworkWorkload",
+                     configs: Sequence["AcceleratorConfig"]):
+    """Flat int64 input columns for the plane kernels."""
+    from repro.scalesim.batch import lower_config_arrays, \
+        lower_workload_arrays
+    from repro.scalesim.config import Dataflow
+    wl = lower_workload_arrays(workload)
+    cfg = lower_config_arrays(configs)
+    codes = {Dataflow.OUTPUT_STATIONARY: DATAFLOW_OS,
+             Dataflow.WEIGHT_STATIONARY: DATAFLOW_WS,
+             Dataflow.INPUT_STATIONARY: DATAFLOW_IS}
+    dataflow_code = np.asarray([codes[c.dataflow] for c in cfg.configs],
+                               dtype=np.int64)
+    return wl, cfg, dataflow_code
+
+
+def _simulation_from_planes(workload: "NetworkWorkload",
+                            configs, planes: np.ndarray) -> "BatchSimulation":
+    """Assemble a :class:`BatchSimulation` from the plane stack."""
+    from repro.scalesim.batch import BatchMapping, BatchSimulation, \
+        BatchTraffic
+    named = {name: planes[i] for i, name in enumerate(PLANES)}
+    return BatchSimulation(
+        workload=workload,
+        configs=tuple(configs),
+        mapping=BatchMapping(
+            compute_cycles=named["compute_cycles"],
+            folds=named["folds"],
+            ifmap_sram_reads=named["ifmap_sram_reads"],
+            filter_sram_reads=named["filter_sram_reads"],
+            ofmap_sram_writes=named["ofmap_sram_writes"],
+            ofmap_sram_reads=named["ofmap_sram_reads"],
+        ),
+        traffic=BatchTraffic(
+            dram_ifmap_read_bytes=named["dram_ifmap_read_bytes"],
+            dram_filter_read_bytes=named["dram_filter_read_bytes"],
+            dram_ofmap_write_bytes=named["dram_ofmap_write_bytes"],
+            dram_cycles=named["dram_cycles"],
+            first_fill_cycles=named["first_fill_cycles"],
+        ),
+        total_cycles=named["total_cycles"],
+    )
+
+
+class NumbaBackend(ArrayBackend):
+    """JIT-compiled loop kernel for the simulator surface."""
+
+    name = "numba"
+    tier = TIER_FP64
+
+    def __init__(self):
+        try:
+            import numba
+        except ImportError as error:  # pragma: no cover - guarded upstream
+            raise ConfigError(
+                "the numba backend requires the optional 'numba' package "
+                "(pip install repro[accel])") from error
+        self._loops = numba.njit(cache=True, nogil=True)(simulate_loops)
+
+    def simulate_batch(self, workload, configs):  # pragma: no cover
+        # Exercised only with numba installed; the un-jitted
+        # simulate_loops path is covered by tests/backend.
+        wl, cfg, dataflow_code = _lowered_columns(workload, configs)
+        out = np.empty((len(PLANES), cfg.batch_size, wl.num_layers),
+                       dtype=np.int64)
+        self._loops(
+            wl.m, wl.k, wl.n, wl.ifmap_bytes, wl.filter_bytes,
+            wl.ofmap_bytes, cfg.pe_rows.ravel(), cfg.pe_cols.ravel(),
+            cfg.ifmap_capacity.ravel(), cfg.filter_capacity.ravel(),
+            cfg.bandwidth.ravel(), dataflow_code, out)
+        return _simulation_from_planes(workload, cfg.configs, out)
+
+
+class JaxBackend(ArrayBackend):
+    """XLA-compiled SoA expressions for the simulator surface."""
+
+    name = "jax"
+    tier = TIER_FP32
+
+    def __init__(self):
+        try:
+            import jax
+        except ImportError as error:  # pragma: no cover - guarded upstream
+            raise ConfigError(
+                "the jax backend requires the optional 'jax' package "
+                "(pip install repro[accel])") from error
+        # int64 cycle counts overflow int32 immediately; require x64.
+        jax.config.update("jax_enable_x64", True)
+        import jax.numpy as jnp
+        self._xp = jnp
+        self._jit = jax.jit(
+            lambda *columns: simulate_expressions(jnp, *columns))
+
+    def simulate_batch(self, workload, configs):  # pragma: no cover
+        # Exercised only with jax installed; the xp=numpy path is
+        # covered by tests/backend.
+        wl, cfg, dataflow_code = _lowered_columns(workload, configs)
+        planes = np.asarray(self._jit(
+            wl.m, wl.k, wl.n, wl.ifmap_bytes, wl.filter_bytes,
+            wl.ofmap_bytes, cfg.pe_rows.ravel(), cfg.pe_cols.ravel(),
+            cfg.ifmap_capacity.ravel(), cfg.filter_capacity.ravel(),
+            cfg.bandwidth.ravel(), dataflow_code))
+        return _simulation_from_planes(workload, cfg.configs, planes)

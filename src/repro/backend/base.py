@@ -1,0 +1,147 @@
+"""The array-backend interface and the NumPy oracle backend.
+
+An :class:`ArrayBackend` implements the three batched kernel surfaces
+the hot paths run through:
+
+* :meth:`~ArrayBackend.simulate_batch` -- the SoA systolic-array model
+  (:mod:`repro.scalesim.batch`), one workload over a config batch;
+* :meth:`~ArrayBackend.power_columns` -- the batched power/weight
+  models (:mod:`repro.soc.batch`) over a staged aggregate matrix;
+* :meth:`~ArrayBackend.step_lanes` / :meth:`~ArrayBackend.observe_lanes`
+  -- the vec rollout engine's per-step kernels
+  (:mod:`repro.airlearning.vecenv`), over the active-lane compaction.
+
+Every surface is *row-independent*: each output row is a pure function
+of the same row of the inputs (plus shared scalars), never of other
+rows.  That property is what makes the seam safe -- a backend may
+split, reorder or offload rows however it likes and the per-row values
+cannot change.  The contract each backend must honour is its declared
+:class:`~repro.backend.tiers.ToleranceTier` against
+:class:`NumpyBackend`, which simply calls the existing kernels and is
+the repo's bit-exact oracle.
+
+Imports of the kernel modules happen inside the methods: the kernel
+modules themselves import :mod:`repro.backend` (to resolve the active
+backend), so the package root must stay import-light.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.backend.tiers import TIER_EXACT, ToleranceTier
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.airlearning.sensors import RaycastSensor
+    from repro.nn.workload import NetworkWorkload
+    from repro.scalesim.batch import BatchSimulation
+    from repro.scalesim.config import AcceleratorConfig
+    from repro.soc.batch import _PowerColumns
+
+#: Arrays returned by :meth:`ArrayBackend.step_lanes`, in order:
+#: speed, heading, x, y, goal_distance, reward, collided, success, done.
+StepArrays = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+                   np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+                   np.ndarray]
+
+
+class ArrayBackend:
+    """One execution strategy for the batched kernel surfaces.
+
+    Subclasses set :attr:`name` and :attr:`tier` and override whichever
+    surfaces they accelerate; unoverridden surfaces fall through to the
+    oracle kernels, so a backend that only speeds up the simulator
+    still serves the whole seam.
+    """
+
+    #: Registry name (``numpy`` / ``threaded`` / ``numba`` / ``jax``).
+    name: str = "numpy"
+    #: Declared maximum divergence from the oracle.
+    tier: ToleranceTier = TIER_EXACT
+
+    # -- Phase 2: systolic-array simulation ----------------------------
+    def simulate_batch(self, workload: "NetworkWorkload",
+                       configs: Sequence["AcceleratorConfig"]
+                       ) -> "BatchSimulation":
+        """Run the analytical model for one workload over a config batch."""
+        from repro.scalesim.batch import simulate_batch
+        return simulate_batch(workload, configs)
+
+    # -- Phase 2: power / weight columns -------------------------------
+    def power_columns(self, configs: Sequence["AcceleratorConfig"],
+                      staged: np.ndarray,
+                      operating_fps: Optional[float]) -> "_PowerColumns":
+        """Power, SoC power, TDP and weight columns for a design batch.
+
+        ``staged`` is the ``(B, len(_SUM_FIELDS))`` int64 aggregate
+        matrix from :mod:`repro.soc.batch`.
+        """
+        from repro.soc.batch import _evaluate_power_columns
+        return _evaluate_power_columns(configs, staged, operating_fps)
+
+    # -- Phase 1: vec rollout step -------------------------------------
+    def step_lanes(self, act: np.ndarray, speed: np.ndarray,
+                   heading: np.ndarray, x: np.ndarray, y: np.ndarray,
+                   steps: np.ndarray, prev_goal: np.ndarray,
+                   goal_x: np.ndarray, goal_y: np.ndarray,
+                   obstacle_x: np.ndarray, obstacle_y: np.ndarray,
+                   obstacle_r: np.ndarray, obstacle_mask: np.ndarray, *,
+                   alpha: float, dt: float, size_m: float,
+                   max_steps: int) -> StepArrays:
+        """One lockstep transition over the gathered active lanes.
+
+        Inputs are the *pre-step* lane rows; ``steps`` is the pre-step
+        counter (the kernel tests ``steps + 1 >= max_steps``).
+        """
+        from repro.airlearning.vecenv import step_lanes_kernel
+        return step_lanes_kernel(
+            act, speed, heading, x, y, steps, prev_goal, goal_x, goal_y,
+            obstacle_x, obstacle_y, obstacle_r, obstacle_mask,
+            alpha=alpha, dt=dt, size_m=size_m, max_steps=max_steps)
+
+    # -- Phase 1: vec rollout observation ------------------------------
+    def observe_lanes(self, sensor: "RaycastSensor", size_m: float,
+                      x: np.ndarray, y: np.ndarray, heading: np.ndarray,
+                      speed: np.ndarray, goal_x: np.ndarray,
+                      goal_y: np.ndarray, obstacle_x: np.ndarray,
+                      obstacle_y: np.ndarray, obstacle_r: np.ndarray,
+                      obstacle_mask: np.ndarray) -> np.ndarray:
+        """Fresh observation rows ``(L', obs_dim)`` for the given lanes."""
+        from repro.airlearning.vecenv import observe_lanes_kernel
+        return observe_lanes_kernel(
+            sensor, size_m, x, y, heading, speed, goal_x, goal_y,
+            obstacle_x, obstacle_y, obstacle_r, obstacle_mask)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """``name [tier]`` one-liner for reports and profiles."""
+        return f"{self.name} [{self.tier.name}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class NumpyBackend(ArrayBackend):
+    """The existing single-process NumPy kernels -- the bit-exact oracle.
+
+    This class adds nothing over :class:`ArrayBackend`'s fall-through
+    implementations; it exists so ``numpy`` is an explicit, nameable
+    member of the registry and the reference every other backend is
+    validated against.
+    """
+
+    name = "numpy"
+    tier = TIER_EXACT
+
+
+def split_chunks(total: int, chunk: int) -> List[slice]:
+    """Contiguous ``slice`` objects covering ``range(total)`` in order.
+
+    The final slice holds the remainder.  ``chunk`` is clamped to at
+    least 1; ``total`` of 0 yields no slices.
+    """
+    chunk = max(1, int(chunk))
+    return [slice(start, min(start + chunk, total))
+            for start in range(0, total, chunk)]

@@ -1,0 +1,205 @@
+"""Thread-chunked backend: the oracle kernels, fanned over a pool.
+
+NumPy's ufunc inner loops release the GIL, so on a multi-core machine
+several chunks of a large ``(B, L)`` kernel invocation genuinely run in
+parallel inside one process -- no new dependencies, no serialization.
+The backend splits the batch axis into contiguous chunks, runs the
+*unmodified* oracle kernels on each chunk in a shared
+:class:`~concurrent.futures.ThreadPoolExecutor`, and concatenates the
+results in order.
+
+Bit-equality: every surface is row-independent (each output row depends
+only on the same input row plus shared scalars -- see
+:mod:`repro.backend.base`), and per-chunk bookkeeping inside the oracle
+kernels (dataflow grouping, SRAM-coefficient lookup) is itself a pure
+per-row function, so a chunked run is bit-for-bit the unchunked run.
+The backend therefore keeps the ``exact`` tolerance tier, and the
+chunk-boundary suite (``tests/backend/test_threaded_equivalence.py``)
+enforces it for pathological splits.
+
+Chunk sizing consults the profile-guided
+:class:`~repro.backend.autotune.Autotuner` first and falls back to an
+even spread over the worker count, floored per surface so tiny calls
+never pay fan-out overhead; calls below the floor bypass the pool
+entirely.  Each sized call is timed and fed back to the autotuner, so
+the machine profile improves as sweeps run.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.backend.autotune import autotuner
+from repro.backend.base import ArrayBackend, StepArrays, split_chunks
+from repro.backend.tiers import TIER_EXACT
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.airlearning.sensors import RaycastSensor
+    from repro.nn.workload import NetworkWorkload
+    from repro.scalesim.batch import BatchSimulation
+    from repro.scalesim.config import AcceleratorConfig
+    from repro.soc.batch import _PowerColumns
+
+#: Environment variable overriding the worker-thread count.
+THREADS_ENV_VAR = "REPRO_BACKEND_THREADS"
+
+#: Smallest chunk worth handing to a thread, per surface.  Below twice
+#: this, the call runs direct (unsplit) -- fan-out overhead would
+#: dominate the ufunc work.
+MIN_CHUNK = {
+    "simulate": 8,
+    "power": 32,
+    "step": 64,
+    "observe": 64,
+}
+
+
+def _thread_count() -> int:
+    """Worker threads: ``REPRO_BACKEND_THREADS`` or the core count."""
+    raw = os.environ.get(THREADS_ENV_VAR, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+class ThreadedBackend(ArrayBackend):
+    """Chunk-split the oracle kernels across a shared thread pool."""
+
+    name = "threaded"
+    tier = TIER_EXACT
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = (max_workers if max_workers is not None
+                            else _thread_count())
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _executor(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-backend")
+            return self._pool
+
+    def chunk_for(self, surface: str, items: int) -> Optional[int]:
+        """Chunk size for a call of ``items`` rows; ``None`` = direct.
+
+        A tuned chunk from the autotuner wins when one exists and is a
+        genuine split; otherwise the heuristic spreads the rows evenly
+        over the workers, floored at the surface minimum.
+        """
+        floor = MIN_CHUNK[surface]
+        if self.max_workers < 2 or items < 2 * floor:
+            return None
+        tuned = autotuner().best_chunk(self.name, surface, items)
+        if tuned is not None and floor <= tuned < items:
+            return tuned
+        heuristic = max(floor, -(-items // self.max_workers))
+        return heuristic if heuristic < items else None
+
+    def _fan_out(self, surface: str, items: int,
+                 run_slice: Callable[[slice], object]) -> List[object]:
+        """Run ``run_slice`` over the chunked batch axis, in order.
+
+        Returns the per-chunk results (one entry, computed inline, when
+        the call runs direct) and feeds the timed call back to the
+        autotuner.
+        """
+        chunk = self.chunk_for(surface, items)
+        start = time.perf_counter()
+        if chunk is None:
+            results = [run_slice(slice(0, items))]
+            observed_chunk = items
+        else:
+            slices = split_chunks(items, chunk)
+            pool = self._executor()
+            results = list(pool.map(run_slice, slices))
+            observed_chunk = chunk
+        if items >= MIN_CHUNK[surface]:
+            autotuner().observe(self.name, surface, observed_chunk, items,
+                                time.perf_counter() - start)
+        return results
+
+    # -- Phase 2: systolic-array simulation ----------------------------
+    def simulate_batch(self, workload: "NetworkWorkload",
+                       configs: Sequence["AcceleratorConfig"]
+                       ) -> "BatchSimulation":
+        from repro.scalesim.batch import concatenate_simulations, \
+            simulate_batch
+        configs = tuple(configs)
+        sims = self._fan_out(
+            "simulate", len(configs),
+            lambda rows: simulate_batch(workload, configs[rows]))
+        return concatenate_simulations(sims)
+
+    # -- Phase 2: power / weight columns -------------------------------
+    def power_columns(self, configs: Sequence["AcceleratorConfig"],
+                      staged: np.ndarray,
+                      operating_fps: Optional[float]) -> "_PowerColumns":
+        from repro.soc.batch import _PowerColumns, _evaluate_power_columns
+        configs = tuple(configs)
+        columns = self._fan_out(
+            "power", len(configs),
+            lambda rows: _evaluate_power_columns(
+                configs[rows], staged[rows], operating_fps))
+        if len(columns) == 1:
+            return columns[0]
+        return _PowerColumns(
+            operating=[b for c in columns for b in c.operating],
+            soc_power_w=[v for c in columns for v in c.soc_power_w],
+            tdp_w=[v for c in columns for v in c.tdp_w],
+            weight=[w for c in columns for w in c.weight],
+        )
+
+    # -- Phase 1: vec rollout step -------------------------------------
+    def step_lanes(self, act: np.ndarray, speed: np.ndarray,
+                   heading: np.ndarray, x: np.ndarray, y: np.ndarray,
+                   steps: np.ndarray, prev_goal: np.ndarray,
+                   goal_x: np.ndarray, goal_y: np.ndarray,
+                   obstacle_x: np.ndarray, obstacle_y: np.ndarray,
+                   obstacle_r: np.ndarray, obstacle_mask: np.ndarray, *,
+                   alpha: float, dt: float, size_m: float,
+                   max_steps: int) -> StepArrays:
+        from repro.airlearning.vecenv import step_lanes_kernel
+        chunks = self._fan_out(
+            "step", act.shape[0],
+            lambda rows: step_lanes_kernel(
+                act[rows], speed[rows], heading[rows], x[rows], y[rows],
+                steps[rows], prev_goal[rows], goal_x[rows], goal_y[rows],
+                obstacle_x[rows], obstacle_y[rows], obstacle_r[rows],
+                obstacle_mask[rows],
+                alpha=alpha, dt=dt, size_m=size_m, max_steps=max_steps))
+        if len(chunks) == 1:
+            return chunks[0]
+        return tuple(np.concatenate(column)
+                     for column in zip(*chunks))  # type: ignore[return-value]
+
+    # -- Phase 1: vec rollout observation ------------------------------
+    def observe_lanes(self, sensor: "RaycastSensor", size_m: float,
+                      x: np.ndarray, y: np.ndarray, heading: np.ndarray,
+                      speed: np.ndarray, goal_x: np.ndarray,
+                      goal_y: np.ndarray, obstacle_x: np.ndarray,
+                      obstacle_y: np.ndarray, obstacle_r: np.ndarray,
+                      obstacle_mask: np.ndarray) -> np.ndarray:
+        from repro.airlearning.vecenv import observe_lanes_kernel
+        chunks = self._fan_out(
+            "observe", x.shape[0],
+            lambda rows: observe_lanes_kernel(
+                sensor, size_m, x[rows], y[rows], heading[rows],
+                speed[rows], goal_x[rows], goal_y[rows],
+                obstacle_x[rows], obstacle_y[rows], obstacle_r[rows],
+                obstacle_mask[rows]))
+        if len(chunks) == 1:
+            return chunks[0]
+        return np.concatenate(chunks, axis=0)

@@ -1,0 +1,64 @@
+"""Tolerance tiers: the numerical contract between backends and the oracle.
+
+The NumPy kernels are the repo's bit-exact oracle (the same arithmetic as
+the scalar models, enforced by the equivalence suites).  Any other array
+backend declares a :class:`ToleranceTier` stating how closely its results
+must track the oracle:
+
+* ``exact`` -- bit-for-bit equality.  The ``threaded`` backend runs the
+  oracle kernels themselves over chunks of the batch axis (every kernel
+  is row-independent, so chunking cannot change a single bit) and
+  therefore keeps this tier.
+* ``fp64`` -- same-precision arithmetic whose operation *grouping* may
+  differ (e.g. numba's fused loops), bounded by a tight relative error.
+* ``fp32`` -- reduced-precision accelerators (e.g. JAX on a GPU without
+  float64 support) bounded by single-precision error margins.
+
+The tier is part of a backend's public identity: it is validated by
+:mod:`repro.backend.validate`, recorded in the design report and the
+``--profile`` output, and carried through the run manifest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class ToleranceTier:
+    """Maximum divergence a backend may show against the NumPy oracle.
+
+    Attributes:
+        name: Stable identifier (``exact`` / ``fp64`` / ``fp32``).
+        rtol: Maximum relative error per element.
+        atol: Maximum absolute error per element.
+        bit_exact: When true, tolerances are ignored and every compared
+            array must be equal bit for bit.
+    """
+
+    name: str
+    rtol: float
+    atol: float
+    bit_exact: bool = False
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        if self.bit_exact:
+            return f"{self.name} (bit-identical to the NumPy oracle)"
+        return f"{self.name} (rtol={self.rtol:g}, atol={self.atol:g})"
+
+
+#: Bit-for-bit equality with the NumPy oracle.
+TIER_EXACT = ToleranceTier(name="exact", rtol=0.0, atol=0.0, bit_exact=True)
+
+#: Double-precision arithmetic with possibly different op grouping.
+TIER_FP64 = ToleranceTier(name="fp64", rtol=1e-12, atol=1e-12)
+
+#: Single-precision accelerators.
+TIER_FP32 = ToleranceTier(name="fp32", rtol=1e-5, atol=1e-6)
+
+#: All declared tiers by name.
+TIERS: Dict[str, ToleranceTier] = {
+    tier.name: tier for tier in (TIER_EXACT, TIER_FP64, TIER_FP32)
+}

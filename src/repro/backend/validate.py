@@ -1,0 +1,239 @@
+"""Tolerance-tier validation of a backend against the NumPy oracle.
+
+Accelerated backends are not held to bit-equality -- fused JIT loops
+and XLA programs may regroup float operations -- but they *are* held to
+the :class:`~repro.backend.tiers.ToleranceTier` they declare.  This
+module runs every kernel surface on small deterministic probes through
+both the candidate backend and the oracle, measures the worst absolute
+and relative divergence per surface, and raises
+:class:`~repro.errors.BackendValidationError` when any surface exceeds
+the tier.
+
+The harness itself needs no accelerator: it validates whatever backend
+object it is handed, so CI exercises it with stub "perturbing" backends
+(``tests/backend/test_validate.py``) while machines with numba/jax
+installed validate the real ones via :func:`validate_backend_name`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend, NumpyBackend
+from repro.backend.tiers import ToleranceTier
+from repro.errors import BackendValidationError
+
+#: Seed for the synthetic rollout-lane probe.
+_PROBE_SEED = 20221001
+#: Lanes / padded obstacle slots in the rollout probe.
+_PROBE_LANES = 48
+_PROBE_OBSTACLES = 5
+
+
+@dataclass(frozen=True)
+class SurfaceResult:
+    """Worst-case divergence of one kernel surface from the oracle."""
+
+    surface: str
+    max_abs_err: float
+    max_rel_err: float
+    bit_identical: bool
+    within_tier: bool
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Per-surface divergence of one backend, against its tier."""
+
+    backend: str
+    tier: ToleranceTier
+    surfaces: Tuple[SurfaceResult, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every surface stayed within the declared tier."""
+        return all(s.within_tier for s in self.surfaces)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [f"backend {self.backend!r} vs oracle "
+                 f"(tier {self.tier.describe()}):"]
+        for s in self.surfaces:
+            status = "ok" if s.within_tier else "EXCEEDED"
+            detail = ("bit-identical" if s.bit_identical else
+                      f"max abs {s.max_abs_err:.3e}, "
+                      f"max rel {s.max_rel_err:.3e}")
+            lines.append(f"  {s.surface:<10} {status:<8} {detail}")
+        return "\n".join(lines)
+
+
+def _probe_workload():
+    """A small fixed policy workload (deterministic)."""
+    from repro.nn.template import PolicyHyperparams, build_policy_network
+    from repro.nn.workload import lower_network
+    return lower_network(build_policy_network(
+        PolicyHyperparams(num_layers=2, num_filters=32)))
+
+
+def _probe_configs():
+    """A fixed config batch covering all dataflows and sub-tile SRAMs."""
+    from repro.scalesim.config import AcceleratorConfig, Dataflow
+    configs = []
+    for dataflow in Dataflow:
+        for rows, cols, if_kb, fil_kb in ((8, 8, 2, 4), (16, 8, 32, 64),
+                                          (32, 32, 64, 64)):
+            configs.append(AcceleratorConfig(
+                pe_rows=rows, pe_cols=cols, ifmap_sram_kb=if_kb,
+                filter_sram_kb=fil_kb, ofmap_sram_kb=32,
+                dataflow=dataflow))
+    return configs
+
+
+def _probe_lanes():
+    """Synthetic gathered-lane state arrays (seeded, deterministic)."""
+    rng = np.random.default_rng(_PROBE_SEED)
+    lanes, obstacles = _PROBE_LANES, _PROBE_OBSTACLES
+    size_m = 10.0
+    return {
+        "act": rng.integers(0, 15, lanes),
+        "speed": rng.uniform(0.0, 2.0, lanes),
+        "heading": rng.uniform(0.0, 2 * np.pi, lanes),
+        "x": rng.uniform(0.0, size_m, lanes),
+        "y": rng.uniform(0.0, size_m, lanes),
+        "steps": rng.integers(0, 60, lanes),
+        "prev_goal": rng.uniform(0.0, size_m, lanes),
+        "goal_x": rng.uniform(0.0, size_m, lanes),
+        "goal_y": rng.uniform(0.0, size_m, lanes),
+        "obstacle_x": rng.uniform(0.0, size_m, (lanes, obstacles)),
+        "obstacle_y": rng.uniform(0.0, size_m, (lanes, obstacles)),
+        "obstacle_r": rng.uniform(0.1, 1.0, (lanes, obstacles)),
+        "obstacle_mask": rng.random((lanes, obstacles)) > 0.3,
+    }, size_m
+
+
+def _simulation_arrays(sim) -> List[np.ndarray]:
+    """Every numeric plane of a :class:`BatchSimulation`, fixed order."""
+    return [
+        sim.mapping.compute_cycles, sim.mapping.folds,
+        sim.mapping.ifmap_sram_reads, sim.mapping.filter_sram_reads,
+        sim.mapping.ofmap_sram_writes, sim.mapping.ofmap_sram_reads,
+        sim.traffic.dram_ifmap_read_bytes,
+        sim.traffic.dram_filter_read_bytes,
+        sim.traffic.dram_ofmap_write_bytes, sim.traffic.dram_cycles,
+        sim.traffic.first_fill_cycles, sim.total_cycles,
+    ]
+
+
+def _power_arrays(columns) -> List[np.ndarray]:
+    """Every numeric column of a power-columns result, fixed order."""
+    arrays = [np.asarray(columns.soc_power_w), np.asarray(columns.tdp_w)]
+    for attribute in ("frames_per_second", "array_w", "ifmap_sram_w",
+                      "filter_sram_w", "ofmap_sram_w", "dram_w",
+                      "energy_per_inference_j"):
+        arrays.append(np.asarray(
+            [getattr(b, attribute) for b in columns.operating]))
+    for attribute in ("tdp_w", "heatsink_volume_cm3", "heatsink_weight_g",
+                      "motherboard_weight_g"):
+        arrays.append(np.asarray(
+            [getattr(w, attribute) for w in columns.weight]))
+    return arrays
+
+
+def _compare(surface: str, tier: ToleranceTier,
+             expected: List[np.ndarray],
+             actual: List[np.ndarray]) -> SurfaceResult:
+    """Worst divergence across a surface's output arrays vs the tier."""
+    max_abs = 0.0
+    max_rel = 0.0
+    bit_identical = True
+    within = True
+    for want, got in zip(expected, actual):
+        got = np.asarray(got)
+        if want.shape != got.shape:
+            return SurfaceResult(surface=surface, max_abs_err=float("inf"),
+                                 max_rel_err=float("inf"),
+                                 bit_identical=False, within_tier=False)
+        if not np.array_equal(want, got):
+            bit_identical = False
+        want_f = want.astype(np.float64)
+        got_f = got.astype(np.float64)
+        abs_err = np.abs(got_f - want_f)
+        denom = np.maximum(np.abs(want_f), np.finfo(np.float64).tiny)
+        max_abs = max(max_abs, float(abs_err.max(initial=0.0)))
+        max_rel = max(max_rel, float((abs_err / denom).max(initial=0.0)))
+        if tier.bit_exact:
+            if not np.array_equal(want, got):
+                within = False
+        elif not np.allclose(got_f, want_f, rtol=tier.rtol,
+                             atol=tier.atol):
+            within = False
+    return SurfaceResult(surface=surface, max_abs_err=max_abs,
+                         max_rel_err=max_rel, bit_identical=bit_identical,
+                         within_tier=within)
+
+
+def validate_backend(backend: ArrayBackend, *,
+                     oracle: Optional[ArrayBackend] = None,
+                     raise_on_failure: bool = True) -> ValidationReport:
+    """Run every kernel surface on fixed probes against the oracle.
+
+    Returns the per-surface :class:`ValidationReport`; raises
+    :class:`BackendValidationError` (carrying the report text) when a
+    surface exceeds the backend's declared tier, unless
+    ``raise_on_failure`` is false.
+    """
+    from repro.airlearning.sensors import RaycastSensor
+    from repro.soc.batch import _sum_matrix_from_sim
+
+    oracle = oracle or NumpyBackend()
+    tier = backend.tier
+    workload = _probe_workload()
+    configs = _probe_configs()
+    results = []
+
+    reference_sim = oracle.simulate_batch(workload, configs)
+    candidate_sim = backend.simulate_batch(workload, configs)
+    results.append(_compare("simulate", tier,
+                            _simulation_arrays(reference_sim),
+                            _simulation_arrays(candidate_sim)))
+
+    staged = _sum_matrix_from_sim(reference_sim)
+    for label, fps in (("power", 30.0), ("power-peak", None)):
+        results.append(_compare(
+            label, tier,
+            _power_arrays(oracle.power_columns(configs, staged, fps)),
+            _power_arrays(backend.power_columns(configs, staged, fps))))
+
+    lanes, size_m = _probe_lanes()
+    step_kwargs = dict(alpha=0.2, dt=0.1, size_m=size_m, max_steps=60)
+    expected_step = oracle.step_lanes(**lanes, **step_kwargs)
+    actual_step = backend.step_lanes(**lanes, **step_kwargs)
+    results.append(_compare("step", tier,
+                            [np.asarray(a) for a in expected_step],
+                            [np.asarray(a) for a in actual_step]))
+
+    sensor = RaycastSensor()
+    observe_args = (sensor, size_m, lanes["x"], lanes["y"],
+                    lanes["heading"], lanes["speed"], lanes["goal_x"],
+                    lanes["goal_y"], lanes["obstacle_x"],
+                    lanes["obstacle_y"], lanes["obstacle_r"],
+                    lanes["obstacle_mask"])
+    results.append(_compare("observe", tier,
+                            [np.asarray(oracle.observe_lanes(*observe_args))],
+                            [np.asarray(backend.observe_lanes(
+                                *observe_args))]))
+
+    report = ValidationReport(backend=backend.name, tier=tier,
+                              surfaces=tuple(results))
+    if raise_on_failure and not report.ok:
+        raise BackendValidationError(report.describe())
+    return report
+
+
+def validate_backend_name(name: str, **kwargs) -> ValidationReport:
+    """Resolve ``name`` through the registry and validate it."""
+    from repro.backend import get_backend
+    return validate_backend(get_backend(name), **kwargs)

@@ -24,6 +24,12 @@ import numpy as np
 
 from repro.airlearning.scenarios import Scenario
 from repro.airlearning.trainer import CemTrainer, ROLLOUT_ENGINES
+from repro.backend import (
+    get_backend,
+    registered_backends,
+    resolve_backend_name,
+    use_backend,
+)
 from repro.baselines.computers import FIG5_BASELINES
 from repro.core.checkpoint import RunManifest
 from repro.core.pipeline import AutoPilot
@@ -65,6 +71,17 @@ def _task(args: argparse.Namespace) -> TaskSpec:
     return TaskSpec(platform=_platform(args.uav),
                     scenario=Scenario(args.scenario),
                     sensor_fps=args.sensor_fps)
+
+
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", choices=registered_backends(),
+                        default=None,
+                        help="array backend for the batched kernels "
+                             "(default: REPRO_BACKEND or numpy). numpy is "
+                             "the bit-exact oracle; threaded chunk-splits "
+                             "the oracle kernels over a thread pool "
+                             "(bit-identical); numba/jax need the 'accel' "
+                             "extra and are validated to tolerance tiers")
 
 
 def _add_phase1(parser: argparse.ArgumentParser) -> None:
@@ -128,7 +145,8 @@ def _autopilot(args: argparse.Namespace) -> AutoPilot:
                      frontend_backend=args.phase1_backend, trainer=trainer,
                      optimizer_kwargs=optimizer_kwargs or None,
                      fidelity=getattr(args, "fidelity", "off"),
-                     promotion_eta=getattr(args, "promotion_eta", 0.5))
+                     promotion_eta=getattr(args, "promotion_eta", 0.5),
+                     array_backend=getattr(args, "backend", None))
 
 
 def _restore_from_manifest(args: argparse.Namespace,
@@ -140,6 +158,7 @@ def _restore_from_manifest(args: argparse.Namespace,
     args.proposal_batch = manifest.proposal_batch
     args.fidelity = manifest.fidelity
     args.promotion_eta = manifest.promotion_eta
+    args.backend = manifest.array_backend
     if manifest.trainer:
         args.cem_population = manifest.trainer["population_size"]
         args.cem_iterations = manifest.trainer["iterations"]
@@ -230,8 +249,11 @@ def cmd_f1(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     policy = PolicyHyperparams(num_layers=args.layers,
                                num_filters=args.filters)
+    backend = get_backend(resolve_backend_name(
+        getattr(args, "backend", None)))
     profiler = Profiler()
-    with profiler.phase("sweep") as record:
+    profiler.annotate("backend", f"{backend.name} [{backend.tier.name}]")
+    with use_backend(backend), profiler.phase("sweep") as record:
         results = accelerator_frontier(policy=policy)
         record.evaluations += len(results)
     rows = [[f"{r.pe_rows}x{r.pe_cols}", r.sram_kb,
@@ -277,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume the checkpointed run in DIR (task, seed, budget "
              "and backend are restored from its manifest); the result "
              "is bit-identical to an uninterrupted run")
+    _add_backend(design)
     _add_phase1(design)
     _add_phase2(design)
     design.set_defaults(func=cmd_design)
@@ -288,6 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--workers", type=int, default=None,
                          help="processes for batched design evaluation "
                               "and Phase 1 training")
+    _add_backend(compare)
     _add_phase1(compare)
     _add_phase2(compare)
     compare.set_defaults(func=cmd_compare)
@@ -307,6 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--profile", action="store_true",
                        help="print sweep timing, throughput and "
                             "simulator-cache statistics")
+    _add_backend(sweep)
     sweep.set_defaults(func=cmd_sweep)
     return parser
 

@@ -149,6 +149,14 @@ class RunManifest:
     #: unchanged (and bit-identical single-fidelity behaviour).
     fidelity: str = "off"
     promotion_eta: float = 0.5
+    #: Array backend the run executes its batched kernels on.  Part of
+    #: the run identity so ``--resume`` restores (and verifies) it: the
+    #: registered backends are tolerance-tier-validated, not all
+    #: bit-exact, so silently resuming a journal under a different
+    #: backend could splice two numeric streams.  Defaults to the
+    #: oracle so manifests written before this field existed load
+    #: unchanged.
+    array_backend: str = "numpy"
     status: Dict[str, str] = field(default_factory=lambda: {
         "phase1": "pending", "phase2": "pending", "phase3": "pending"})
     #: Completed Phase 2 evaluations at the last manifest write.

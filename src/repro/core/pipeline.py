@@ -22,6 +22,8 @@ from typing import Dict, Optional, Tuple, Type, Union
 from repro.airlearning.database import AirLearningDatabase
 from repro.airlearning.scenarios import Scenario
 from repro.airlearning.trainer import CemTrainer
+from repro.backend import get_backend, resolve_backend_name, use_backend
+from repro.backend.autotune import autotuner
 from repro.core.checkpoint import RunCheckpoint, RunManifest
 from repro.core.phase1 import FrontEnd, Phase1Result
 from repro.core.phase2 import MultiObjectiveDse, Phase2Result
@@ -43,6 +45,9 @@ class AutoPilotResult:
     phase3: Phase3Result
     #: Per-phase wall time, throughput and cache activity for this run.
     profile: Optional[ProfileReport] = None
+    #: Array backend the batched kernels ran on (defaulted last for
+    #: backward-compatible construction).
+    array_backend: str = "numpy"
 
     @property
     def selected(self) -> RankedDesign:
@@ -66,10 +71,15 @@ class AutoPilot:
                  workers: Optional[int] = None,
                  trainer: Optional[CemTrainer] = None,
                  fidelity: str = "off",
-                 promotion_eta: float = 0.5):
+                 promotion_eta: float = 0.5,
+                 array_backend: Optional[str] = None):
         self.seed = seed
         self.fidelity = fidelity
         self.promotion_eta = promotion_eta
+        # Resolve now (explicit > REPRO_BACKEND > numpy) and fail fast
+        # on an unknown/unavailable name rather than mid-run.
+        self.array_backend = resolve_backend_name(array_backend)
+        get_backend(self.array_backend)
         self.frontend = FrontEnd(backend=frontend_backend, seed=seed,
                                  trainer=trainer, workers=workers)
         self.optimizer_cls = optimizer_cls
@@ -114,55 +124,71 @@ class AutoPilot:
                 self._verify_manifest(previous, manifest, checkpoint)
             manifest.save(checkpoint.run_dir)
 
+        array_backend = get_backend(self.array_backend)
         profiler = Profiler()
-        if manifest is not None:
-            manifest.status["phase1"] = "running"
-            manifest.save(checkpoint.run_dir)
-        with profiler.phase("phase1"):
-            phase1 = self.frontend.run(task, database=self.database,
-                                       profiler=profiler,
-                                       checkpoint=checkpoint, resume=resume)
-        if manifest is not None:
-            manifest.status["phase1"] = "complete"
-            manifest.save(checkpoint.run_dir)
-
-        cache_key = (task.scenario, budget)
-        phase2 = self._phase2_cache.get(cache_key) if reuse_phase2 else None
-        if phase2 is None:
-            dse = MultiObjectiveDse(database=self.database,
-                                    optimizer_cls=self.optimizer_cls,
-                                    seed=self.seed,
-                                    optimizer_kwargs=self.optimizer_kwargs,
-                                    workers=self.workers,
-                                    fidelity=self.fidelity,
-                                    promotion_eta=self.promotion_eta)
-            journal = (checkpoint.phase2_journal()
-                       if checkpoint is not None else None)
-            promotion_journal = (checkpoint.phase2_promotions_journal()
-                                 if checkpoint is not None else None)
+        profiler.annotate(
+            "backend",
+            f"{array_backend.name} [{array_backend.tier.name}]")
+        with use_backend(array_backend):
             if manifest is not None:
-                manifest.status["phase2"] = "running"
+                manifest.status["phase1"] = "running"
                 manifest.save(checkpoint.run_dir)
-            with profiler.phase("phase2"):
-                phase2 = dse.run(task, budget=budget, profiler=profiler,
-                                 journal=journal,
-                                 promotion_journal=promotion_journal,
-                                 resume=resume)
-            self._phase2_cache[cache_key] = phase2
-        if manifest is not None:
-            manifest.status["phase2"] = "complete"
-            manifest.phase2_evaluations = len(
-                phase2.optimization.evaluations)
-            manifest.save(checkpoint.run_dir)
+            with profiler.phase("phase1"):
+                phase1 = self.frontend.run(task, database=self.database,
+                                           profiler=profiler,
+                                           checkpoint=checkpoint,
+                                           resume=resume)
+            if manifest is not None:
+                manifest.status["phase1"] = "complete"
+                manifest.save(checkpoint.run_dir)
 
-        with profiler.phase("phase3"):
-            phase3 = self.backend.run(phase2.candidates, task)
-        if manifest is not None:
-            manifest.status["phase3"] = "complete"
-            manifest.save(checkpoint.run_dir)
+            cache_key = (task.scenario, budget)
+            phase2 = (self._phase2_cache.get(cache_key)
+                      if reuse_phase2 else None)
+            if phase2 is None:
+                dse = MultiObjectiveDse(
+                    database=self.database,
+                    optimizer_cls=self.optimizer_cls,
+                    seed=self.seed,
+                    optimizer_kwargs=self.optimizer_kwargs,
+                    workers=self.workers,
+                    fidelity=self.fidelity,
+                    promotion_eta=self.promotion_eta)
+                journal = (checkpoint.phase2_journal()
+                           if checkpoint is not None else None)
+                promotion_journal = (checkpoint.phase2_promotions_journal()
+                                     if checkpoint is not None else None)
+                if manifest is not None:
+                    manifest.status["phase2"] = "running"
+                    manifest.save(checkpoint.run_dir)
+                with profiler.phase("phase2"):
+                    phase2 = dse.run(task, budget=budget, profiler=profiler,
+                                     journal=journal,
+                                     promotion_journal=promotion_journal,
+                                     resume=resume)
+                self._phase2_cache[cache_key] = phase2
+            if manifest is not None:
+                manifest.status["phase2"] = "complete"
+                manifest.phase2_evaluations = len(
+                    phase2.optimization.evaluations)
+                manifest.save(checkpoint.run_dir)
+
+            with profiler.phase("phase3"):
+                phase3 = self.backend.run(phase2.candidates, task)
+            if manifest is not None:
+                manifest.status["phase3"] = "complete"
+                manifest.save(checkpoint.run_dir)
+
+        # Feed this run's kernel timings back into the per-machine
+        # chunk-tuning profile so the next sweep starts tuned.
+        report = profiler.report()
+        tuner = autotuner()
+        tuner.ingest_report(report, array_backend.name)
+        tuner.save()
         return AutoPilotResult(
             task=task, phase1=phase1, phase2=phase2, phase3=phase3,
-            profile=profiler.report() if profile else None)
+            profile=report if profile else None,
+            array_backend=self.array_backend)
 
     # ------------------------------------------------------------------
     def _manifest_for(self, task: TaskSpec, budget: int) -> RunManifest:
@@ -187,7 +213,8 @@ class AutoPilot:
                            proposal_batch=(self.optimizer_kwargs or {}).get(
                                "proposal_batch", 1),
                            fidelity=self.fidelity,
-                           promotion_eta=self.promotion_eta)
+                           promotion_eta=self.promotion_eta,
+                           array_backend=self.array_backend)
 
     @staticmethod
     def _verify_manifest(previous: RunManifest, current: RunManifest,
@@ -196,7 +223,8 @@ class AutoPilot:
         mismatched = [
             name for name in ("uav", "scenario", "seed", "budget",
                               "sensor_fps", "frontend_backend", "trainer",
-                              "proposal_batch", "fidelity", "promotion_eta")
+                              "proposal_batch", "fidelity", "promotion_eta",
+                              "array_backend")
             if getattr(previous, name) != getattr(current, name)]
         if mismatched:
             details = ", ".join(

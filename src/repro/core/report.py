@@ -9,10 +9,24 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.backend import backend_available, get_backend
 from repro.core.pipeline import AutoPilotResult
 from repro.perf import render_profile
 from repro.soc.components import fixed_components
 from repro.uav.f1_model import F1Model
+
+
+def _describe_backend(result: AutoPilotResult) -> str:
+    """``name [tolerance tier]`` for the backend the run used.
+
+    Reports that were produced on another machine may name a backend
+    that is unavailable here; fall back to the bare name then.
+    """
+    name = result.array_backend
+    if backend_available(name):
+        backend = get_backend(name)
+        return f"{backend.name} [{backend.tier.describe()}]"
+    return name
 
 
 def render_report(result: AutoPilotResult) -> str:
@@ -49,6 +63,7 @@ def render_report(result: AutoPilotResult) -> str:
     lines.append(f"- Designs evaluated: {len(result.phase2.candidates)}")
     lines.append(f"- Pareto-optimal: "
                  f"{len(result.phase2.pareto_candidates())}")
+    lines.append(f"- Array backend: {_describe_backend(result)}")
     lines.append("")
 
     lines.append("## Selected DSSoC")

@@ -21,10 +21,13 @@ size.
 from __future__ import annotations
 
 import gc
+import time
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
+
+from repro.backend import active_backend
 
 from repro.power.cacti import sram_model
 from repro.power.dram import (
@@ -34,7 +37,7 @@ from repro.power.dram import (
 )
 from repro.power.pe import IDLE_ENERGY_PJ, MAC_ENERGY_PJ, PE_LEAKAGE_W
 from repro.power.soc_power import AcceleratorPowerBreakdown
-from repro.scalesim.batch import BatchSimulation, simulate_batch
+from repro.scalesim.batch import BatchSimulation
 from repro.scalesim.config import AcceleratorConfig
 from repro.scalesim.report import RunReport
 from repro.soc.components import fixed_components_power_w
@@ -65,6 +68,7 @@ class BatchStats:
     kernel_designs: int = 0    # uncached designs simulated by the kernel
     proposal_calls: int = 0    # optimiser proposal groups submitted batched
     proposal_designs: int = 0  # designs across those proposal groups
+    kernel_wall_s: float = 0.0  # wall time inside the array-kernel calls
 
     @property
     def mean_batch_size(self) -> float:
@@ -345,6 +349,7 @@ def evaluate_design_batch(evaluator: "DssocEvaluator",
 
     _batch_stats.batch_calls += 1
     _batch_stats.batched_designs += len(designs)
+    backend = active_backend()
 
     # The same process-wide cache SystolicArraySimulator.run consults,
     # so batch and scalar evaluations share every simulation result.
@@ -393,7 +398,9 @@ def evaluate_design_batch(evaluator: "DssocEvaluator",
                     slots[key] = len(group_configs)
                     group_configs.append(designs[i].accelerator)
                     unique_keys.append(key)
-            sim = simulate_batch(workload, group_configs)
+            kernel_start = time.perf_counter()
+            sim = backend.simulate_batch(workload, group_configs)
+            _batch_stats.kernel_wall_s += time.perf_counter() - kernel_start
             _batch_stats.kernel_designs += len(group_configs)
             group_reports = sim.reports()
             group_matrix = _sum_matrix_from_sim(sim)
@@ -408,9 +415,11 @@ def evaluate_design_batch(evaluator: "DssocEvaluator",
             staged[i] = _sum_row_from_report(
                 reports[i], designs[i].accelerator.num_pes)
 
-        power = _evaluate_power_columns(
+        kernel_start = time.perf_counter()
+        power = backend.power_columns(
             [d.accelerator for d in designs], staged,
             evaluator.operating_fps)
+        _batch_stats.kernel_wall_s += time.perf_counter() - kernel_start
 
         new = object.__new__
         setdict = object.__setattr__

@@ -1,0 +1,231 @@
+"""Registry, resolution and optional-accelerator detection tests.
+
+The accelerator packages are deliberately absent from CI, so these
+tests also prove the zero-accelerator story: detection, degradation to
+a clear error, and oracle-equivalence of the accelerated kernels' math
+via their un-jitted / ``xp=numpy`` forms.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+import repro.backend as backend_mod
+from repro.backend import (
+    BACKEND_ENV_VAR,
+    TIER_EXACT,
+    TIER_FP32,
+    TIER_FP64,
+    active_backend,
+    available_backends,
+    backend_available,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend_name,
+    set_active_backend,
+    use_backend,
+)
+from repro.backend.accel import (
+    PLANES,
+    _lowered_columns,
+    _simulation_from_planes,
+    simulate_expressions,
+    simulate_loops,
+)
+from repro.backend.base import NumpyBackend, split_chunks
+from repro.backend.validate import validate_backend
+from repro.errors import ConfigError
+from repro.nn.template import PolicyHyperparams, build_policy_network
+from repro.nn.workload import lower_network
+from repro.scalesim.batch import simulate_batch
+from repro.scalesim.config import AcceleratorConfig, Dataflow
+
+
+class TestResolution:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend_name() == "numpy"
+
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "threaded")
+        assert resolve_backend_name() == "threaded"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "threaded")
+        assert resolve_backend_name("numpy") == "numpy"
+
+    def test_blank_env_falls_through(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "  ")
+        assert resolve_backend_name() == "numpy"
+
+    def test_active_backend_honours_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "threaded")
+        assert active_backend().name == "threaded"
+
+    def test_set_active_backend_none_re_resolves(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        set_active_backend("threaded")
+        assert active_backend().name == "threaded"
+        assert set_active_backend(None).name == "numpy"
+
+    def test_use_backend_scopes_and_restores(self):
+        before = active_backend()
+        with use_backend("threaded") as chosen:
+            assert chosen.name == "threaded"
+            assert active_backend() is chosen
+        assert active_backend() is before
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = registered_backends()
+        for name in ("numpy", "threaded", "numba", "jax"):
+            assert name in names
+
+    def test_numpy_and_threaded_always_available(self):
+        available = available_backends()
+        assert "numpy" in available
+        assert "threaded" in available
+
+    def test_unknown_backend_is_a_config_error(self):
+        with pytest.raises(ConfigError, match="unknown backend"):
+            get_backend("cuda")
+
+    def test_accel_availability_tracks_importability(self):
+        for module in ("numba", "jax"):
+            importable = importlib.util.find_spec(module) is not None
+            assert backend_available(module) == importable
+
+    def test_unavailable_backend_error_names_the_extra(self):
+        for module in ("numba", "jax"):
+            if backend_available(module):  # pragma: no cover
+                pytest.skip(f"{module} installed on this machine")
+            with pytest.raises(ConfigError, match="repro\\[accel\\]"):
+                get_backend(module)
+
+    def test_unavailable_backend_reason_is_surfaced(self):
+        register_backend("stub-off", lambda: object(),
+                         available=lambda: False,
+                         reason="needs hardware X")
+        try:
+            assert "stub-off" in registered_backends()
+            assert "stub-off" not in available_backends()
+            with pytest.raises(ConfigError, match="needs hardware X"):
+                get_backend("stub-off")
+        finally:
+            backend_mod._registry.pop("stub-off", None)
+
+    def test_instances_are_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_declared_tiers(self):
+        assert get_backend("numpy").tier is TIER_EXACT
+        assert get_backend("threaded").tier is TIER_EXACT
+        from repro.backend.accel import JaxBackend, NumbaBackend
+        assert NumbaBackend.tier is TIER_FP64
+        assert JaxBackend.tier is TIER_FP32
+
+
+class TestSplitChunks:
+    def test_partitions_cover_in_order(self):
+        slices = split_chunks(10, 3)
+        assert slices == [slice(0, 3), slice(3, 6), slice(6, 9),
+                          slice(9, 10)]
+
+    def test_single_chunk(self):
+        assert split_chunks(4, 8) == [slice(0, 4)]
+
+
+def _probe_inputs():
+    workload = lower_network(build_policy_network(
+        PolicyHyperparams(num_layers=2, num_filters=32)))
+    configs = []
+    for dataflow in Dataflow:
+        # Sub-tile SRAMs included so the refetch branch is exercised.
+        for rows, cols, if_kb, fil_kb in ((8, 8, 2, 4), (16, 8, 32, 64),
+                                          (32, 32, 64, 64)):
+            configs.append(AcceleratorConfig(
+                pe_rows=rows, pe_cols=cols, ifmap_sram_kb=if_kb,
+                filter_sram_kb=fil_kb, ofmap_sram_kb=32,
+                dataflow=dataflow))
+    return workload, configs
+
+
+def _oracle_planes(workload, configs):
+    from repro.backend.validate import _simulation_arrays
+    return np.stack(_simulation_arrays(simulate_batch(workload, configs)))
+
+
+class TestAccelKernelMath:
+    """The accelerated kernels' math, proven without any accelerator.
+
+    ``simulate_loops`` is exactly what numba would jit;
+    ``simulate_expressions`` with ``xp=numpy`` is exactly what jax
+    would compile.  Bit-equality here means the installed backends can
+    only diverge through their compilers' float regrouping -- which
+    the declared tolerance tiers bound and ``validate_backend``
+    enforces.
+    """
+
+    def test_simulate_loops_matches_oracle(self):
+        workload, configs = _probe_inputs()
+        wl, cfg, dataflow_code = _lowered_columns(workload, configs)
+        out = np.empty((len(PLANES), cfg.batch_size, wl.num_layers),
+                       dtype=np.int64)
+        simulate_loops(
+            wl.m, wl.k, wl.n, wl.ifmap_bytes, wl.filter_bytes,
+            wl.ofmap_bytes, cfg.pe_rows.ravel(), cfg.pe_cols.ravel(),
+            cfg.ifmap_capacity.ravel(), cfg.filter_capacity.ravel(),
+            cfg.bandwidth.ravel(), dataflow_code, out)
+        np.testing.assert_array_equal(out,
+                                      _oracle_planes(workload, configs))
+
+    def test_simulate_expressions_matches_oracle(self):
+        workload, configs = _probe_inputs()
+        wl, cfg, dataflow_code = _lowered_columns(workload, configs)
+        planes = simulate_expressions(
+            np, wl.m, wl.k, wl.n, wl.ifmap_bytes, wl.filter_bytes,
+            wl.ofmap_bytes, cfg.pe_rows.ravel(), cfg.pe_cols.ravel(),
+            cfg.ifmap_capacity.ravel(), cfg.filter_capacity.ravel(),
+            cfg.bandwidth.ravel(), dataflow_code)
+        np.testing.assert_array_equal(planes,
+                                      _oracle_planes(workload, configs))
+
+    def test_plane_assembly_round_trips(self):
+        workload, configs = _probe_inputs()
+        reference = simulate_batch(workload, configs)
+        rebuilt = _simulation_from_planes(
+            workload, tuple(configs), _oracle_planes(workload, configs))
+        np.testing.assert_array_equal(rebuilt.total_cycles,
+                                      reference.total_cycles)
+        np.testing.assert_array_equal(rebuilt.mapping.folds,
+                                      reference.mapping.folds)
+        assert rebuilt.configs == tuple(configs)
+
+    def test_stub_accel_backend_passes_validation(self):
+        """A backend built on the un-jitted loop kernel is tier-clean."""
+
+        class LoopBackend(NumpyBackend):
+            name = "loop-stub"
+            tier = TIER_FP64
+
+            def simulate_batch(self, workload, configs):
+                wl, cfg, code = _lowered_columns(workload, configs)
+                out = np.empty(
+                    (len(PLANES), cfg.batch_size, wl.num_layers),
+                    dtype=np.int64)
+                simulate_loops(
+                    wl.m, wl.k, wl.n, wl.ifmap_bytes, wl.filter_bytes,
+                    wl.ofmap_bytes, cfg.pe_rows.ravel(),
+                    cfg.pe_cols.ravel(), cfg.ifmap_capacity.ravel(),
+                    cfg.filter_capacity.ravel(), cfg.bandwidth.ravel(),
+                    code, out)
+                return _simulation_from_planes(workload, cfg.configs, out)
+
+        report = validate_backend(LoopBackend())
+        assert report.ok
+        assert all(s.bit_identical for s in report.surfaces)

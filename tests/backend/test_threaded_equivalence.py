@@ -1,0 +1,215 @@
+"""Chunk-boundary bit-equality of the threaded backend.
+
+The threaded backend's claim to the ``exact`` tier rests on row
+independence: splitting the batch axis anywhere and concatenating the
+chunk results must be bit-neutral.  These tests force pathological
+chunk sizes -- 1, B-1, B, B+1 and a prime -- through every kernel
+surface and demand bit-identical outputs, then repeat the claim at the
+evaluator, rollout, pipeline and kill/resume levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.airlearning.arena import ArenaGenerator
+from repro.airlearning.scenarios import Scenario
+from repro.airlearning.vecenv import VecNavigationEnv
+from repro.backend import get_backend, use_backend
+from repro.backend.base import NumpyBackend
+from repro.backend.threaded import ThreadedBackend
+from repro.backend.validate import _simulation_arrays
+from repro.core.checkpoint import RunManifest
+from repro.core.evalcache import reset_shared_cache
+from repro.core.pipeline import AutoPilot
+from repro.errors import CheckpointError
+from repro.nn.template import PolicyHyperparams, build_policy_network
+from repro.nn.workload import lower_network
+from repro.scalesim.batch import simulate_batch
+from repro.scalesim.config import (
+    PE_DIM_CHOICES,
+    SRAM_KB_CHOICES,
+    AcceleratorConfig,
+    Dataflow,
+)
+from repro.soc.dssoc import DssocDesign, DssocEvaluator
+from repro.testing import faults
+
+BATCH = 37
+CHUNKS = [1, BATCH - 1, BATCH, BATCH + 1, 7]
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    faults.uninstall_injector()
+    yield
+    faults.uninstall_injector()
+
+
+def forced(chunk, workers=4) -> ThreadedBackend:
+    """A threaded backend pinned to one chunk size (None = direct)."""
+    backend = ThreadedBackend(max_workers=workers)
+    backend.chunk_for = lambda surface, items: (
+        chunk if chunk is not None and chunk < items else None)
+    return backend
+
+
+def _configs(count, seed=3):
+    rng = np.random.default_rng(seed)
+    configs = []
+    for _ in range(count):
+        configs.append(AcceleratorConfig(
+            pe_rows=int(rng.choice(PE_DIM_CHOICES)),
+            pe_cols=int(rng.choice(PE_DIM_CHOICES)),
+            ifmap_sram_kb=int(rng.choice(SRAM_KB_CHOICES)),
+            filter_sram_kb=int(rng.choice(SRAM_KB_CHOICES)),
+            ofmap_sram_kb=int(rng.choice(SRAM_KB_CHOICES)),
+            dataflow=list(Dataflow)[int(rng.integers(3))],
+        ))
+    return configs
+
+
+class TestSimulateSurface:
+    @pytest.mark.parametrize("chunk", CHUNKS)
+    def test_chunked_simulation_is_bit_identical(self, chunk):
+        workload = lower_network(build_policy_network(
+            PolicyHyperparams(num_layers=2, num_filters=32)))
+        configs = _configs(BATCH)
+        reference = simulate_batch(workload, configs)
+        chunked = forced(chunk).simulate_batch(workload, configs)
+        assert chunked.configs == tuple(configs)
+        for want, got in zip(_simulation_arrays(reference),
+                             _simulation_arrays(chunked)):
+            np.testing.assert_array_equal(want, got)
+
+
+class TestEvaluatorSurface:
+    @pytest.mark.parametrize("chunk", CHUNKS)
+    def test_chunked_batch_evaluation_is_bit_identical(self, chunk):
+        policy = PolicyHyperparams(num_layers=2, num_filters=32)
+        designs = [DssocDesign(policy=policy, accelerator=config)
+                   for config in _configs(BATCH, seed=5)]
+        evaluator = DssocEvaluator()
+
+        reset_shared_cache()
+        with use_backend(NumpyBackend()):
+            reference = evaluator.evaluate_batch(designs)
+        reset_shared_cache()
+        with use_backend(forced(chunk)):
+            chunked = evaluator.evaluate_batch(designs)
+        reset_shared_cache()
+        assert reference == chunked
+
+
+class TestRolloutSurface:
+    @pytest.mark.parametrize("chunk", CHUNKS)
+    def test_chunked_rollout_is_bit_identical(self, chunk):
+        generator = ArenaGenerator(Scenario.LOW, seed=1)
+        schedules = [[generator.generate() for _ in range(2)]
+                     for _ in range(BATCH)]
+
+        def rollout(backend):
+            env = VecNavigationEnv(schedules, backend=backend)
+            rng = np.random.default_rng(11)
+            trace = [env.reset()]
+            for _ in range(25):
+                actions = rng.integers(0, env.num_actions, env.num_lanes)
+                result = env.step(actions)
+                trace.extend([result.observations, result.rewards,
+                              result.dones, result.successes,
+                              result.collisions])
+            return trace
+
+        reference = rollout(NumpyBackend())
+        chunked = rollout(forced(chunk))
+        for want, got in zip(reference, chunked):
+            np.testing.assert_array_equal(want, got)
+
+
+PIPE_KWARGS = dict(seed=9,
+                   optimizer_kwargs={"num_initial": 4, "pool_size": 16})
+
+
+class TestPipelineEquivalence:
+    def test_threaded_pipeline_matches_numpy(self, nano_task):
+        reference = AutoPilot(array_backend="numpy",
+                              **PIPE_KWARGS).run(nano_task, budget=10)
+        threaded = AutoPilot(array_backend="threaded",
+                             **PIPE_KWARGS).run(nano_task, budget=10)
+        assert threaded.array_backend == "threaded"
+        assert threaded.num_missions == reference.num_missions
+        assert threaded.selected.candidate == reference.selected.candidate
+        ref_evals = reference.phase2.optimization.evaluations
+        thr_evals = threaded.phase2.optimization.evaluations
+        assert len(ref_evals) == len(thr_evals)
+        for a, b in zip(ref_evals, thr_evals):
+            assert a.assignment == b.assignment
+            np.testing.assert_array_equal(a.objectives, b.objectives)
+
+    def test_backend_is_recorded_in_manifest(self, tmp_path, nano_task):
+        run_dir = tmp_path / "run"
+        AutoPilot(array_backend="threaded", **PIPE_KWARGS).run(
+            nano_task, budget=6, checkpoint_dir=run_dir)
+        assert RunManifest.load(run_dir).array_backend == "threaded"
+
+    def test_resume_under_different_backend_rejected(self, tmp_path,
+                                                     nano_task):
+        run_dir = tmp_path / "run"
+        AutoPilot(array_backend="numpy", **PIPE_KWARGS).run(
+            nano_task, budget=6, checkpoint_dir=run_dir)
+        with pytest.raises(CheckpointError, match="array_backend"):
+            AutoPilot(array_backend="threaded", **PIPE_KWARGS).run(
+                nano_task, budget=6, checkpoint_dir=run_dir, resume=True)
+
+    def test_killed_threaded_run_resumes_bit_identically(self, tmp_path,
+                                                         nano_task):
+        kwargs = dict(array_backend="threaded", **PIPE_KWARGS)
+        baseline = AutoPilot(**kwargs).run(nano_task, budget=10)
+        run_dir = tmp_path / "run"
+        # Counter 35 lands inside Phase 2 (see tests/core/
+        # test_checkpoint.py for the write accounting).
+        with faults.active_faults("kill@checkpoint-write:35"):
+            with pytest.raises(faults.SimulatedKill):
+                AutoPilot(**kwargs).run(nano_task, budget=10,
+                                        checkpoint_dir=run_dir)
+        resumed = AutoPilot(**kwargs).run(nano_task, budget=10,
+                                          checkpoint_dir=run_dir,
+                                          resume=True)
+        assert resumed.num_missions == baseline.num_missions
+        assert resumed.selected.candidate == baseline.selected.candidate
+        assert RunManifest.load(run_dir).array_backend == "threaded"
+
+
+class TestChunkHeuristics:
+    def test_small_calls_run_direct(self):
+        backend = ThreadedBackend(max_workers=4)
+        assert backend.chunk_for("simulate", 4) is None
+        assert backend.chunk_for("step", 64) is None
+
+    def test_single_worker_runs_direct(self):
+        backend = ThreadedBackend(max_workers=1)
+        assert backend.chunk_for("simulate", 10_000) is None
+
+    def test_heuristic_spreads_over_workers(self):
+        backend = ThreadedBackend(max_workers=4)
+        # 1000 rows over 4 workers: ceil -> 250-row chunks.
+        assert backend.chunk_for("step", 1000) == 250
+
+    def test_tuned_chunk_wins_when_sane(self, fresh_autotuner):
+        fresh_autotuner.observe("threaded", "step", 100, 1000, 0.4)
+        fresh_autotuner.observe("threaded", "step", 200, 1000, 0.1)
+        backend = ThreadedBackend(max_workers=4)
+        assert backend.chunk_for("step", 1000) == 200
+        # A tuned chunk below the surface floor is ignored.
+        fresh_autotuner.observe("threaded", "observe", 2, 1000, 0.1)
+        fresh_autotuner.observe("threaded", "observe", 3, 1000, 0.4)
+        assert backend.chunk_for("observe", 1000) == 250
+
+    def test_fan_out_records_observations(self, fresh_autotuner):
+        backend = ThreadedBackend(max_workers=4)
+        workload = lower_network(build_policy_network(
+            PolicyHyperparams(num_layers=2, num_filters=32)))
+        backend.simulate_batch(workload, _configs(BATCH))
+        assert fresh_autotuner.observation_count(
+            "threaded", "simulate") == 1

@@ -1,0 +1,102 @@
+"""Tolerance-tier validation harness tests.
+
+The harness must hold backends to exactly the tier they declare.  CI
+has no accelerator installed, so the tests drive it with stub
+"perturbing" backends that inject a controlled divergence into one
+kernel surface and check which tiers accept it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.base import NumpyBackend
+from repro.backend.tiers import TIER_EXACT, TIER_FP32, TIER_FP64, TIERS
+from repro.backend.validate import validate_backend, validate_backend_name
+from repro.errors import BackendValidationError
+
+
+class PerturbingBackend(NumpyBackend):
+    """Oracle outputs with a relative error injected into ``observe``.
+
+    The observation surface is float-valued, so a relative perturbation
+    lands cleanly between the fp64 and fp32 tiers.
+    """
+
+    name = "perturb-stub"
+
+    def __init__(self, tier, rel_error: float):
+        self.tier = tier
+        self.rel_error = rel_error
+
+    def observe_lanes(self, *args, **kwargs):
+        rows = super().observe_lanes(*args, **kwargs)
+        return rows * (1.0 + self.rel_error)
+
+
+class TestTierEnforcement:
+    def test_clean_backend_is_bit_identical_everywhere(self):
+        report = validate_backend(PerturbingBackend(TIER_EXACT, 0.0))
+        assert report.ok
+        assert all(s.bit_identical for s in report.surfaces)
+        assert {s.surface for s in report.surfaces} == {
+            "simulate", "power", "power-peak", "step", "observe"}
+
+    def test_exact_tier_rejects_any_divergence(self):
+        backend = PerturbingBackend(TIER_EXACT, 1e-15)
+        with pytest.raises(BackendValidationError, match="observe"):
+            validate_backend(backend)
+
+    def test_fp64_tier_accepts_fp64_noise_only(self):
+        assert validate_backend(PerturbingBackend(TIER_FP64, 1e-14)).ok
+        with pytest.raises(BackendValidationError):
+            validate_backend(PerturbingBackend(TIER_FP64, 1e-9))
+
+    def test_fp32_tier_accepts_fp32_noise_only(self):
+        assert validate_backend(PerturbingBackend(TIER_FP32, 1e-7)).ok
+        with pytest.raises(BackendValidationError):
+            validate_backend(PerturbingBackend(TIER_FP32, 1e-3))
+
+    def test_raise_on_failure_false_returns_the_report(self):
+        report = validate_backend(PerturbingBackend(TIER_EXACT, 1e-6),
+                                  raise_on_failure=False)
+        assert not report.ok
+        failed = {s.surface for s in report.surfaces if not s.within_tier}
+        assert failed == {"observe"}
+        assert "EXCEEDED" in report.describe()
+
+    def test_shape_mismatch_is_infinite_divergence(self):
+        class TruncatingBackend(NumpyBackend):
+            name = "truncate-stub"
+            tier = TIER_FP32
+
+            def observe_lanes(self, *args, **kwargs):
+                return super().observe_lanes(*args, **kwargs)[:-1]
+
+        report = validate_backend(TruncatingBackend(),
+                                  raise_on_failure=False)
+        observe = next(s for s in report.surfaces
+                       if s.surface == "observe")
+        assert not observe.within_tier
+        assert observe.max_abs_err == float("inf")
+
+
+class TestBuiltinBackends:
+    @pytest.mark.parametrize("name", ["numpy", "threaded"])
+    def test_builtin_backends_validate_bit_identical(self, name):
+        report = validate_backend_name(name)
+        assert report.ok
+        assert all(s.bit_identical for s in report.surfaces)
+
+
+class TestTiers:
+    def test_tier_table_names_round_trip(self):
+        for name, tier in TIERS.items():
+            assert tier.name == name
+
+    def test_describe_mentions_bounds(self):
+        assert "bit-identical" in TIER_EXACT.describe()
+        assert "1e-12" in TIER_FP64.describe() \
+            or "1e-12" in f"{TIER_FP64.rtol:.0e}"
+        assert TIER_FP32.rtol > TIER_FP64.rtol

@@ -42,6 +42,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--layers", "42"])
 
+    def test_backend_defaults_to_unset(self):
+        for command in ("design", "compare", "sweep"):
+            assert build_parser().parse_args([command]).backend is None
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["design", "--backend", "cuda"])
+
 
 class TestCommands:
     def test_f1_command(self, capsys):
@@ -78,6 +86,35 @@ class TestCommands:
         assert "Jetson TX2" in out
         assert "PULP-DroNet" in out
         assert "AutoPilot" in out
+
+    def test_design_report_names_the_backend(self, capsys):
+        assert main(["design", "--uav", "nano", "--scenario", "low",
+                     "--budget", "15", "--seed", "3",
+                     "--backend", "threaded", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Array backend: threaded" in out
+        assert "backend: threaded [exact]" in out  # --profile label
+
+    def test_threaded_design_report_matches_numpy(self, capsys):
+        args = ["design", "--uav", "nano", "--scenario", "low",
+                "--budget", "15", "--seed", "3"]
+        assert main(args + ["--backend", "numpy"]) == 0
+        reference = capsys.readouterr().out
+        assert main(args + ["--backend", "threaded"]) == 0
+        threaded = capsys.readouterr().out
+        # Only the backend line may differ; every number is identical.
+        assert threaded.replace("threaded", "numpy") == reference
+
+    def test_env_var_selects_backend(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BACKEND", "threaded")
+        assert main(["design", "--uav", "nano", "--scenario", "low",
+                     "--budget", "15", "--seed", "3"]) == 0
+        assert "Array backend: threaded" in capsys.readouterr().out
+
+    def test_sweep_honours_backend(self, capsys):
+        assert main(["sweep", "--layers", "4", "--filters", "32",
+                     "--backend", "threaded", "--profile"]) == 0
+        assert "backend: threaded [exact]" in capsys.readouterr().out
 
 
 DESIGN_ARGS = ["design", "--uav", "nano", "--scenario", "low",
@@ -141,3 +178,16 @@ class TestCheckpointCli:
         manifest = json.loads((run_dir / "manifest.json").read_text())
         assert manifest["seed"] == 3
         assert manifest["budget"] == 15
+
+    def test_resume_restores_the_recorded_backend(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(DESIGN_ARGS + ["--backend", "threaded",
+                                   "--checkpoint-dir", str(run_dir)]) == 0
+        first = capsys.readouterr().out
+        assert "Array backend: threaded" in first
+        assert RunManifest.load(run_dir).array_backend == "threaded"
+        # The resume command line does not name a backend; the manifest
+        # restores it (and a conflicting one would be rejected by the
+        # manifest verification).
+        assert main(["design", "--resume", str(run_dir)]) == 0
+        assert capsys.readouterr().out == first
