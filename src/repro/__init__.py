@@ -20,7 +20,14 @@ Quickstart::
     print(result.selected.mission.num_missions)
 """
 
-from repro.airlearning import Scenario
+from repro.airlearning import (
+    SCENARIO_REGISTRY,
+    SCENARIOS,
+    Scenario,
+    ScenarioSpec,
+    get_scenarios,
+    resolve_scenario,
+)
 from repro.core import (
     AutoPilot,
     AutoPilotResult,
@@ -56,6 +63,11 @@ __all__ = [
     "AutoPilotResult",
     "TaskSpec",
     "Scenario",
+    "ScenarioSpec",
+    "SCENARIOS",
+    "SCENARIO_REGISTRY",
+    "get_scenarios",
+    "resolve_scenario",
     "FrontEnd",
     "Phase1Result",
     "MultiObjectiveDse",

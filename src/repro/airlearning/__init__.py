@@ -14,11 +14,18 @@ from repro.airlearning.policy import BatchedMlpPolicy, MlpPolicy
 from repro.airlearning.render import render_arena, trace_episode
 from repro.airlearning.scenarios import (
     ALL_SCENARIOS,
+    SCENARIO_REGISTRY,
+    SCENARIOS,
+    TAG_DOCS,
+    Guardrails,
     Scenario,
     ScenarioSpec,
+    get_scenarios,
+    resolve_scenario,
+    scenario_ids,
     scenario_spec,
 )
-from repro.airlearning.sensors import RaycastSensor
+from repro.airlearning.sensors import RaycastSensor, apply_sensor_noise
 from repro.airlearning.surrogate import (
     MIN_SUCCESS_RATE,
     SuccessRateSurrogate,
@@ -29,8 +36,16 @@ from repro.airlearning.vecenv import VecNavigationEnv, VecStepResult
 __all__ = [
     "Scenario",
     "ScenarioSpec",
+    "Guardrails",
     "scenario_spec",
+    "scenario_ids",
+    "resolve_scenario",
+    "get_scenarios",
     "ALL_SCENARIOS",
+    "SCENARIOS",
+    "SCENARIO_REGISTRY",
+    "TAG_DOCS",
+    "apply_sensor_noise",
     "Arena",
     "ArenaGenerator",
     "Obstacle",

@@ -3,19 +3,33 @@
 Air Learning's environment generator randomises obstacle count,
 placement and size, plus the goal position, every episode -- the domain
 randomisation [83] that makes trained policies generalise.  This module
-reproduces that generator for a 2-D arena with circular obstacles.
+reproduces that generator for a 2-D arena with circular obstacles, and
+extends it with the registry's arena families:
+
+* **uniform** -- the paper's generator: an optional fixed grid plus
+  uniformly placed random obstacles (its RNG stream is byte-identical
+  to the pre-registry code under the legacy scenarios);
+* **corridor** -- two walls of obstacles with the start sampled at one
+  end of the long axis and the goal at the other;
+* **forest** -- many thin trunks on a deterministically jittered grid;
+* **urban** -- a street grid of large building blocks;
+* **open** -- no fixed obstacles, long sight lines.
+
+Fixed obstacles are a pure function of the spec (no RNG), so every
+episode of a scenario shares them; only the random obstacles, start and
+goal consume the generator's seeded stream.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.airlearning.scenarios import Scenario, ScenarioSpec, scenario_spec
-from repro.errors import SimulationError
+from repro.airlearning.scenarios import ScenarioLike, ScenarioSpec, scenario_spec
+from repro.errors import ConfigError, SimulationError
 
 
 @dataclass(frozen=True)
@@ -77,30 +91,106 @@ class Arena:
 
 
 class ArenaGenerator:
-    """Seeded generator of domain-randomised arenas for a scenario."""
+    """Seeded generator of domain-randomised arenas for a scenario.
+
+    Accepts any scenario handle -- a :class:`Scenario` enum member, a
+    registry :class:`ScenarioSpec`, or a registered id string.
+    """
 
     #: Clearance kept between spawned entities (m).
     _CLEARANCE = 2.0
 
-    def __init__(self, scenario: Scenario, seed: int = 0):
+    def __init__(self, scenario: ScenarioLike, seed: int = 0):
         self.spec: ScenarioSpec = scenario_spec(scenario)
         self._rng = np.random.default_rng(seed)
         self._fixed = self._make_fixed_obstacles()
 
     def _make_fixed_obstacles(self) -> List[Obstacle]:
-        """Fixed obstacles sit on a deterministic grid (medium/dense)."""
+        """Deterministic fixed obstacles for the spec's arena family.
+
+        These never touch the seeded RNG: every episode of a scenario
+        shares the same fixed set, and the random-obstacle stream stays
+        byte-identical to the pre-registry generator for the legacy
+        scenarios.
+        """
+        kind = self.spec.kind
+        if kind in ("uniform", "open"):
+            return self._grid_obstacles()
+        if kind == "corridor":
+            return self._corridor_walls()
+        if kind == "forest":
+            return self._forest_trunks()
+        if kind == "urban":
+            return self._urban_blocks()
+        raise ConfigError(f"unknown arena kind {kind!r}")
+
+    def _grid_obstacles(self) -> List[Obstacle]:
+        """The paper's fixed grid (medium/dense): up to four obstacles."""
         size = self.spec.arena_size_m
         count = self.spec.num_fixed_obstacles
         positions = [(size * 0.33, size * 0.33), (size * 0.67, size * 0.33),
                      (size * 0.33, size * 0.67), (size * 0.67, size * 0.67)]
+        if count > len(positions):
+            raise ConfigError(
+                f"uniform arenas support at most {len(positions)} fixed "
+                f"obstacles, got {count}")
         radius = sum(self.spec.obstacle_radius_m) / 2.0
         return [Obstacle(x, y, radius) for x, y in positions[:count]]
 
-    def _sample_free_point(self, obstacles: List[Obstacle],
-                           taken: List[Tuple[float, float]]) -> Tuple[float, float]:
+    def _corridor_walls(self) -> List[Obstacle]:
+        """Two obstacle walls bounding a channel along the x axis."""
         size = self.spec.arena_size_m
+        count = self.spec.num_fixed_obstacles
+        radius = sum(self.spec.obstacle_radius_m) / 2.0
+        obstacles: List[Obstacle] = []
+        lower = (count + 1) // 2
+        for row, row_count in ((0.32, lower), (0.68, count - lower)):
+            for i in range(row_count):
+                frac = (0.5 if row_count == 1
+                        else 0.2 + 0.6 * i / (row_count - 1))
+                obstacles.append(Obstacle(size * frac, size * row, radius))
+        return obstacles
+
+    def _forest_trunks(self) -> List[Obstacle]:
+        """Thin trunks on a deterministically jittered square grid."""
+        size = self.spec.arena_size_m
+        count = self.spec.num_fixed_obstacles
+        radius = sum(self.spec.obstacle_radius_m) / 2.0
+        side = max(1, math.ceil(math.sqrt(count)))
+        obstacles: List[Obstacle] = []
+        for cell in range(count):
+            i, j = cell % side, cell // side
+            base_x = 0.18 + 0.64 * (i / (side - 1) if side > 1 else 0.5)
+            base_y = 0.18 + 0.64 * (j / (side - 1) if side > 1 else 0.5)
+            # Seed-independent jitter: a fixed phase per grid cell.
+            jx = 0.03 * math.sin(12.9898 * (cell + 1))
+            jy = 0.03 * math.sin(78.233 * (cell + 1))
+            obstacles.append(Obstacle(size * (base_x + jx),
+                                      size * (base_y + jy), radius))
+        return obstacles
+
+    def _urban_blocks(self) -> List[Obstacle]:
+        """A street grid of large building blocks."""
+        size = self.spec.arena_size_m
+        count = self.spec.num_fixed_obstacles
+        radius = sum(self.spec.obstacle_radius_m)  # 2x the mean radius
+        side = max(1, math.ceil(math.sqrt(count)))
+        obstacles: List[Obstacle] = []
+        for cell in range(count):
+            i, j = cell % side, cell // side
+            x = 0.25 + 0.5 * (i / (side - 1) if side > 1 else 0.5)
+            y = 0.25 + 0.5 * (j / (side - 1) if side > 1 else 0.5)
+            obstacles.append(Obstacle(size * x, size * y, radius))
+        return obstacles
+
+    def _sample_free_point(self, obstacles: List[Obstacle],
+                           taken: List[Tuple[float, float]],
+                           x_range: Optional[Tuple[float, float]] = None
+                           ) -> Tuple[float, float]:
+        size = self.spec.arena_size_m
+        x_lo, x_hi = x_range if x_range is not None else (1.0, size - 1.0)
         for _ in range(256):
-            x = float(self._rng.uniform(1.0, size - 1.0))
+            x = float(self._rng.uniform(x_lo, x_hi))
             y = float(self._rng.uniform(1.0, size - 1.0))
             if any(o.contains(x, y, self._CLEARANCE * 0.5) for o in obstacles):
                 continue
@@ -114,18 +204,35 @@ class ArenaGenerator:
         """Generate the next domain-randomised episode arena."""
         spec = self.spec
         obstacles = list(self._fixed)
-        num_random = int(self._rng.integers(1, spec.max_random_obstacles + 1))
-        lo, hi = spec.obstacle_radius_m
-        for _ in range(num_random):
-            for _ in range(256):
-                x = float(self._rng.uniform(2.0, spec.arena_size_m - 2.0))
-                y = float(self._rng.uniform(2.0, spec.arena_size_m - 2.0))
-                radius = float(self._rng.uniform(lo, hi))
-                candidate = Obstacle(x, y, radius)
-                if all(math.hypot(x - o.x, y - o.y) > radius + o.radius + 1.0
-                       for o in obstacles):
-                    obstacles.append(candidate)
-                    break
+        # The max_random_obstacles > 0 guard is bit-neutral for the
+        # legacy scenarios (all have random obstacles); it lets
+        # fixed-only registry scenarios skip the count draw entirely.
+        if spec.max_random_obstacles > 0:
+            num_random = int(self._rng.integers(1,
+                                                spec.max_random_obstacles + 1))
+            lo, hi = spec.obstacle_radius_m
+            for _ in range(num_random):
+                for _ in range(256):
+                    x = float(self._rng.uniform(2.0, spec.arena_size_m - 2.0))
+                    y = float(self._rng.uniform(2.0, spec.arena_size_m - 2.0))
+                    radius = float(self._rng.uniform(lo, hi))
+                    candidate = Obstacle(x, y, radius)
+                    if all(math.hypot(x - o.x, y - o.y) > radius + o.radius + 1.0
+                           for o in obstacles):
+                        obstacles.append(candidate)
+                        break
+
+        if spec.kind == "corridor":
+            # End-to-end missions: start in the left-end band, goal in
+            # the right-end band; the x separation alone exceeds the
+            # non-triviality threshold, so no resampling is needed.
+            size = spec.arena_size_m
+            start = self._sample_free_point(obstacles, [],
+                                            x_range=(1.0, size * 0.12))
+            goal = self._sample_free_point(obstacles, [start],
+                                           x_range=(size * 0.88, size - 1.0))
+            return Arena(size_m=size, obstacles=tuple(obstacles),
+                         start=start, goal=goal)
 
         start = self._sample_free_point(obstacles, [])
         goal = self._sample_free_point(obstacles, [start])

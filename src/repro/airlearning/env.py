@@ -16,8 +16,8 @@ import numpy as np
 
 from repro.airlearning.arena import Arena, ArenaGenerator
 from repro.airlearning.dynamics import NUM_ACTIONS, PointMassDynamics, UavState
-from repro.airlearning.scenarios import Scenario
-from repro.airlearning.sensors import RaycastSensor
+from repro.airlearning.scenarios import ScenarioLike
+from repro.airlearning.sensors import RaycastSensor, apply_sensor_noise
 from repro.errors import SimulationError
 
 #: Episode limits and thresholds.
@@ -45,7 +45,7 @@ class StepResult:
 class NavigationEnv:
     """Point-to-goal navigation with domain-randomised obstacles."""
 
-    def __init__(self, scenario: Scenario, seed: int = 0,
+    def __init__(self, scenario: ScenarioLike, seed: int = 0,
                  sensor: Optional[RaycastSensor] = None,
                  max_steps: int = MAX_EPISODE_STEPS):
         self.scenario = scenario
@@ -53,6 +53,10 @@ class NavigationEnv:
         self.sensor = sensor or RaycastSensor()
         self.dynamics = PointMassDynamics()
         self.max_steps = max_steps
+        # Scenario disturbances; zero disables the arithmetic entirely,
+        # so legacy scenarios' float streams are untouched.
+        self._wind_x, self._wind_y = self.generator.spec.wind_vector
+        self._sensor_noise = self.generator.spec.sensor_noise
         self.arena: Optional[Arena] = None
         self.state: Optional[UavState] = None
         self._steps = 0
@@ -88,6 +92,12 @@ class NavigationEnv:
         if self.arena is None or self.state is None:
             raise SimulationError("step() called before reset()")
         self.state = self.dynamics.step(self.state, action)
+        if self._wind_x != 0.0 or self._wind_y != 0.0:
+            # Steady wind drifts the commanded motion.  Same elementary
+            # operations in the same order as the vectorised kernel, so
+            # scalar and vec rollouts stay bit-equal under wind.
+            self.state.x = self.state.x + self._wind_x * self.dynamics.dt
+            self.state.y = self.state.y + self._wind_y * self.dynamics.dt
         self._steps += 1
 
         x, y = self.state.x, self.state.y
@@ -116,6 +126,9 @@ class NavigationEnv:
         assert self.arena is not None and self.state is not None
         rays = self.sensor.sense(self.arena, self.state.x, self.state.y,
                                  self.state.heading)
+        if self._sensor_noise != 0.0:
+            rays = apply_sensor_noise(rays, self._sensor_noise,
+                                      self.state.x, self.state.y)
         goal_dx = self.arena.goal[0] - self.state.x
         goal_dy = self.arena.goal[1] - self.state.y
         # sqrt/arctan2 via the same numpy kernels the vectorised

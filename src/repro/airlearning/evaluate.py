@@ -67,7 +67,9 @@ def _validate_vec(policy: MlpPolicy, scenario: Scenario,
     """One lockstep lane per held-out episode."""
     generator = ArenaGenerator(scenario, seed=seed + VALIDATION_SEED_OFFSET)
     arenas = [generator.generate() for _ in range(episodes)]
-    env = VecNavigationEnv([[arena] for arena in arenas])
+    env = VecNavigationEnv([[arena] for arena in arenas],
+                           wind=generator.spec.wind_vector,
+                           sensor_noise=generator.spec.sensor_noise)
     batched = BatchedMlpPolicy(
         policy.hyperparams, env.observation_dim, env.num_actions,
         np.tile(policy.get_params(), (episodes, 1)))

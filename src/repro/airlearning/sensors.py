@@ -21,6 +21,38 @@ from repro.errors import ConfigError
 DEFAULT_NUM_RAYS = 12
 DEFAULT_FOV = math.pi  # forward 180 degrees
 
+#: Spatial frequencies of the deterministic sensor-noise field (1/m).
+#: The classic shader-noise constants: irrational enough that the
+#: perturbation decorrelates between nearby positions and rays.
+NOISE_FREQ_X = 12.9898
+NOISE_FREQ_Y = 78.233
+
+
+def apply_sensor_noise(rays: np.ndarray, noise: float,
+                       x, y) -> np.ndarray:
+    """Perturb normalised ray readings with a deterministic noise field.
+
+    The perturbation is ``noise * sin(FX*x + FY*y + ray_index)`` -- a
+    pure elementwise function of the UAV position and ray index, with no
+    RNG state.  Determinism keeps rollouts exactly reproducible and
+    resume-by-replay bit-identical; using only length-independent
+    elementwise kernels keeps the scalar and vectorised environments
+    bit-equal (the scalar path passes float ``x``/``y`` and ``(R,)``
+    rays, the vec path ``(L,)`` positions and ``(L, R)`` rays -- both
+    broadcast through the same expression).
+
+    Args:
+        rays: Normalised clearances, shape ``(R,)`` or ``(L, R)``.
+        noise: Perturbation amplitude in normalised-range units.
+        x, y: UAV position -- floats (scalar path) or ``(L,)`` arrays.
+
+    Returns:
+        The perturbed readings, clipped back into ``[0, 1]``.
+    """
+    phase = np.asarray(NOISE_FREQ_X * x + NOISE_FREQ_Y * y)
+    offsets = phase[..., None] + np.arange(rays.shape[-1])
+    return np.clip(rays + noise * np.sin(offsets), 0.0, 1.0)
+
 
 @dataclass(frozen=True)
 class RaycastSensor:

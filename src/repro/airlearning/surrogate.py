@@ -26,8 +26,13 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from repro.airlearning.scenarios import Scenario
-from repro.nn.template import PolicyHyperparams
+from repro.airlearning.scenarios import (
+    Scenario,
+    ScenarioLike,
+    resolve_scenario,
+    scenario_spec,
+)
+from repro.nn.template import FILTER_CHOICES, LAYER_CHOICES, PolicyHyperparams
 
 #: Success-rate band reported in Section III-A.
 MIN_SUCCESS_RATE = 0.60
@@ -38,6 +43,39 @@ _SCENARIO_PEAKS: Dict[Scenario, Tuple[float, int, int]] = {
     Scenario.DENSE: (0.80, 7, 48),
 }
 
+#: Derived-peak model for registry scenarios: harder arenas (more
+#: obstacles), wind and sensor noise all lower the achievable peak.
+_PEAK_CEILING = 0.93
+_PEAK_FLOOR = 0.62
+_OBSTACLE_PENALTY = 0.013
+_WIND_PENALTY = 0.06
+_NOISE_PENALTY = 0.25
+
+
+def _peak_for(scenario: ScenarioLike) -> Tuple[float, int, int]:
+    """(peak success, best layers, best filters) for any scenario handle.
+
+    The paper's three return their Fig. 6 entries verbatim (so the
+    surrogate's published numbers are untouched); registry scenarios get
+    a deterministic derived peak -- monotonically lower with obstacle
+    count, wind and noise -- and a best template picked by hashing the
+    scenario id over the search grid, giving each scenario a distinct
+    optimum the DSE has to find.
+    """
+    handle = resolve_scenario(scenario)
+    if isinstance(handle, Scenario):
+        return _SCENARIO_PEAKS[handle]
+    spec = scenario_spec(handle)
+    peak = (_PEAK_CEILING
+            - _OBSTACLE_PENALTY * spec.max_total_obstacles
+            - _WIND_PENALTY * spec.wind_mps
+            - _NOISE_PENALTY * spec.sensor_noise)
+    peak = min(_PEAK_CEILING, max(_PEAK_FLOOR, peak))
+    digest = hashlib.sha256(spec.id.encode()).digest()
+    best_layers = LAYER_CHOICES[digest[0] % len(LAYER_CHOICES)]
+    best_filters = FILTER_CHOICES[digest[1] % len(FILTER_CHOICES)]
+    return (peak, best_layers, best_filters)
+
 #: Quadratic falloff steepness in layer and filter directions.
 _LAYER_FALLOFF = 0.10
 _FILTER_FALLOFF = 0.08
@@ -47,7 +85,7 @@ _FILTER_FALLOFF = 0.08
 _JITTER = 0.005
 
 
-def _jitter(hyperparams: PolicyHyperparams, scenario: Scenario,
+def _jitter(hyperparams: PolicyHyperparams, scenario: ScenarioLike,
             seed: int) -> float:
     """Deterministic per-point jitter in [-_JITTER, +_JITTER]."""
     payload = f"{hyperparams.identifier}|{scenario.value}|{seed}".encode()
@@ -63,18 +101,19 @@ class SuccessRateSurrogate:
     seed: int = 0
 
     def success_rate(self, hyperparams: PolicyHyperparams,
-                     scenario: Scenario) -> float:
+                     scenario: ScenarioLike) -> float:
         """Validated task success rate in [MIN_SUCCESS_RATE, peak]."""
-        peak, best_layers, best_filters = _SCENARIO_PEAKS[scenario]
+        handle = resolve_scenario(scenario)
+        peak, best_layers, best_filters = _peak_for(handle)
         d_layers = hyperparams.num_layers - best_layers
         d_filters = (hyperparams.num_filters - best_filters) / 16.0
         quad = (_LAYER_FALLOFF * d_layers ** 2
                 + _FILTER_FALLOFF * d_filters ** 2)
         base = MIN_SUCCESS_RATE + (peak - MIN_SUCCESS_RATE) * math.exp(-quad)
-        value = base + _jitter(hyperparams, scenario, self.seed)
+        value = base + _jitter(hyperparams, handle, self.seed)
         return float(min(peak, max(MIN_SUCCESS_RATE, value)))
 
-    def best_hyperparams(self, scenario: Scenario) -> PolicyHyperparams:
+    def best_hyperparams(self, scenario: ScenarioLike) -> PolicyHyperparams:
         """The template with the highest success rate for a scenario."""
-        peak = _SCENARIO_PEAKS[scenario]
+        peak = _peak_for(scenario)
         return PolicyHyperparams(num_layers=peak[1], num_filters=peak[2])

@@ -247,7 +247,9 @@ class CemTrainer:
         rows = params_rows.shape[0]
         lanes = rows * episodes_per_row
         arenas = [generator.generate() for _ in range(lanes)]
-        env = VecNavigationEnv([[arena] for arena in arenas], sensor=sensor)
+        env = VecNavigationEnv([[arena] for arena in arenas], sensor=sensor,
+                               wind=generator.spec.wind_vector,
+                               sensor_noise=generator.spec.sensor_noise)
         policy = BatchedMlpPolicy(
             hyperparams, env.observation_dim, env.num_actions,
             np.repeat(params_rows, episodes_per_row, axis=0))

@@ -47,7 +47,7 @@ from repro.airlearning.env import (
     STEP_COST,
     SUCCESS_REWARD,
 )
-from repro.airlearning.sensors import RaycastSensor
+from repro.airlearning.sensors import RaycastSensor, apply_sensor_noise
 from repro.backend import active_backend
 from repro.errors import ConfigError, SimulationError
 
@@ -66,7 +66,8 @@ def step_lanes_kernel(act: np.ndarray, speed: np.ndarray,
                       obstacle_x: np.ndarray, obstacle_y: np.ndarray,
                       obstacle_r: np.ndarray, obstacle_mask: np.ndarray, *,
                       alpha: float, dt: float, size_m: float,
-                      max_steps: int):
+                      max_steps: int, wind_x: float = 0.0,
+                      wind_y: float = 0.0):
     """One lockstep transition over gathered lane rows (pure function).
 
     This is the oracle step kernel behind the backend seam: inputs are
@@ -76,6 +77,10 @@ def step_lanes_kernel(act: np.ndarray, speed: np.ndarray,
     x, y, goal_distance, reward, collided, success, done)``.  Every
     output row depends only on its own input row, so chunk-splitting
     the lane axis is bit-neutral.
+
+    ``wind_x``/``wind_y`` add the scenario's steady wind drift after
+    the commanded motion; at the 0.0 default the arithmetic is skipped
+    entirely, leaving legacy float streams byte-identical.
     """
     # Dynamics — identical op order to PointMassDynamics.step.
     command_speed = _SPEEDS[act // len(YAW_RATE_LEVELS)]
@@ -84,6 +89,10 @@ def step_lanes_kernel(act: np.ndarray, speed: np.ndarray,
     new_heading = (heading + yaw_rate * dt) % _TWO_PI
     new_x = x + new_speed * np.cos(new_heading) * dt
     new_y = y + new_speed * np.sin(new_heading) * dt
+    if wind_x != 0.0 or wind_y != 0.0:
+        # Same op order as the scalar NavigationEnv wind drift.
+        new_x = new_x + wind_x * dt
+        new_y = new_y + wind_y * dt
 
     # Collision — Arena.collides with the default body margin.
     margin = COLLISION_MARGIN_M
@@ -114,16 +123,23 @@ def observe_lanes_kernel(sensor: RaycastSensor, size_m: float,
                          speed: np.ndarray, goal_x: np.ndarray,
                          goal_y: np.ndarray, obstacle_x: np.ndarray,
                          obstacle_y: np.ndarray, obstacle_r: np.ndarray,
-                         obstacle_mask: np.ndarray) -> np.ndarray:
+                         obstacle_mask: np.ndarray, *,
+                         noise: float = 0.0) -> np.ndarray:
     """Fresh observation rows for gathered lanes (pure function).
 
     The oracle observation kernel behind the backend seam:
     ``NavigationEnv._observe`` batched over the given lane rows.  Each
     returned row is a pure function of its own lane's state, so the
     lane axis is chunkable without changing any value.
+
+    ``noise`` applies the scenario's deterministic sensor perturbation
+    (:func:`~repro.airlearning.sensors.apply_sensor_noise`); the 0.0
+    default skips it, keeping legacy observations byte-identical.
     """
     rays = sensor.sense_batch(size_m, x, y, heading, obstacle_x,
                               obstacle_y, obstacle_r, obstacle_mask)
+    if noise != 0.0:
+        rays = apply_sensor_noise(rays, noise, x, y)
     gdx = goal_x - x
     gdy = goal_y - y
     distance = np.sqrt(gdx * gdx + gdy * gdy)
@@ -168,13 +184,20 @@ class VecNavigationEnv:
         backend: Array backend executing the step/observe kernels
             (defaults to the process-wide active backend at
             construction time).
+        wind: Steady world-frame wind velocity ``(wx, wy)`` shared by
+            every lane (the scenario's
+            :attr:`~repro.airlearning.scenarios.ScenarioSpec.wind_vector`);
+            the zero default skips the wind arithmetic entirely.
+        sensor_noise: Deterministic sensor-noise amplitude shared by
+            every lane; zero skips the perturbation.
     """
 
     def __init__(self, schedules: Sequence[Sequence[Arena]],
                  sensor: Optional[RaycastSensor] = None,
                  max_steps: int = MAX_EPISODE_STEPS,
                  dynamics: Optional[PointMassDynamics] = None,
-                 backend=None):
+                 backend=None, wind: Sequence[float] = (0.0, 0.0),
+                 sensor_noise: float = 0.0):
         if not schedules or any(len(s) == 0 for s in schedules):
             raise ConfigError("every lane needs at least one arena")
         self._schedules: List[List[Arena]] = [list(s) for s in schedules]
@@ -190,6 +213,8 @@ class VecNavigationEnv:
         # the expression is constant, so hoisting it is bit-neutral.
         self._alpha = self.dynamics.dt / (self.dynamics.speed_tau
                                           + self.dynamics.dt)
+        self._wind_x, self._wind_y = (float(wind[0]), float(wind[1]))
+        self._sensor_noise = float(sensor_noise)
 
         self.num_lanes = len(self._schedules)
         self._max_obstacles = max(
@@ -292,7 +317,8 @@ class VecNavigationEnv:
             self._obstacle_y[lanes], self._obstacle_r[lanes],
             self._obstacle_mask[lanes],
             alpha=self._alpha, dt=self.dynamics.dt, size_m=self.size_m,
-            max_steps=self.max_steps)
+            max_steps=self.max_steps, wind_x=self._wind_x,
+            wind_y=self._wind_y)
         self._speed[lanes] = speed
         self._heading[lanes] = heading
         self._x[lanes] = x
@@ -371,6 +397,7 @@ class VecNavigationEnv:
             self._heading[lanes], self._speed[lanes],
             self._goal_x[lanes], self._goal_y[lanes],
             self._obstacle_x[lanes], self._obstacle_y[lanes],
-            self._obstacle_r[lanes], self._obstacle_mask[lanes])
+            self._obstacle_r[lanes], self._obstacle_mask[lanes],
+            noise=self._sensor_noise)
         self._observations[lanes] = rows
         return self._observations.copy()

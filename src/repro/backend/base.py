@@ -89,17 +89,21 @@ class ArrayBackend:
                    obstacle_x: np.ndarray, obstacle_y: np.ndarray,
                    obstacle_r: np.ndarray, obstacle_mask: np.ndarray, *,
                    alpha: float, dt: float, size_m: float,
-                   max_steps: int) -> StepArrays:
+                   max_steps: int, wind_x: float = 0.0,
+                   wind_y: float = 0.0) -> StepArrays:
         """One lockstep transition over the gathered active lanes.
 
         Inputs are the *pre-step* lane rows; ``steps`` is the pre-step
         counter (the kernel tests ``steps + 1 >= max_steps``).
+        ``wind_x``/``wind_y`` are the scenario's shared steady-wind
+        scalars (0.0 = no wind arithmetic at all).
         """
         from repro.airlearning.vecenv import step_lanes_kernel
         return step_lanes_kernel(
             act, speed, heading, x, y, steps, prev_goal, goal_x, goal_y,
             obstacle_x, obstacle_y, obstacle_r, obstacle_mask,
-            alpha=alpha, dt=dt, size_m=size_m, max_steps=max_steps)
+            alpha=alpha, dt=dt, size_m=size_m, max_steps=max_steps,
+            wind_x=wind_x, wind_y=wind_y)
 
     # -- Phase 1: vec rollout observation ------------------------------
     def observe_lanes(self, sensor: "RaycastSensor", size_m: float,
@@ -107,12 +111,18 @@ class ArrayBackend:
                       speed: np.ndarray, goal_x: np.ndarray,
                       goal_y: np.ndarray, obstacle_x: np.ndarray,
                       obstacle_y: np.ndarray, obstacle_r: np.ndarray,
-                      obstacle_mask: np.ndarray) -> np.ndarray:
-        """Fresh observation rows ``(L', obs_dim)`` for the given lanes."""
+                      obstacle_mask: np.ndarray, *,
+                      noise: float = 0.0) -> np.ndarray:
+        """Fresh observation rows ``(L', obs_dim)`` for the given lanes.
+
+        ``noise`` is the scenario's shared deterministic sensor-noise
+        amplitude (0.0 = no perturbation).
+        """
         from repro.airlearning.vecenv import observe_lanes_kernel
         return observe_lanes_kernel(
             sensor, size_m, x, y, heading, speed, goal_x, goal_y,
-            obstacle_x, obstacle_y, obstacle_r, obstacle_mask)
+            obstacle_x, obstacle_y, obstacle_r, obstacle_mask,
+            noise=noise)
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

@@ -170,7 +170,8 @@ class ThreadedBackend(ArrayBackend):
                    obstacle_x: np.ndarray, obstacle_y: np.ndarray,
                    obstacle_r: np.ndarray, obstacle_mask: np.ndarray, *,
                    alpha: float, dt: float, size_m: float,
-                   max_steps: int) -> StepArrays:
+                   max_steps: int, wind_x: float = 0.0,
+                   wind_y: float = 0.0) -> StepArrays:
         from repro.airlearning.vecenv import step_lanes_kernel
         chunks = self._fan_out(
             "step", act.shape[0],
@@ -179,7 +180,8 @@ class ThreadedBackend(ArrayBackend):
                 steps[rows], prev_goal[rows], goal_x[rows], goal_y[rows],
                 obstacle_x[rows], obstacle_y[rows], obstacle_r[rows],
                 obstacle_mask[rows],
-                alpha=alpha, dt=dt, size_m=size_m, max_steps=max_steps))
+                alpha=alpha, dt=dt, size_m=size_m, max_steps=max_steps,
+                wind_x=wind_x, wind_y=wind_y))
         if len(chunks) == 1:
             return chunks[0]
         return tuple(np.concatenate(column)
@@ -191,7 +193,8 @@ class ThreadedBackend(ArrayBackend):
                       speed: np.ndarray, goal_x: np.ndarray,
                       goal_y: np.ndarray, obstacle_x: np.ndarray,
                       obstacle_y: np.ndarray, obstacle_r: np.ndarray,
-                      obstacle_mask: np.ndarray) -> np.ndarray:
+                      obstacle_mask: np.ndarray, *,
+                      noise: float = 0.0) -> np.ndarray:
         from repro.airlearning.vecenv import observe_lanes_kernel
         chunks = self._fan_out(
             "observe", x.shape[0],
@@ -199,7 +202,7 @@ class ThreadedBackend(ArrayBackend):
                 sensor, size_m, x[rows], y[rows], heading[rows],
                 speed[rows], goal_x[rows], goal_y[rows],
                 obstacle_x[rows], obstacle_y[rows], obstacle_r[rows],
-                obstacle_mask[rows]))
+                obstacle_mask[rows], noise=noise))
         if len(chunks) == 1:
             return chunks[0]
         return np.concatenate(chunks, axis=0)

@@ -1,0 +1,36 @@
+"""Side-by-side bench report: one row per (scenario, platform) cell.
+
+Deterministic by construction -- rows come straight from the metrics
+(no wall-clock timings), so the CI ``bench-smoke`` job can diff the
+report of a killed-and-resumed sweep byte for byte against an
+uninterrupted reference run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.bench.metrics import CellMetrics
+from repro.experiments.runner import format_table
+
+_HEADERS = ("scenario", "uav", "design", "fps", "SoC W", "weight g",
+            "knee Hz", "missions", "success")
+
+
+def render_bench_report(metrics: Iterable[CellMetrics],
+                        title: str = "Bench sweep") -> str:
+    """Render the per-cell knee-point designs as an aligned table."""
+    rows: List[List[str]] = []
+    for row in metrics:
+        rows.append([
+            row.scenario,
+            f"{row.platform} [{row.platform_class}]",
+            row.design,
+            f"{row.frames_per_second:.1f}",
+            f"{row.soc_power_w:.3f}",
+            f"{row.compute_weight_g:.1f}",
+            f"{row.knee_throughput_hz:.2f}",
+            f"{row.num_missions:.2f}",
+            f"{row.success_rate:.3f}",
+        ])
+    return format_table(_HEADERS, rows, title=title)

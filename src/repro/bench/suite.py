@@ -1,0 +1,106 @@
+"""Bench suite selection: scenarios x platforms -> cells.
+
+A *cell* is one (scenario, platform-class) pair the runner sweeps
+through AutoPilot.  The suite is built by filtering the scenario
+registry by tags and/or id globs (:func:`~repro.airlearning.scenarios.
+get_scenarios`) and crossing it with the requested platform classes;
+each spec's own ``platforms`` axis then prunes pairings the scenario
+does not target (a nano-UAV does not fly the heavy-payload variants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.airlearning.scenarios import (
+    ScenarioSpec,
+    get_scenarios,
+    resolve_scenario,
+)
+from repro.core.spec import TaskSpec
+from repro.errors import ConfigError
+from repro.uav.platforms import UavClass, platform_by_class
+
+#: Platform classes in sweep order (paper order: largest first).
+PLATFORM_ORDER: Tuple[str, ...] = tuple(c.value for c in UavClass)
+
+
+@dataclass(frozen=True)
+class BenchCell:
+    """One (scenario, platform-class) pairing of the suite."""
+
+    spec: ScenarioSpec
+    platform_class: str
+
+    @property
+    def cell_id(self) -> str:
+        """Stable identifier; also the cell's checkpoint subdirectory."""
+        return f"{self.spec.id}__{self.platform_class}"
+
+    def task(self, sensor_fps: float = 60.0) -> TaskSpec:
+        """The AutoPilot task specification for this cell.
+
+        The scenario resolves to its canonical handle (legacy enum for
+        the paper's three, so their cache keys and manifests stay
+        byte-identical) and the base platform picks up the spec's
+        battery/payload variant.
+        """
+        base = platform_by_class(UavClass(self.platform_class))
+        return TaskSpec(platform=self.spec.variant_platform(base),
+                        scenario=resolve_scenario(self.spec),
+                        sensor_fps=sensor_fps)
+
+
+@dataclass(frozen=True)
+class BenchSuite:
+    """A filtered scenario set crossed with platform classes."""
+
+    scenarios: Tuple[ScenarioSpec, ...]
+    platforms: Tuple[str, ...]
+
+    def cells(self) -> Tuple[BenchCell, ...]:
+        """Scenario-major cell order, pruned by each spec's platforms."""
+        return tuple(
+            BenchCell(spec=spec, platform_class=platform)
+            for spec in self.scenarios
+            for platform in self.platforms
+            if platform in spec.platforms)
+
+    @property
+    def scenario_ids(self) -> Tuple[str, ...]:
+        """Ids of the selected scenarios, in suite order."""
+        return tuple(spec.id for spec in self.scenarios)
+
+
+def build_suite(tags: Optional[Iterable[str]] = None,
+                ids: Optional[Sequence[str]] = None,
+                platforms: Optional[Sequence[str]] = None) -> BenchSuite:
+    """Select scenarios by tag/id-glob and cross with platform classes.
+
+    Args:
+        tags: Keep scenarios carrying any of these tags.
+        ids: Keep scenarios matching any of these id globs.
+        platforms: Platform classes to sweep (default: all three,
+            largest first).
+
+    Raises:
+        ConfigError: on unknown tags, exact ids, or platform classes,
+            or when the filters select nothing.
+    """
+    if platforms is None:
+        platforms = PLATFORM_ORDER
+    else:
+        unknown = [p for p in platforms if p not in PLATFORM_ORDER]
+        if unknown:
+            raise ConfigError(
+                f"unknown platform classes {unknown}; "
+                f"known: {list(PLATFORM_ORDER)}")
+        # Dedupe, keep sweep order stable.
+        platforms = tuple(p for p in PLATFORM_ORDER if p in set(platforms))
+    scenarios = get_scenarios(tags=tags, ids=ids)
+    suite = BenchSuite(scenarios=scenarios, platforms=tuple(platforms))
+    if not suite.cells():
+        raise ConfigError(
+            "the bench filters selected no (scenario, platform) cells")
+    return suite

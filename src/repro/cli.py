@@ -7,7 +7,10 @@ Subcommands:
 * ``compare``  -- compare the AutoPilot design against the baseline
   onboard computers on the mission metric;
 * ``f1``       -- print the F-1 roofline for a platform/payload;
-* ``sweep``    -- sweep the accelerator template for one policy.
+* ``sweep``    -- sweep the accelerator template for one policy;
+* ``bench``    -- sweep registered scenarios x platform classes through
+  the full pipeline as one resumable run and report knee-point designs
+  side by side.
 
 Example::
 
@@ -22,7 +25,10 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.airlearning.scenarios import Scenario
+from repro.airlearning.scenarios import (
+    resolve_scenario,
+    scenario_ids,
+)
 from repro.airlearning.trainer import CemTrainer, ROLLOUT_ENGINES
 from repro.backend import (
     get_backend,
@@ -31,11 +37,17 @@ from repro.backend import (
     use_backend,
 )
 from repro.baselines.computers import FIG5_BASELINES
+from repro.bench import (
+    BenchManifest,
+    BenchRunner,
+    build_suite,
+    render_bench_report,
+)
 from repro.core.checkpoint import RunManifest
 from repro.core.pipeline import AutoPilot
 from repro.core.report import render_report
 from repro.core.spec import TaskSpec
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, ConfigError
 from repro.experiments.fig3b import accelerator_frontier
 from repro.experiments.runner import format_table
 from repro.nn.template import (
@@ -60,8 +72,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--uav", choices=sorted(_CLASS_BY_NAME),
                         default="nano", help="UAV size class")
     parser.add_argument("--scenario",
-                        choices=[s.value for s in Scenario],
-                        default="dense", help="deployment scenario")
+                        choices=scenario_ids(),
+                        default="dense", help="deployment scenario "
+                        "(any registered scenario id)")
     parser.add_argument("--sensor-fps", type=float, default=60.0,
                         help="camera frame rate")
     parser.add_argument("--seed", type=int, default=7)
@@ -69,7 +82,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 def _task(args: argparse.Namespace) -> TaskSpec:
     return TaskSpec(platform=_platform(args.uav),
-                    scenario=Scenario(args.scenario),
+                    scenario=resolve_scenario(args.scenario),
                     sensor_fps=args.sensor_fps)
 
 
@@ -165,7 +178,7 @@ def _restore_from_manifest(args: argparse.Namespace,
         args.cem_episodes = manifest.trainer["episodes_per_candidate"]
         args.rollout_engine = manifest.trainer["engine"]
     return TaskSpec(platform=platform_by_name(manifest.uav),
-                    scenario=Scenario(manifest.scenario),
+                    scenario=resolve_scenario(manifest.scenario),
                     sensor_fps=manifest.sensor_fps)
 
 
@@ -191,6 +204,84 @@ def cmd_design(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     report = render_report(result)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _csv(value: Optional[str]) -> Optional[List[str]]:
+    """Split a comma-separated CLI value into a list (None stays None)."""
+    if value is None:
+        return None
+    items = [item.strip() for item in value.split(",") if item.strip()]
+    return items or None
+
+
+def _restore_bench_args(args: argparse.Namespace,
+                        manifest: BenchManifest) -> None:
+    """Rebuild the sweep and pipeline knobs a bench checkpoint recorded."""
+    args.tags = None
+    args.scenarios = ",".join(manifest.scenarios)
+    args.platforms = ",".join(manifest.platforms)
+    args.budget = manifest.budget
+    args.seed = manifest.seed
+    args.sensor_fps = manifest.sensor_fps
+    args.phase1_backend = manifest.frontend_backend
+    args.proposal_batch = manifest.proposal_batch
+    args.fidelity = manifest.fidelity
+    args.promotion_eta = manifest.promotion_eta
+    args.backend = manifest.array_backend
+    if manifest.trainer:
+        args.cem_population = manifest.trainer["population_size"]
+        args.cem_iterations = manifest.trainer["iterations"]
+        args.cem_episodes = manifest.trainer["episodes_per_candidate"]
+        args.rollout_engine = manifest.trainer["engine"]
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    checkpoint_dir = args.checkpoint_dir
+    resume = args.resume is not None
+    if resume:
+        checkpoint_dir = args.resume
+        try:
+            manifest = BenchManifest.load(checkpoint_dir)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        _restore_bench_args(args, manifest)
+    try:
+        suite = build_suite(tags=_csv(args.tags),
+                            ids=_csv(args.scenarios),
+                            platforms=_csv(args.platforms))
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    autopilot = _autopilot(args)
+    runner = BenchRunner(autopilot, budget=args.budget,
+                         sensor_fps=args.sensor_fps,
+                         checkpoint_dir=checkpoint_dir, resume=resume,
+                         profile=args.profile)
+    try:
+        result = runner.run(suite)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    title = (f"Bench sweep: {len(result.metrics)} cells "
+             f"({len(suite.scenarios)} scenarios x "
+             f"{len(suite.platforms)} classes), budget {args.budget}, "
+             f"seed {args.seed}")
+    report = render_bench_report(result.metrics, title=title)
+    if args.profile:
+        profiles = [f"--- {cell_id} ---\n"
+                    + render_profile(result.results[cell_id].profile)
+                    for cell_id in sorted(result.results)
+                    if result.results[cell_id].profile is not None]
+        if profiles:
+            report = report + "\n\n" + "\n\n".join(profiles)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report + "\n")
@@ -303,6 +394,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_phase1(design)
     _add_phase2(design)
     design.set_defaults(func=cmd_design)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="sweep scenarios x platform classes as one resumable run")
+    bench.add_argument("--tags", default=None,
+                       help="comma-separated scenario tags to select "
+                            "(e.g. 'smoke' or 'windy,noisy')")
+    bench.add_argument("--scenarios", default=None,
+                       help="comma-separated scenario id globs "
+                            "(e.g. 'forest-*,urban-canyon')")
+    bench.add_argument("--platforms", default=None,
+                       help="comma-separated platform classes to sweep "
+                            "(default: mini,micro,nano)")
+    bench.add_argument("--budget", type=int, default=40,
+                       help="Phase 2 evaluation budget per scenario")
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--sensor-fps", type=float, default=60.0,
+                       help="camera frame rate")
+    bench.add_argument("--output", help="write the report to a file")
+    bench.add_argument("--profile", action="store_true",
+                       help="append per-cell timing, throughput and "
+                            "cache statistics to the report")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="processes for batched design evaluation "
+                            "and Phase 1 training")
+    bench_ckpt = bench.add_mutually_exclusive_group()
+    bench_ckpt.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="write a bench manifest plus one run checkpoint per cell "
+             "into DIR so an interrupted sweep can be resumed")
+    bench_ckpt.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="resume the checkpointed bench sweep in DIR (scenario set, "
+             "platforms, seed, budget and backend are restored from its "
+             "manifest); the report is bit-identical to an "
+             "uninterrupted sweep")
+    _add_backend(bench)
+    _add_phase1(bench)
+    _add_phase2(bench)
+    bench.set_defaults(func=cmd_bench)
 
     compare = subparsers.add_parser("compare",
                                     help="compare against baselines")

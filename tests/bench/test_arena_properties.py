@@ -1,0 +1,73 @@
+"""Property-based arena invariants over the whole scenario registry.
+
+Hypothesis drives the generator across every registered spec and a wide
+seed space; the invariants are the geometric contract the environment
+relies on (an episode must never *start* collided or already at the
+goal, and no obstacle may leak outside the arena walls).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.airlearning.arena import ArenaGenerator
+from repro.airlearning.env import NavigationEnv
+from repro.airlearning.scenarios import SCENARIOS
+
+#: Body margin Arena.collides applies by default (vecenv mirrors it).
+_BODY_MARGIN_M = 0.15
+
+_specs = st.sampled_from(SCENARIOS)
+_seeds = st.integers(min_value=0, max_value=2 ** 31 - 1)
+
+
+@settings(max_examples=120, deadline=None)
+@given(spec=_specs, seed=_seeds)
+def test_obstacles_stay_inside_the_arena(spec, seed):
+    arena = ArenaGenerator(spec, seed=seed).generate()
+    assert arena.size_m == spec.arena_size_m
+    assert len(arena.obstacles) <= spec.max_total_obstacles
+    for obstacle in arena.obstacles:
+        assert obstacle.radius > 0.0
+        assert obstacle.x - obstacle.radius >= 0.0
+        assert obstacle.x + obstacle.radius <= arena.size_m
+        assert obstacle.y - obstacle.radius >= 0.0
+        assert obstacle.y + obstacle.radius <= arena.size_m
+
+
+@settings(max_examples=120, deadline=None)
+@given(spec=_specs, seed=_seeds)
+def test_start_and_goal_clear_of_obstacles_and_walls(spec, seed):
+    arena = ArenaGenerator(spec, seed=seed).generate()
+    for x, y in (arena.start, arena.goal):
+        assert 0.0 < x < arena.size_m
+        assert 0.0 < y < arena.size_m
+        assert not arena.collides(x, y)
+        for obstacle in arena.obstacles:
+            clearance = (math.dist((x, y), (obstacle.x, obstacle.y))
+                         - obstacle.radius)
+            assert clearance > _BODY_MARGIN_M
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=_specs, seed=_seeds)
+def test_mission_is_non_trivial(spec, seed):
+    arena = ArenaGenerator(spec, seed=seed).generate()
+    separation = math.dist(arena.start, arena.goal)
+    assert separation >= spec.guardrails.min_start_goal_separation_m
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=_specs, seed=st.integers(min_value=0, max_value=10_000))
+def test_every_spec_supports_an_episode_start(spec, seed):
+    """reset() observes cleanly: rays normalised, no immediate done."""
+    env = NavigationEnv(spec, seed=seed)
+    obs = env.reset()
+    rays = obs[:-4]
+    assert rays.shape == (env.sensor.num_rays,)
+    assert (rays >= 0.0).all() and (rays <= 1.0).all()
+    step = env.step(0)
+    assert math.isfinite(step.reward)
+    assert step.observation.shape == obs.shape

@@ -1,0 +1,201 @@
+"""Self-validating scenario registry suite.
+
+The registry is declarative data, so the suite *is* its schema: every
+spec must carry a unique id, documentation, tags from the documented
+vocabulary, and parameters inside its own guardrail bounds.  A new
+scenario that violates any of these fails here before it can reach the
+bench harness.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+import pytest
+
+from repro.airlearning.arena import ArenaGenerator
+from repro.airlearning.scenarios import (
+    ARENA_KINDS,
+    MAX_SENSOR_NOISE,
+    MAX_WIND_MPS,
+    SCENARIO_REGISTRY,
+    SCENARIOS,
+    TAG_DOCS,
+    Scenario,
+    ScenarioSpec,
+    get_scenarios,
+    resolve_scenario,
+    scenario_ids,
+    scenario_spec,
+)
+from repro.errors import ConfigError
+from repro.uav.platforms import UavClass
+
+_ID_PATTERN = re.compile(r"^[a-z][a-z0-9]*(-[a-z0-9]+)*$")
+_CLASS_VALUES = {c.value for c in UavClass}
+
+
+class TestRegistryShape:
+    def test_at_least_twenty_scenarios(self):
+        assert len(SCENARIOS) >= 20
+
+    def test_ids_unique_and_kebab_case(self):
+        ids = [spec.id for spec in SCENARIOS]
+        assert len(ids) == len(set(ids))
+        assert list(SCENARIO_REGISTRY) == ids
+        for spec_id in ids:
+            assert _ID_PATTERN.match(spec_id), spec_id
+
+    def test_scenario_ids_matches_registry(self):
+        assert scenario_ids() == tuple(SCENARIO_REGISTRY)
+
+    @pytest.mark.parametrize("spec", SCENARIOS, ids=lambda s: s.id)
+    def test_description_non_empty(self, spec):
+        assert spec.description.strip()
+
+    @pytest.mark.parametrize("spec", SCENARIOS, ids=lambda s: s.id)
+    def test_tags_non_empty_and_documented(self, spec):
+        assert spec.tags, f"{spec.id} has no tags"
+        for tag in spec.tags:
+            assert tag in TAG_DOCS, (
+                f"{spec.id} uses undocumented tag {tag!r}; "
+                f"add it to TAG_DOCS")
+
+    def test_every_documented_tag_is_used(self):
+        used = {tag for spec in SCENARIOS for tag in spec.tags}
+        assert used == set(TAG_DOCS)
+
+    @pytest.mark.parametrize("spec", SCENARIOS, ids=lambda s: s.id)
+    def test_kind_and_platforms_valid(self, spec):
+        assert spec.kind in ARENA_KINDS
+        assert spec.platforms, f"{spec.id} targets no platform class"
+        assert set(spec.platforms) <= _CLASS_VALUES
+
+    def test_legacy_three_present_with_enum_handles(self):
+        for member in Scenario:
+            spec = SCENARIO_REGISTRY[member.value]
+            assert spec.scenario is member
+            assert "paper" in spec.tags
+        non_legacy = [s for s in SCENARIOS if s.scenario is None]
+        assert len(non_legacy) == len(SCENARIOS) - 3
+
+
+class TestGuardrails:
+    @pytest.mark.parametrize("spec", SCENARIOS, ids=lambda s: s.id)
+    def test_wind_within_bounds(self, spec):
+        assert 0.0 <= spec.wind_mps <= spec.guardrails.max_wind_mps
+        assert spec.guardrails.max_wind_mps <= MAX_WIND_MPS
+
+    @pytest.mark.parametrize("spec", SCENARIOS, ids=lambda s: s.id)
+    def test_noise_within_bounds(self, spec):
+        assert 0.0 <= spec.sensor_noise <= spec.guardrails.max_sensor_noise
+        assert spec.guardrails.max_sensor_noise <= MAX_SENSOR_NOISE
+
+    @pytest.mark.parametrize("spec", SCENARIOS, ids=lambda s: s.id)
+    def test_worst_case_obstacle_fill(self, spec):
+        lo, hi = spec.obstacle_radius_m
+        assert 0.0 < lo <= hi
+        worst = spec.max_total_obstacles * math.pi * hi * hi
+        fill = worst / (spec.arena_size_m ** 2)
+        assert fill <= spec.guardrails.max_obstacle_fill, (
+            f"{spec.id}: worst-case fill {fill:.3f} exceeds "
+            f"{spec.guardrails.max_obstacle_fill}")
+
+    @pytest.mark.parametrize("spec", SCENARIOS, ids=lambda s: s.id)
+    def test_arena_supports_minimum_mission_length(self, spec):
+        # The generator resamples goals below 0.3 x size (corridors
+        # place the endpoints even further apart), so the guardrail
+        # holds whenever the arena is large enough.
+        assert 0.3 * spec.arena_size_m >= (
+            spec.guardrails.min_start_goal_separation_m)
+
+    @pytest.mark.parametrize("spec", SCENARIOS, ids=lambda s: s.id)
+    def test_goal_reachable_in_generated_arenas(self, spec):
+        for seed in (0, 3):
+            arena = ArenaGenerator(spec, seed=seed).generate()
+            separation = math.dist(arena.start, arena.goal)
+            assert separation >= spec.guardrails.min_start_goal_separation_m
+            for obstacle in arena.obstacles:
+                for point in (arena.start, arena.goal):
+                    assert (math.dist(point, (obstacle.x, obstacle.y))
+                            > obstacle.radius)
+
+    @pytest.mark.parametrize("spec", SCENARIOS, ids=lambda s: s.id)
+    def test_variant_parameters_sane(self, spec):
+        assert spec.battery_factor > 0.0
+        assert spec.extra_payload_g >= 0.0
+
+
+class TestSmokeSubset:
+    def test_smoke_subset_small_and_non_empty(self):
+        smoke = get_scenarios(tags=["smoke"])
+        assert 0 < len(smoke) <= 5
+
+    def test_smoke_covers_legacy_and_new_families(self):
+        kinds = {spec.kind for spec in get_scenarios(tags=["smoke"])}
+        assert "uniform" in kinds
+        assert len(kinds) >= 3
+
+
+class TestFiltering:
+    def test_no_filters_returns_whole_registry(self):
+        assert get_scenarios() == SCENARIOS
+
+    def test_tag_filter_is_any_of(self):
+        windy_or_noisy = get_scenarios(tags=["windy", "noisy"])
+        assert all(
+            {"windy", "noisy"} & set(spec.tags) for spec in windy_or_noisy)
+        assert {"urban-night", "forest-foggy", "open-windy"} <= {
+            spec.id for spec in windy_or_noisy}
+
+    def test_id_glob_filter(self):
+        forest = get_scenarios(ids=["forest-*"])
+        assert forest
+        assert all(spec.id.startswith("forest-") for spec in forest)
+
+    def test_filters_compose_conjunctively(self):
+        selected = get_scenarios(tags=["windy"], ids=["urban-*"])
+        assert [spec.id for spec in selected] == ["urban-windy",
+                                                 "urban-night"]
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scenario tags"):
+            get_scenarios(tags=["smok"])
+
+    def test_unknown_exact_id_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scenario id"):
+            get_scenarios(ids=["urban-canyonn"])
+
+    def test_unmatched_glob_is_allowed(self):
+        assert get_scenarios(ids=["does-not-exist-*"]) == ()
+
+
+class TestHandles:
+    def test_legacy_ids_resolve_to_enum(self):
+        for member in Scenario:
+            assert resolve_scenario(member.value) is member
+            assert resolve_scenario(member) is member
+            assert resolve_scenario(SCENARIO_REGISTRY[member.value]) is member
+
+    def test_registry_ids_resolve_to_spec(self):
+        spec = resolve_scenario("urban-canyon")
+        assert isinstance(spec, ScenarioSpec)
+        assert spec.value == "urban-canyon"
+        assert resolve_scenario(spec) is spec
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            resolve_scenario("urbane-canyon")
+
+    def test_scenario_spec_accepts_all_handle_shapes(self):
+        assert scenario_spec(Scenario.DENSE).id == "dense"
+        assert scenario_spec("forest-dense").id == "forest-dense"
+        spec = SCENARIO_REGISTRY["open-field"]
+        assert scenario_spec(spec) is spec
+
+    def test_wind_vector_matches_heading(self):
+        spec = SCENARIO_REGISTRY["open-windy"]
+        wind_x, wind_y = spec.wind_vector
+        assert wind_x == pytest.approx(0.0, abs=1e-12)
+        assert wind_y == pytest.approx(spec.wind_mps)
