@@ -45,6 +45,7 @@ from repro.bench import (
 )
 from repro.core.checkpoint import RunManifest
 from repro.core.pipeline import AutoPilot
+from repro.core.workers import POOL_MODES
 from repro.core.report import render_report
 from repro.core.spec import TaskSpec
 from repro.errors import CheckpointError, ConfigError
@@ -95,6 +96,13 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
                              "the oracle kernels over a thread pool "
                              "(bit-identical); numba/jax need the 'accel' "
                              "extra and are validated to tolerance tiers")
+    parser.add_argument("--pool", choices=POOL_MODES, default=None,
+                        help="worker-pool mode (default: REPRO_POOL or "
+                             "cold). cold spawns a fresh process pool per "
+                             "batch (the oracle); warm keeps one persistent "
+                             "pool for the whole run and ships design "
+                             "batches through shared memory (bit-identical, "
+                             "much lower dispatch overhead)")
 
 
 def _add_phase1(parser: argparse.ArgumentParser) -> None:
@@ -159,7 +167,8 @@ def _autopilot(args: argparse.Namespace) -> AutoPilot:
                      optimizer_kwargs=optimizer_kwargs or None,
                      fidelity=getattr(args, "fidelity", "off"),
                      promotion_eta=getattr(args, "promotion_eta", 0.5),
-                     array_backend=getattr(args, "backend", None))
+                     array_backend=getattr(args, "backend", None),
+                     pool=getattr(args, "pool", None))
 
 
 def _restore_from_manifest(args: argparse.Namespace,
@@ -172,6 +181,7 @@ def _restore_from_manifest(args: argparse.Namespace,
     args.fidelity = manifest.fidelity
     args.promotion_eta = manifest.promotion_eta
     args.backend = manifest.array_backend
+    args.pool = manifest.pool
     if manifest.trainer:
         args.cem_population = manifest.trainer["population_size"]
         args.cem_iterations = manifest.trainer["iterations"]
@@ -235,6 +245,12 @@ def _restore_bench_args(args: argparse.Namespace,
     args.fidelity = manifest.fidelity
     args.promotion_eta = manifest.promotion_eta
     args.backend = manifest.array_backend
+    args.pool = manifest.pool
+    # A scheduling knob, not part of the sweep identity: restored for
+    # convenience but overridable (resume on a different machine may
+    # legitimately pick a different width).
+    if getattr(args, "bench_parallel", None) is None:
+        args.bench_parallel = manifest.bench_parallel
     if manifest.trainer:
         args.cem_population = manifest.trainer["population_size"]
         args.cem_iterations = manifest.trainer["iterations"]
@@ -264,7 +280,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     runner = BenchRunner(autopilot, budget=args.budget,
                          sensor_fps=args.sensor_fps,
                          checkpoint_dir=checkpoint_dir, resume=resume,
-                         profile=args.profile)
+                         profile=args.profile,
+                         cell_parallel=getattr(args, "bench_parallel", None))
     try:
         result = runner.run(suite)
     except CheckpointError as exc:
@@ -419,6 +436,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--workers", type=int, default=None,
                        help="processes for batched design evaluation "
                             "and Phase 1 training")
+    bench.add_argument("--bench-parallel", type=int, default=None,
+                       metavar="N",
+                       help="independent bench cells run concurrently "
+                            "(default: REPRO_BENCH_PARALLEL or 1); cells "
+                            "share one evaluation cache and one warm pool, "
+                            "and the report is byte-identical to the "
+                            "sequential sweep")
     bench_ckpt = bench.add_mutually_exclusive_group()
     bench_ckpt.add_argument(
         "--checkpoint-dir", metavar="DIR", default=None,

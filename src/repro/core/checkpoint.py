@@ -157,6 +157,14 @@ class RunManifest:
     #: oracle so manifests written before this field existed load
     #: unchanged.
     array_backend: str = "numpy"
+    #: Worker-pool mode (``"cold"``/``"warm"``) the run executes under.
+    #: Recorded (and restored by ``--resume``) for provenance, and
+    #: verified like ``array_backend``: warm runs are required to be
+    #: bit-identical to cold, but recording the mode keeps any future
+    #: divergence diagnosable from the manifest alone.  Defaults to the
+    #: oracle so manifests written before this field existed load
+    #: unchanged.
+    pool: str = "cold"
     status: Dict[str, str] = field(default_factory=lambda: {
         "phase1": "pending", "phase2": "pending", "phase3": "pending"})
     #: Completed Phase 2 evaluations at the last manifest write.

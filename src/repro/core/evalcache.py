@@ -31,10 +31,16 @@ import os
 import pickle
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import (Any, Callable, Dict, Hashable, Iterable, List, Optional,
-                    Tuple)
+from typing import (Any, Callable, Dict, Hashable, Iterable, Iterator, List,
+                    Optional, Tuple)
+
+try:  # pragma: no cover - always present on the supported platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from repro.errors import ConfigError
 
@@ -47,6 +53,16 @@ CACHE_SCHEMA_VERSION = 1
 #: touches a few thousand; 16K entries of small frozen dataclasses is a
 #: few tens of MB at most.
 DEFAULT_CAPACITY = 16384
+
+#: Hex-digest prefix length used for disk-store shard subdirectories.
+#: Two characters give 256 shards -- at the millions-of-entries scale a
+#: cross-run store reaches, that keeps per-directory entry counts in
+#: the low thousands and lets concurrent writers lock per shard instead
+#: of per store.
+SHARD_WIDTH = 2
+
+#: Number of shard subdirectories (``16 ** SHARD_WIDTH``).
+NUM_SHARDS = 16 ** SHARD_WIDTH
 
 
 class _MissType:
@@ -169,6 +185,12 @@ class CacheStats:
     disk_hits: int = 0
     #: Corrupt on-disk entries quarantined (renamed aside) during loads.
     corrupt: int = 0
+    #: Entries published (admitted) to the disk store.
+    disk_writes: int = 0
+    #: Disk entries removed to respect ``disk_capacity``.
+    disk_evictions: int = 0
+    #: Legacy flat-layout disk entries lazily moved into their shard.
+    migrated: int = 0
 
     @property
     def lookups(self) -> int:
@@ -184,17 +206,37 @@ class CacheStats:
 
     def snapshot(self) -> "CacheStats":
         """A copy, for delta accounting across a profiling window."""
-        return CacheStats(hits=self.hits, misses=self.misses,
-                          evictions=self.evictions, disk_hits=self.disk_hits,
-                          corrupt=self.corrupt)
+        return CacheStats(**vars(self))
 
     def since(self, baseline: "CacheStats") -> "CacheStats":
         """Counter deltas relative to an earlier :meth:`snapshot`."""
-        return CacheStats(hits=self.hits - baseline.hits,
-                          misses=self.misses - baseline.misses,
-                          evictions=self.evictions - baseline.evictions,
-                          disk_hits=self.disk_hits - baseline.disk_hits,
-                          corrupt=self.corrupt - baseline.corrupt)
+        return CacheStats(**{name: value - getattr(baseline, name)
+                             for name, value in vars(self).items()})
+
+    def merge(self, delta: "CacheStats") -> None:
+        """Accumulate another stats record into this one."""
+        for name, value in vars(delta).items():
+            setattr(self, name, getattr(self, name) + value)
+
+
+@dataclass(frozen=True)
+class DiskOccupancy:
+    """One scan of a persistent store's on-disk footprint."""
+
+    entries: int
+    total_bytes: int
+    shards: int
+    #: Entries still in the pre-shard flat layout (readable, migrated
+    #: lazily on first touch).
+    legacy_entries: int
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        text = (f"{self.entries} entries in {self.shards} shards "
+                f"({self.total_bytes / 1e6:.1f} MB)")
+        if self.legacy_entries:
+            text += f", {self.legacy_entries} awaiting shard migration"
+        return text
 
 
 class EvalCache:
@@ -204,16 +246,39 @@ class EvalCache:
     values are immutable result records (e.g.
     :class:`~repro.scalesim.report.RunReport`).  When ``persist_dir``
     is set, entries are additionally pickled to
-    ``<persist_dir>/<sha256(key)>.pkl`` and survive process restarts --
-    a miss first consults the disk store before recomputing.
+    ``<persist_dir>/<digest[:2]>/<sha256(key)>.pkl`` and survive
+    process restarts -- a miss first consults the disk store before
+    recomputing.
+
+    The disk store is safe for concurrent multi-process use: entries
+    publish atomically (write-temp + ``os.replace``), cross-file
+    operations (legacy migration, capacity eviction) serialise on a
+    per-shard ``flock`` so writers of different shards never contend,
+    and readers never block -- a torn or corrupt entry is impossible to
+    observe by construction, and anything unreadable is quarantined as
+    a miss.  Entries written by the pre-shard flat layout are still
+    readable and are migrated into their shard on first touch.
+
+    Args:
+        capacity: In-memory LRU entry bound.
+        persist_dir: Directory of the on-disk store (``None`` disables
+            persistence).
+        disk_capacity: Optional bound on persisted entries.  Enforced
+            per shard (``disk_capacity / NUM_SHARDS``, at least 1) by
+            evicting the oldest entries after a publish overflows the
+            shard, so concurrent writers only ever scan one shard.
     """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY,
-                 persist_dir: Optional[os.PathLike] = None):
+                 persist_dir: Optional[os.PathLike] = None,
+                 disk_capacity: Optional[int] = None):
         if capacity <= 0:
             raise ConfigError("cache capacity must be positive")
+        if disk_capacity is not None and disk_capacity <= 0:
+            raise ConfigError("disk capacity must be positive")
         self.capacity = capacity
         self.persist_dir = Path(persist_dir) if persist_dir else None
+        self.disk_capacity = disk_capacity
         self.stats = CacheStats()
         self._entries: "OrderedDict[Tuple[Hashable, ...], Any]" = OrderedDict()
         self._lock = threading.Lock()
@@ -344,12 +409,47 @@ class EvalCache:
     def _disk_path(self, key: Tuple[Hashable, ...]) -> Optional[Path]:
         if self.persist_dir is None:
             return None
+        digest = key_digest(key)
+        return self.persist_dir / digest[:SHARD_WIDTH] / f"{digest}.pkl"
+
+    def _legacy_disk_path(self, key: Tuple[Hashable, ...]) -> Optional[Path]:
+        """Where the pre-shard flat layout stored ``key``."""
+        if self.persist_dir is None:
+            return None
         return self.persist_dir / f"{key_digest(key)}.pkl"
+
+    @contextmanager
+    def _shard_lock(self, shard_dir: Path) -> Iterator[None]:
+        """Exclusive advisory lock on one shard directory.
+
+        Serialises the cross-file operations of one shard (legacy
+        migration, capacity eviction) across processes; plain reads and
+        the atomic temp+rename publish never take it.  Degrades to a
+        no-op where ``fcntl`` is unavailable -- single-process use
+        stays correct, only cross-process eviction races widen.
+        """
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        with (shard_dir / ".lock").open("w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
 
     def _load_from_disk(self, key: Tuple[Hashable, ...]) -> Any:
         path = self._disk_path(key)
-        if path is None or not path.exists():
+        if path is None:
             return _MISS
+        if not path.exists():
+            legacy = self._legacy_disk_path(key)
+            if legacy is None or not legacy.exists():
+                return _MISS
+            self._migrate_legacy(legacy, path)
+            if not path.exists():  # racing migration lost the entry
+                return _MISS
         try:
             with path.open("rb") as handle:
                 return pickle.load(handle)
@@ -360,6 +460,23 @@ class EvalCache:
             # on every subsequent load, and the event is surfaced.
             self._quarantine(path, exc)
             return _MISS
+
+    def _migrate_legacy(self, legacy: Path, path: Path) -> None:
+        """Move one flat-layout entry into its shard, tolerating races.
+
+        ``os.replace`` is atomic, so a reader concurrent with the move
+        sees the entry at exactly one of the two paths; the shard lock
+        keeps two migrating processes from both counting the move.
+        """
+        with self._shard_lock(path.parent):
+            if path.exists():
+                return  # another process migrated it first
+            try:
+                os.replace(legacy, path)
+            except OSError:
+                return  # lost a race (or legacy vanished) -- re-probe
+            with self._lock:
+                self.stats.migrated += 1
 
     def _quarantine(self, path: Path, exc: Exception) -> None:
         """Move a corrupt persisted entry aside and count the event."""
@@ -379,9 +496,12 @@ class EvalCache:
         path = self._disk_path(key)
         if path is None:
             return
+        path.parent.mkdir(parents=True, exist_ok=True)
         # Write-temp-then-replace keeps loads from ever observing a
         # partially written entry; the pid suffix keeps concurrent
         # writers of the same key from clobbering each other's temp.
+        # The temp lives inside the shard so the rename never crosses
+        # a directory (atomicity holds even on multi-device stores).
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         try:
             with tmp.open("wb") as handle:
@@ -389,6 +509,86 @@ class EvalCache:
             os.replace(tmp, path)
         except OSError:
             tmp.unlink(missing_ok=True)
+            return
+        with self._lock:
+            self.stats.disk_writes += 1
+        if self.disk_capacity is not None:
+            self._evict_shard_overflow(path.parent, keep=path.name)
+
+    def _evict_shard_overflow(self, shard_dir: Path, keep: str) -> None:
+        """Trim one shard to its share of ``disk_capacity``.
+
+        The per-shard budget is ``ceil(disk_capacity / NUM_SHARDS)`` so
+        a writer only ever scans the shard it just published to.
+        Eviction is oldest-mtime-first under the shard lock; the entry
+        just published (``keep``) survives even when its mtime ties the
+        oldest, so a fresh write is never self-evicted.
+        """
+        budget = max(1, -(-self.disk_capacity // NUM_SHARDS))
+        with self._shard_lock(shard_dir):
+            try:
+                entries = [p for p in shard_dir.iterdir()
+                           if p.suffix == ".pkl"]
+            except OSError:
+                return
+            overflow = len(entries) - budget
+            if overflow <= 0:
+                return
+            def age(p: Path) -> Tuple[int, float]:
+                try:
+                    return (1 if p.name == keep else 0, p.stat().st_mtime)
+                except OSError:
+                    return (1, float("inf"))  # vanished: treat as newest
+            evicted = 0
+            for victim in sorted(entries, key=age)[:overflow]:
+                try:
+                    victim.unlink()
+                except FileNotFoundError:
+                    continue
+                except OSError:
+                    continue
+                evicted += 1
+            if evicted:
+                with self._lock:
+                    self.stats.disk_evictions += evicted
+
+    def disk_occupancy(self) -> Optional[DiskOccupancy]:
+        """Scan the persistent store's footprint (``None`` if disabled).
+
+        A point-in-time snapshot: concurrent writers may add or evict
+        entries mid-scan, which only skews the counts, never errors.
+        """
+        if self.persist_dir is None:
+            return None
+        entries = total_bytes = shards = legacy = 0
+        try:
+            children = list(self.persist_dir.iterdir())
+        except OSError:
+            children = []
+        for child in children:
+            if child.is_dir() and len(child.name) == SHARD_WIDTH:
+                shards += 1
+                try:
+                    grandchildren = list(child.iterdir())
+                except OSError:
+                    continue
+                for entry in grandchildren:
+                    if entry.suffix != ".pkl":
+                        continue
+                    entries += 1
+                    try:
+                        total_bytes += entry.stat().st_size
+                    except OSError:
+                        pass
+            elif child.suffix == ".pkl":
+                legacy += 1
+                entries += 1
+                try:
+                    total_bytes += child.stat().st_size
+                except OSError:
+                    pass
+        return DiskOccupancy(entries=entries, total_bytes=total_bytes,
+                             shards=shards, legacy_entries=legacy)
 
 
 # ----------------------------------------------------------------------
@@ -409,12 +609,14 @@ def shared_report_cache() -> EvalCache:
 
 
 def configure_shared_cache(capacity: int = DEFAULT_CAPACITY,
-                           persist_dir: Optional[os.PathLike] = None
+                           persist_dir: Optional[os.PathLike] = None,
+                           disk_capacity: Optional[int] = None
                            ) -> EvalCache:
     """Replace the shared cache (new capacity and/or persistence dir)."""
     global _shared_cache
     with _shared_lock:
-        _shared_cache = EvalCache(capacity=capacity, persist_dir=persist_dir)
+        _shared_cache = EvalCache(capacity=capacity, persist_dir=persist_dir,
+                                  disk_capacity=disk_capacity)
         return _shared_cache
 
 

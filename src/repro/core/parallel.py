@@ -56,6 +56,8 @@ from typing import (Callable, Iterable, List, Optional, Sequence, Tuple,
 
 from repro.backend.autotune import autotuner
 from repro.core.evalcache import design_key, shared_report_cache
+from repro.core.workers import (ShmView, attach_view, publish_array,
+                                resolve_pool_mode, unpublish, warm_pool)
 from repro.errors import ConfigError
 from repro.nn.workload import lower_network
 from repro.soc.dssoc import DssocDesign, DssocEvaluation, DssocEvaluator
@@ -140,6 +142,12 @@ class PoolStats:
     poisoned_chunks: int = 0     # chunks that exhausted the retry budget
     serial_fallback_chunks: int = 0  # chunks executed serially in the parent
     unpicklable_chunks: int = 0  # chunks whose payload could not be pickled
+    cold_dispatches: int = 0     # chunks submitted to per-call (cold) pools
+    warm_dispatches: int = 0     # chunks submitted to the persistent pool
+    warm_pool_spawns: int = 0    # warm-pool executor (re)spawns
+    warm_pool_reuses: int = 0    # warm parallel_map calls served by reuse
+    shm_batches: int = 0         # batches shipped via shared memory
+    shm_bytes: int = 0           # payload bytes moved through shared memory
 
     @property
     def total_faults(self) -> int:
@@ -212,13 +220,34 @@ def _run_chunk(fn: Callable[[T], R], chunk: _Chunk) -> Tuple[int, List[R]]:
 #: Exception shapes meaning "this payload cannot be pickled" -- a
 #: deterministic condition that retrying cannot fix.  AttributeError and
 #: TypeError cover CPython's reducer errors for local/unbound callables.
+#: These shapes are ambiguous -- a worker task can genuinely *raise*
+#: TypeError/AttributeError -- so the handler additionally probe-pickles
+#: the payload (:func:`_payload_pickles`) before classifying.
 _UNPICKLABLE_ERRORS = (pickle.PicklingError, AttributeError, TypeError)
+
+
+def _payload_pickles(fn: Callable, chunk: _Chunk) -> bool:
+    """Whether the chunk payload itself serialises.
+
+    Distinguishes a reducer failure (the payload really is unpicklable;
+    retrying cannot help) from a ``TypeError``/``AttributeError`` raised
+    *inside* the worker task, which must flow through the normal
+    retry -> poison -> serial path so the true error surfaces.  The
+    probe re-drives the ``chunk-pickle`` fault site, so an injected
+    pickling fault still classifies as unpicklable.
+    """
+    try:
+        pickle.dumps((fn, chunk), protocol=pickle.HIGHEST_PROTOCOL)
+    except _UNPICKLABLE_ERRORS:
+        return False
+    return True
 
 
 def parallel_map(fn: Callable[[T], R], items: Sequence[T],
                  workers: int = 1,
                  chunksize: int = DEFAULT_CHUNKSIZE,
-                 retry: RetryPolicy = DEFAULT_RETRY) -> List[R]:
+                 retry: RetryPolicy = DEFAULT_RETRY,
+                 pool: str = "cold") -> List[R]:
     """Map ``fn`` over ``items`` with deterministic (input) ordering.
 
     Runs serially when ``workers <= 1`` or the batch is trivially
@@ -229,6 +258,12 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
     at all -- fall back to serial execution in the parent.  The result
     list is always ordered like ``items``; a persistent application
     error is re-raised from the serial fallback.
+
+    ``pool`` selects the executor: ``"cold"`` (the oracle) spawns a
+    fresh process pool for this call; ``"warm"`` borrows the shared
+    persistent executor from :mod:`repro.core.workers`, amortising the
+    spawn cost across calls.  Results are bit-identical either way --
+    the retry/poison/serial machinery is shared.
     """
     items = list(items)
     if workers <= 1 or len(items) <= 1:
@@ -243,10 +278,20 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
     for chunk in chunks:
         chunk.injector = injector
 
+    warm = resolve_pool_mode(pool) == "warm"
     results: List[Optional[List[R]]] = [None] * len(chunks)
     pending: List[_Chunk] = list(chunks)
     serial: List[_Chunk] = []
-    pool = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
+    if warm:
+        lease = warm_pool().acquire(workers)
+        executor, generation = lease.executor, lease.generation
+        if lease.spawned:
+            _pool_stats.warm_pool_spawns += 1
+        else:
+            _pool_stats.warm_pool_reuses += 1
+    else:
+        generation = 0
+        executor = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
     try:
         while pending:
             round_chunks, pending = pending, []
@@ -254,8 +299,12 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
             pool_broken = False
             for chunk in round_chunks:
                 try:
-                    futures.append((pool.submit(_run_chunk, fn, chunk),
+                    futures.append((executor.submit(_run_chunk, fn, chunk),
                                     chunk))
+                    if warm:
+                        _pool_stats.warm_dispatches += 1
+                    else:
+                        _pool_stats.cold_dispatches += 1
                 except BrokenProcessPool:
                     pool_broken = True
                     _chunk_failed(chunk, retry, pending, serial)
@@ -264,6 +313,16 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
                     chunk_index, values = future.result()
                     results[chunk_index] = values
                 except _UNPICKLABLE_ERRORS as exc:
+                    if _payload_pickles(fn, chunk):
+                        # The payload serialises, so the error was
+                        # raised by the task itself: retry/poison like
+                        # any other worker exception.
+                        logger.warning(
+                            "chunk %d raised %s on attempt %d: %s",
+                            chunk.index, type(exc).__name__,
+                            chunk.attempt, exc)
+                        _chunk_failed(chunk, retry, pending, serial)
+                        continue
                     _pool_stats.unpicklable_chunks += 1
                     logger.warning(
                         "chunk %d payload is unpicklable (%s: %s); "
@@ -286,16 +345,23 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
             if pool_broken:
                 _pool_stats.pool_respawns += 1
                 logger.warning("re-spawning the process pool")
-                pool.shutdown(wait=False, cancel_futures=True)
-                pool = ProcessPoolExecutor(
-                    max_workers=min(workers, len(chunks)))
+                if warm:
+                    lease = warm_pool().refresh(generation)
+                    executor, generation = lease.executor, lease.generation
+                    if lease.spawned:
+                        _pool_stats.warm_pool_spawns += 1
+                else:
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = ProcessPoolExecutor(
+                        max_workers=min(workers, len(chunks)))
             if pending:
                 delay = max(retry.delay_s(chunk.attempt)
                             for chunk in pending)
                 if delay > 0:
                     time.sleep(delay)
     finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+        if not warm:
+            executor.shutdown(wait=False, cancel_futures=True)
 
     for chunk in serial:
         # The serial fallback runs in the parent without fault
@@ -335,6 +401,39 @@ def _simulate_design(design: DssocDesign
     return key, report
 
 
+#: Per-process cache of lowered workloads keyed by policy hyperparams.
+#: Long-lived warm workers re-lower each template policy once instead of
+#: once per design; lowering is deterministic, so the cached workload is
+#: identical to a fresh one and results stay bit-identical to
+#: :func:`_simulate_design`.  The template space is tiny (tens of
+#: points), so the cache is unbounded.
+_workload_by_policy: dict = {}
+
+
+def _simulate_shm_row(view: ShmView, row_index: int
+                      ) -> Tuple[Tuple[object, ...], object]:
+    """Pool worker: simulate one packed design-matrix row.
+
+    The batch payload arrives through the shared-memory segment named
+    by ``view`` (attached once per worker per batch); only ``row_index``
+    travelled through the pickle channel.  Produces exactly the
+    ``(key, report)`` pair :func:`_simulate_design` would for the same
+    design.
+    """
+    from repro.nn.template import build_policy_network
+    from repro.scalesim.simulator import SystolicArraySimulator
+    from repro.soc.batch import design_from_row
+
+    design = design_from_row(attach_view(view)[row_index])
+    workload = _workload_by_policy.get(design.policy)
+    if workload is None:
+        workload = lower_network(build_policy_network(design.policy))
+        _workload_by_policy[design.policy] = workload
+    key = design_key(workload, design.accelerator)
+    report = SystolicArraySimulator(design.accelerator).run(workload)
+    return key, report
+
+
 class BatchDssocEvaluator:
     """Cache-aware, optionally process-parallel DSSoC batch evaluator.
 
@@ -344,15 +443,22 @@ class BatchDssocEvaluator:
         chunksize: Designs per pickled work unit.
         operating_fps: Forwarded to :class:`DssocEvaluator`.
         retry: Retry schedule for failed pool chunks.
+        pool: Executor mode; ``None`` consults ``REPRO_POOL`` and
+            defaults to ``"cold"`` (fresh pool per batch, the oracle).
+            ``"warm"`` reuses the persistent executor and ships the
+            batch payload through shared memory -- bit-identical, just
+            cheaper to dispatch.
     """
 
     def __init__(self, workers: Optional[int] = None,
                  chunksize: int = DEFAULT_CHUNKSIZE,
                  operating_fps: Optional[float] = None,
-                 retry: RetryPolicy = DEFAULT_RETRY):
+                 retry: RetryPolicy = DEFAULT_RETRY,
+                 pool: Optional[str] = None):
         self.workers = resolve_workers(workers)
         self.chunksize = chunksize
         self.retry = retry
+        self.pool = resolve_pool_mode(pool)
         self._evaluator = DssocEvaluator(operating_fps=operating_fps)
 
     @property
@@ -383,9 +489,8 @@ class BatchDssocEvaluator:
                 chunksize = self.pool_chunksize(len(missing))
                 cache = shared_report_cache()
                 start = time.perf_counter()
-                for key, report in parallel_map(
-                        _simulate_design, missing, workers=self.workers,
-                        chunksize=chunksize, retry=self.retry):
+                for key, report in self._simulate_missing(missing,
+                                                          chunksize):
                     cache.put(key, report)
                 autotuner().observe("pool", "simulate", chunksize,
                                     len(missing),
@@ -393,6 +498,38 @@ class BatchDssocEvaluator:
         if len(designs) <= 1:
             return [self._evaluator.evaluate(design) for design in designs]
         return self._evaluator.evaluate_batch(designs)
+
+    def _simulate_missing(self, missing: List[DssocDesign],
+                          chunksize: int
+                          ) -> List[Tuple[Tuple[object, ...], object]]:
+        """Fan the uncached designs out over the configured pool.
+
+        Cold mode pickles the design objects per chunk (the oracle
+        path).  Warm mode packs the batch into one design matrix,
+        publishes it through shared memory and dispatches bare row
+        indices to the persistent executor; the simulation performed
+        per design is identical, so the returned ``(key, report)``
+        pairs are bit-identical to the cold path.
+        """
+        if self.pool != "warm":
+            return parallel_map(_simulate_design, missing,
+                                workers=self.workers, chunksize=chunksize,
+                                retry=self.retry)
+        from functools import partial
+
+        from repro.soc.batch import pack_design_matrix
+
+        matrix = pack_design_matrix(missing)
+        view, segment = publish_array(matrix)
+        _pool_stats.shm_batches += 1
+        _pool_stats.shm_bytes += matrix.nbytes
+        try:
+            return parallel_map(partial(_simulate_shm_row, view),
+                                list(range(len(missing))),
+                                workers=self.workers, chunksize=chunksize,
+                                retry=self.retry, pool="warm")
+        finally:
+            unpublish(segment)
 
     def pool_chunksize(self, missing_count: int) -> int:
         """Designs per pool chunk for a batch of ``missing_count`` misses.

@@ -25,6 +25,7 @@ from repro.airlearning.trainer import CemTrainer
 from repro.backend import get_backend, resolve_backend_name, use_backend
 from repro.backend.autotune import autotuner
 from repro.core.checkpoint import RunCheckpoint, RunManifest
+from repro.core.workers import resolve_pool_mode
 from repro.core.phase1 import FrontEnd, Phase1Result
 from repro.core.phase2 import MultiObjectiveDse, Phase2Result
 from repro.core.phase3 import BackEnd, Phase3Result, RankedDesign
@@ -72,7 +73,8 @@ class AutoPilot:
                  trainer: Optional[CemTrainer] = None,
                  fidelity: str = "off",
                  promotion_eta: float = 0.5,
-                 array_backend: Optional[str] = None):
+                 array_backend: Optional[str] = None,
+                 pool: Optional[str] = None):
         self.seed = seed
         self.fidelity = fidelity
         self.promotion_eta = promotion_eta
@@ -80,8 +82,13 @@ class AutoPilot:
         # on an unknown/unavailable name rather than mid-run.
         self.array_backend = resolve_backend_name(array_backend)
         get_backend(self.array_backend)
+        # Same convention for the pool mode (explicit > REPRO_POOL >
+        # cold); warm runs reuse one process-wide executor and ship
+        # design batches through shared memory.
+        self.pool = resolve_pool_mode(pool)
         self.frontend = FrontEnd(backend=frontend_backend, seed=seed,
-                                 trainer=trainer, workers=workers)
+                                 trainer=trainer, workers=workers,
+                                 pool=self.pool)
         self.optimizer_cls = optimizer_cls
         self.optimizer_kwargs = optimizer_kwargs
         self.backend = BackEnd(enable_finetuning=enable_finetuning,
@@ -153,7 +160,8 @@ class AutoPilot:
                     optimizer_kwargs=self.optimizer_kwargs,
                     workers=self.workers,
                     fidelity=self.fidelity,
-                    promotion_eta=self.promotion_eta)
+                    promotion_eta=self.promotion_eta,
+                    pool=self.pool)
                 journal = (checkpoint.phase2_journal()
                            if checkpoint is not None else None)
                 promotion_journal = (checkpoint.phase2_promotions_journal()
@@ -214,7 +222,8 @@ class AutoPilot:
                                "proposal_batch", 1),
                            fidelity=self.fidelity,
                            promotion_eta=self.promotion_eta,
-                           array_backend=self.array_backend)
+                           array_backend=self.array_backend,
+                           pool=self.pool)
 
     @staticmethod
     def _verify_manifest(previous: RunManifest, current: RunManifest,
@@ -224,7 +233,7 @@ class AutoPilot:
             name for name in ("uav", "scenario", "seed", "budget",
                               "sensor_fps", "frontend_backend", "trainer",
                               "proposal_batch", "fidelity", "promotion_eta",
-                              "array_backend")
+                              "array_backend", "pool")
             if getattr(previous, name) != getattr(current, name)]
         if mismatched:
             details = ", ".join(

@@ -1,0 +1,255 @@
+"""The persistent (warm) worker-pool runtime and shared-memory transport.
+
+:func:`repro.core.parallel.parallel_map` historically spawned a fresh
+``ProcessPoolExecutor`` per call ("cold" mode): correct, but the fork +
+teardown cost dominates small and mid-sized batches -- exactly the
+q-point proposal groups a mid-run Bayesian optimiser emits.  This
+module adds the two runtime primitives that amortise that overhead:
+
+* :class:`WarmPool` -- one process-wide executor, spawned on first use
+  and reused across every ``parallel_map``/``evaluate_batch`` call (and
+  across concurrently running bench cells, which share it through a
+  lock + generation counter).  A broken pool is respawned exactly once
+  per generation no matter how many concurrent callers observe the
+  break, so the retry machinery in :mod:`repro.core.parallel` keeps its
+  cold-mode semantics unchanged.
+* :class:`ShmView` / :func:`publish_array` / :func:`attach_view` --
+  zero-copy transport for large SoA batch payloads through
+  ``multiprocessing.shared_memory``: the parent publishes one ``(B, F)``
+  array per batch, workers attach by name and read rows in place, and
+  only row indices travel through the pickle channel.
+
+Mode selection follows the package convention (explicit argument >
+``REPRO_POOL`` environment variable > default ``"cold"``).  The cold
+path remains the oracle: warm-pool runs are required -- and tested --
+to be bit-identical to cold and serial runs.
+
+This module deliberately does not import :mod:`repro.core.parallel`
+(which imports it), and keeps no per-call state: all fault
+classification, retry bookkeeping and stats accounting stay in the
+caller.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Environment variable selecting the process-pool mode.
+POOL_ENV = "REPRO_POOL"
+
+#: Supported pool modes.  ``cold`` spawns a fresh executor per call
+#: (the oracle); ``warm`` reuses the process-wide persistent executor.
+POOL_MODES = ("cold", "warm")
+
+
+def resolve_pool_mode(pool: Optional[str] = None) -> str:
+    """Resolve a pool mode: explicit arg > ``REPRO_POOL`` env > cold."""
+    if pool is None:
+        pool = os.environ.get(POOL_ENV, "").strip() or "cold"
+    if pool not in POOL_MODES:
+        raise ConfigError(
+            f"pool mode must be one of {POOL_MODES}, got {pool!r}")
+    return pool
+
+
+@dataclass(frozen=True)
+class PoolLease:
+    """One acquisition of the warm executor.
+
+    ``generation`` identifies the executor instance: a caller that
+    observes a broken pool hands its generation back to
+    :meth:`WarmPool.refresh`, which respawns at most once per
+    generation even under concurrent callers.  ``spawned`` tells the
+    caller whether this acquisition created the executor (for stats).
+    """
+
+    executor: ProcessPoolExecutor
+    generation: int
+    spawned: bool
+
+
+class WarmPool:
+    """The process-wide persistent executor behind ``--pool warm``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._workers = 0
+        self._generation = 0
+
+    @property
+    def workers(self) -> int:
+        """Current executor size (0 when not spawned)."""
+        return self._workers
+
+    def acquire(self, workers: int) -> PoolLease:
+        """The shared executor, (re)spawned to hold >= ``workers``.
+
+        The executor only ever grows: concurrent callers with different
+        worker counts share the larger pool rather than thrashing it.
+        """
+        if workers < 1:
+            raise ConfigError("workers must be positive")
+        with self._lock:
+            spawned = False
+            if self._executor is None or self._workers < workers:
+                self._respawn_locked(max(workers, self._workers))
+                spawned = True
+            return PoolLease(self._executor, self._generation, spawned)
+
+    def refresh(self, generation: int) -> PoolLease:
+        """Replace a broken executor; idempotent per generation.
+
+        Every concurrent caller that observed the break calls this with
+        the generation it was leased; only the first triggers the
+        respawn, the rest are handed the already-fresh executor.
+        """
+        with self._lock:
+            spawned = False
+            if self._executor is None or generation == self._generation:
+                self._respawn_locked(max(self._workers, 1))
+                spawned = True
+            return PoolLease(self._executor, self._generation, spawned)
+
+    def shutdown(self) -> None:
+        """Tear the executor down (tests, interpreter exit)."""
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+                self._workers = 0
+                self._generation += 1
+
+    def _respawn_locked(self, workers: int) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        # Start the resource tracker BEFORE forking the workers: a
+        # child forked first would spawn its own tracker on its first
+        # shared-memory attach, and that private tracker would complain
+        # about (and try to re-unlink) segments the parent already
+        # released.  Forked after, children share the parent's tracker,
+        # where the duplicate attach registration is a set no-op.
+        try:
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker internals
+            pass
+        self._executor = ProcessPoolExecutor(max_workers=workers)
+        self._workers = workers
+        self._generation += 1
+
+
+_warm_pool = WarmPool()
+
+
+def warm_pool() -> WarmPool:
+    """The process-wide warm pool."""
+    return _warm_pool
+
+
+def shutdown_warm_pool() -> None:
+    """Shut the process-wide warm pool down (tests, atexit)."""
+    _warm_pool.shutdown()
+
+
+atexit.register(shutdown_warm_pool)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory batch transport.
+#
+# The parent publishes one array per batch; workers attach by segment
+# name and read rows in place.  Chunks then carry only row indices, so
+# the pickle channel moves O(chunks) bytes instead of O(batch).
+
+
+@dataclass(frozen=True)
+class ShmView:
+    """A picklable descriptor of one published shared-memory array."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+def publish_array(array: np.ndarray
+                  ) -> Tuple[ShmView, shared_memory.SharedMemory]:
+    """Copy ``array`` into a fresh shared-memory segment.
+
+    Returns the worker-side descriptor plus the owning segment handle;
+    the caller must ``close()`` and ``unlink()`` the handle when the
+    batch is done (workers attached to the old name drop it lazily on
+    their next attach).
+    """
+    array = np.ascontiguousarray(array)
+    segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+    view[...] = array
+    return ShmView(segment.name, tuple(array.shape), str(array.dtype)), segment
+
+
+def unpublish(segment: shared_memory.SharedMemory) -> None:
+    """Release one published segment (close + unlink, best-effort)."""
+    try:
+        segment.close()
+    finally:
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+#: Attached segments of *this* process, keyed by segment name.  A
+#: long-lived warm worker attaches each published batch once and serves
+#: every row of every chunk from the same mapping; stale segments
+#: (earlier batches, already unlinked by the parent) are dropped when a
+#: new name arrives.
+_attached: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+def attach_view(view: ShmView) -> np.ndarray:
+    """The published array behind ``view``, mapped read-only in place.
+
+    Safe in both pool workers and the parent (the serial-fallback path
+    attaches a second handle to its own segment).  The mapping is
+    cached per segment name for the life of the process/worker.
+    """
+    cached = _attached.get(view.name)
+    if cached is not None:
+        return cached[1]
+    for name, (stale, _) in list(_attached.items()):
+        stale.close()
+        del _attached[name]
+    try:
+        segment = shared_memory.SharedMemory(name=view.name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        # Attaching registers the name with the resource tracker.
+        # Under the fork start method (this runtime's pools) the
+        # tracker process is shared with the parent, so the duplicate
+        # registration is a set no-op and must NOT be unregistered --
+        # that would strip the parent's own registration and make the
+        # final unlink complain.  Under spawn, where workers run their
+        # own tracker, the registration is undone so a worker exiting
+        # cannot unlink a segment other processes still use.
+        segment = shared_memory.SharedMemory(name=view.name)
+        if multiprocessing.get_start_method(allow_none=True) == "spawn":
+            try:
+                resource_tracker.unregister(segment._name,  # noqa: SLF001
+                                            "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals
+                pass
+    array = np.ndarray(view.shape, dtype=np.dtype(view.dtype),
+                       buffer=segment.buf)
+    array.flags.writeable = False
+    _attached[view.name] = (segment, array)
+    return array

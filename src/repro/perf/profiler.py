@@ -88,11 +88,7 @@ class ProfileReport:
         """Cache activity summed over all phases."""
         total = CacheStats()
         for phase in self.phases:
-            total.hits += phase.cache.hits
-            total.misses += phase.cache.misses
-            total.evictions += phase.cache.evictions
-            total.disk_hits += phase.cache.disk_hits
-            total.corrupt += phase.cache.corrupt
+            total.merge(phase.cache)
         return total
 
     @property
@@ -162,12 +158,7 @@ class Profiler:
         finally:
             record.wall_s += time.perf_counter() - start
             record.calls += 1
-            delta = shared_report_cache().stats.since(cache_before)
-            record.cache.hits += delta.hits
-            record.cache.misses += delta.misses
-            record.cache.evictions += delta.evictions
-            record.cache.disk_hits += delta.disk_hits
-            record.cache.corrupt += delta.corrupt
+            record.cache.merge(shared_report_cache().stats.since(cache_before))
             record.pool.merge(pool_stats().since(pool_before))
             record.gp.merge(gp_stats().since(gp_before))
             record.batch.merge(batch_stats().since(batch_before))
@@ -279,6 +270,20 @@ def render_profile(report: ProfileReport) -> str:
             f"{pool.poisoned_chunks} poisoned, "
             f"{pool.unpicklable_chunks} unpicklable, "
             f"{pool.serial_fallback_chunks} serial-fallback chunks")
+    if pool.warm_dispatches or pool.shm_batches:
+        lines.append(
+            f"warm runtime: {pool.warm_dispatches} warm dispatches "
+            f"({pool.cold_dispatches} cold), "
+            f"{pool.warm_pool_spawns} pool spawns, "
+            f"{pool.warm_pool_reuses} reuses, "
+            f"{pool.shm_batches} shm batches "
+            f"({pool.shm_bytes / 1e6:.2f} MB zero-copy)")
+    if overall.disk_writes or overall.disk_evictions or overall.migrated:
+        lines.append(
+            f"disk cache: {overall.disk_hits} hits, "
+            f"{overall.disk_writes} writes, "
+            f"{overall.disk_evictions} evictions, "
+            f"{overall.migrated} migrated from legacy layout")
     if overall.corrupt:
         lines.append(f"cache entries quarantined: {overall.corrupt}")
     for name in sorted(report.counters):

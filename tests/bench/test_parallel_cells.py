@@ -1,0 +1,160 @@
+"""Concurrent bench-cell scheduling.
+
+The load-bearing property: a sweep run at any ``cell_parallel`` width
+produces a report byte-identical to the sequential oracle -- including
+after a mid-sweep kill and resume -- because every cell is
+deterministic given (seed, task, budget) and the concurrent path runs
+each cell on its own pipeline clone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    BenchManifest,
+    BenchRunner,
+    build_suite,
+    render_bench_report,
+    resolve_cell_parallel,
+)
+from repro.bench.runner import BENCH_PARALLEL_ENV
+from repro.cli import main
+from repro.core.pipeline import AutoPilot
+from repro.core.workers import shutdown_warm_pool
+from repro.errors import CheckpointError, ConfigError
+from repro.testing import faults
+
+SUITE_IDS = ["dense", "corridor-narrow", "open-field", "low"]
+BENCH_ARGS = ["bench", "--tags", "smoke", "--platforms", "nano",
+              "--budget", "6", "--seed", "3"]
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    faults.uninstall_injector()
+    yield
+    faults.uninstall_injector()
+    shutdown_warm_pool()
+
+
+class TestResolveCellParallel:
+    def test_default_is_sequential(self, monkeypatch):
+        monkeypatch.delenv(BENCH_PARALLEL_ENV, raising=False)
+        assert resolve_cell_parallel() == 1
+        assert resolve_cell_parallel(None) == 1
+
+    def test_env_resolves(self, monkeypatch):
+        monkeypatch.setenv(BENCH_PARALLEL_ENV, "3")
+        assert resolve_cell_parallel() == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BENCH_PARALLEL_ENV, "3")
+        assert resolve_cell_parallel(2) == 2
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        monkeypatch.setenv(BENCH_PARALLEL_ENV, "many")
+        with pytest.raises(ConfigError, match="integer"):
+            resolve_cell_parallel()
+        with pytest.raises(ConfigError, match="positive"):
+            resolve_cell_parallel(0)
+
+
+class TestConcurrentCells:
+    def test_parallel_report_byte_equal_to_sequential(self):
+        suite = build_suite(ids=SUITE_IDS, platforms=["nano"])
+        sequential = BenchRunner(AutoPilot(seed=3), budget=6).run(suite)
+        parallel = BenchRunner(AutoPilot(seed=3), budget=6,
+                               cell_parallel=2).run(suite)
+        assert (render_bench_report(parallel.metrics)
+                == render_bench_report(sequential.metrics))
+        # Results are keyed and ordered identically.
+        assert list(parallel.results) == list(sequential.results)
+
+    def test_parallel_width_above_cell_count(self):
+        suite = build_suite(ids=["dense"], platforms=["nano"])
+        result = BenchRunner(AutoPilot(seed=3), budget=6,
+                             cell_parallel=8).run(suite)
+        assert len(result.metrics) == 1
+
+    def test_parallel_checkpoint_then_resume_is_identical(self, tmp_path):
+        suite = build_suite(ids=["dense", "open-field"], platforms=["nano"])
+        fresh = BenchRunner(AutoPilot(seed=3), budget=6).run(suite)
+        bench_dir = tmp_path / "bench"
+        BenchRunner(AutoPilot(seed=3), budget=6, cell_parallel=2,
+                    checkpoint_dir=bench_dir).run(suite)
+        resumed = BenchRunner(AutoPilot(seed=3), budget=6, cell_parallel=2,
+                              checkpoint_dir=bench_dir,
+                              resume=True).run(suite)
+        assert (render_bench_report(resumed.metrics)
+                == render_bench_report(fresh.metrics))
+        manifest = BenchManifest.load(bench_dir)
+        assert set(manifest.cells.values()) == {"complete"}
+        assert manifest.bench_parallel == 2
+
+    def test_manifest_records_pool_and_width(self, tmp_path):
+        suite = build_suite(ids=["dense"], platforms=["nano"])
+        bench_dir = tmp_path / "bench"
+        BenchRunner(AutoPilot(seed=3, pool="warm"), budget=6,
+                    cell_parallel=2, checkpoint_dir=bench_dir).run(suite)
+        manifest = BenchManifest.load(bench_dir)
+        assert manifest.pool == "warm"
+        assert manifest.bench_parallel == 2
+
+    def test_resume_under_different_pool_refused(self, tmp_path):
+        suite = build_suite(ids=["dense"], platforms=["nano"])
+        bench_dir = tmp_path / "bench"
+        BenchRunner(AutoPilot(seed=3, pool="cold"), budget=6,
+                    checkpoint_dir=bench_dir).run(suite)
+        with pytest.raises(CheckpointError, match="pool"):
+            BenchRunner(AutoPilot(seed=3, pool="warm"), budget=6,
+                        checkpoint_dir=bench_dir, resume=True).run(suite)
+
+    def test_resume_at_different_width_is_allowed(self, tmp_path):
+        # bench_parallel is a scheduling knob, not sweep identity: a
+        # checkpointed sequential sweep may resume concurrently.
+        suite = build_suite(ids=["dense", "open-field"], platforms=["nano"])
+        fresh = BenchRunner(AutoPilot(seed=3), budget=6).run(suite)
+        bench_dir = tmp_path / "bench"
+        BenchRunner(AutoPilot(seed=3), budget=6,
+                    checkpoint_dir=bench_dir).run(suite)
+        resumed = BenchRunner(AutoPilot(seed=3), budget=6, cell_parallel=2,
+                              checkpoint_dir=bench_dir,
+                              resume=True).run(suite)
+        assert (render_bench_report(resumed.metrics)
+                == render_bench_report(fresh.metrics))
+
+    def test_warm_pool_parallel_sweep_matches_oracle(self):
+        suite = build_suite(ids=["dense", "low"], platforms=["nano"])
+        oracle = BenchRunner(AutoPilot(seed=3), budget=6).run(suite)
+        warm = BenchRunner(AutoPilot(seed=3, pool="warm"), budget=6,
+                           cell_parallel=2).run(suite)
+        assert (render_bench_report(warm.metrics)
+                == render_bench_report(oracle.metrics))
+
+
+class TestKillAndResume:
+    def test_kill_mid_concurrent_sweep_resumes_identically(self, tmp_path,
+                                                           capsys):
+        assert main(BENCH_ARGS) == 0
+        baseline = capsys.readouterr().out
+
+        bench_dir = tmp_path / "bench"
+        with pytest.raises(faults.SimulatedKill):
+            with faults.active_faults("kill@checkpoint-write:40"):
+                main(BENCH_ARGS + ["--checkpoint-dir", str(bench_dir),
+                                   "--bench-parallel", "2"])
+        capsys.readouterr()
+        assert main(["bench", "--resume", str(bench_dir),
+                     "--bench-parallel", "2"]) == 0
+        assert capsys.readouterr().out == baseline
+
+    def test_resume_restores_recorded_width_by_default(self, tmp_path,
+                                                       capsys):
+        bench_dir = tmp_path / "bench"
+        assert main(["bench", "--scenarios", "dense", "--platforms", "nano",
+                     "--budget", "4", "--bench-parallel", "2",
+                     "--checkpoint-dir", str(bench_dir)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "--resume", str(bench_dir)]) == 0
+        assert BenchManifest.load(bench_dir).bench_parallel == 2

@@ -1,0 +1,261 @@
+"""The warm worker-pool runtime and shared-memory batch transport.
+
+The load-bearing invariant: warm-pool runs are bit-identical to the
+cold oracle (and to the serial path) -- the persistent executor and the
+zero-copy transport are pure dispatch optimisations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import (
+    BatchDssocEvaluator,
+    RetryPolicy,
+    parallel_map,
+    pool_stats,
+)
+from repro.core.workers import (
+    POOL_ENV,
+    ShmView,
+    attach_view,
+    publish_array,
+    resolve_pool_mode,
+    shutdown_warm_pool,
+    unpublish,
+    warm_pool,
+)
+from repro.core.evalcache import reset_shared_cache
+from repro.errors import ConfigError
+from repro.nn.template import FILTER_CHOICES, LAYER_CHOICES, PolicyHyperparams
+from repro.scalesim.config import AcceleratorConfig, Dataflow
+from repro.soc.batch import design_from_row, pack_design_matrix
+from repro.soc.dssoc import DssocDesign
+from repro.testing import faults
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_s=0.0)
+
+ITEMS = list(range(23))
+EXPECTED = [x * x for x in ITEMS]
+
+
+def _square(x):
+    return x * x
+
+
+def _type_boom(x):
+    raise TypeError(f"worker-raised TypeError on {x}")
+
+
+def _attr_boom(x):
+    raise AttributeError(f"worker-raised AttributeError on {x}")
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    faults.uninstall_injector()
+    shutdown_warm_pool()
+    yield
+    faults.uninstall_injector()
+    shutdown_warm_pool()
+
+
+def _designs(count, seed=0):
+    rng = np.random.default_rng(seed)
+    designs = []
+    for _ in range(count):
+        policy = PolicyHyperparams(
+            num_layers=int(rng.choice(LAYER_CHOICES)),
+            num_filters=int(rng.choice(FILTER_CHOICES)))
+        config = AcceleratorConfig(
+            pe_rows=int(rng.choice((8, 16, 32))),
+            pe_cols=int(rng.choice((8, 16, 32))),
+            ifmap_sram_kb=int(rng.choice((32, 64, 128))),
+            filter_sram_kb=int(rng.choice((32, 64, 128))),
+            ofmap_sram_kb=int(rng.choice((32, 64, 128))),
+            dataflow=Dataflow(rng.choice([f.value for f in Dataflow])))
+        designs.append(DssocDesign(policy=policy, accelerator=config))
+    return designs
+
+
+class TestResolvePoolMode:
+    def test_default_is_cold(self, monkeypatch):
+        monkeypatch.delenv(POOL_ENV, raising=False)
+        assert resolve_pool_mode() == "cold"
+        assert resolve_pool_mode(None) == "cold"
+
+    def test_env_resolves(self, monkeypatch):
+        monkeypatch.setenv(POOL_ENV, "warm")
+        assert resolve_pool_mode() == "warm"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(POOL_ENV, "warm")
+        assert resolve_pool_mode("cold") == "cold"
+
+    def test_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv(POOL_ENV, "tepid")
+        with pytest.raises(ConfigError, match="pool mode"):
+            resolve_pool_mode()
+        with pytest.raises(ConfigError, match="pool mode"):
+            resolve_pool_mode("lukewarm")
+
+
+class TestWarmPool:
+    def test_acquire_reuses_executor(self):
+        pool = warm_pool()
+        first = pool.acquire(2)
+        second = pool.acquire(2)
+        assert first.spawned and not second.spawned
+        assert first.executor is second.executor
+        assert first.generation == second.generation
+
+    def test_acquire_grows_but_never_shrinks(self):
+        pool = warm_pool()
+        big = pool.acquire(3)
+        small = pool.acquire(1)
+        assert not small.spawned
+        assert small.executor is big.executor
+        assert pool.workers == 3
+
+    def test_refresh_is_idempotent_per_generation(self):
+        pool = warm_pool()
+        lease = pool.acquire(2)
+        first = pool.refresh(lease.generation)
+        # A second caller holding the same (stale) generation must not
+        # trigger another respawn: it is handed the fresh executor.
+        second = pool.refresh(lease.generation)
+        assert first.spawned and not second.spawned
+        assert first.executor is second.executor
+        assert first.executor is not lease.executor
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ConfigError, match="positive"):
+            warm_pool().acquire(0)
+
+
+class TestSharedMemoryTransport:
+    def test_publish_attach_roundtrip(self):
+        array = np.arange(24, dtype=np.float64).reshape(4, 6)
+        view, segment = publish_array(array)
+        try:
+            attached = attach_view(view)
+            assert attached.dtype == array.dtype
+            assert attached.shape == array.shape
+            np.testing.assert_array_equal(attached, array)
+            assert not attached.flags.writeable
+        finally:
+            unpublish(segment)
+
+    def test_attach_is_cached_per_segment(self):
+        view, segment = publish_array(np.ones((3, 3)))
+        try:
+            assert attach_view(view) is attach_view(view)
+        finally:
+            unpublish(segment)
+
+    def test_view_is_picklable(self):
+        import pickle
+
+        view = ShmView(name="psm_test", shape=(2, 3), dtype="float64")
+        assert pickle.loads(pickle.dumps(view)) == view
+
+    def test_design_matrix_roundtrip_is_exact(self):
+        designs = _designs(16, seed=11)
+        matrix = pack_design_matrix(designs)
+        assert matrix.shape == (16, 10)
+        for row, design in zip(matrix, designs):
+            assert design_from_row(row) == design
+
+
+class TestWarmParallelMap:
+    def test_bit_identical_to_cold_and_serial(self):
+        serial = parallel_map(_square, ITEMS, workers=1)
+        cold = parallel_map(_square, ITEMS, workers=2, chunksize=4,
+                            pool="cold")
+        warm = parallel_map(_square, ITEMS, workers=2, chunksize=4,
+                            pool="warm")
+        assert serial == cold == warm == EXPECTED
+
+    def test_warm_counters(self):
+        before = pool_stats().snapshot()
+        parallel_map(_square, ITEMS, workers=2, chunksize=4, pool="warm")
+        parallel_map(_square, ITEMS, workers=2, chunksize=4, pool="warm")
+        delta = pool_stats().since(before)
+        assert delta.warm_dispatches == 12
+        assert delta.cold_dispatches == 0
+        assert delta.warm_pool_spawns == 1
+        assert delta.warm_pool_reuses == 1
+
+    def test_cold_counters_untouched_by_default(self):
+        before = pool_stats().snapshot()
+        parallel_map(_square, ITEMS, workers=2, chunksize=4)
+        delta = pool_stats().since(before)
+        assert delta.cold_dispatches == 6
+        assert delta.warm_dispatches == 0
+        assert delta.warm_pool_spawns == 0
+
+    def test_crash_recovery_under_warm_pool(self):
+        before = pool_stats().snapshot()
+        with faults.active_faults("crash@pool-task:11"):
+            result = parallel_map(_square, ITEMS, workers=2, chunksize=4,
+                                  retry=FAST_RETRY, pool="warm")
+        assert result == EXPECTED
+        delta = pool_stats().since(before)
+        assert delta.chunk_retries >= 1
+        # The respawn went through the warm pool, which survives.
+        assert warm_pool().workers >= 2
+        assert parallel_map(_square, ITEMS, workers=2, chunksize=4,
+                            pool="warm") == EXPECTED
+
+
+class TestUnpicklableNarrowing:
+    """A worker-raised TypeError/AttributeError must surface as itself.
+
+    Before the probe-pickle narrowing, any TypeError escaping a chunk
+    was misclassified as an unpicklable payload and silently rerouted
+    to the serial fallback -- which then raised the error without the
+    retry machinery ever seeing it, and miscounted the failure mode.
+    """
+
+    @pytest.mark.parametrize("fn,exc", [(_type_boom, TypeError),
+                                        (_attr_boom, AttributeError)])
+    @pytest.mark.parametrize("pool", ["cold", "warm"])
+    def test_worker_raised_error_is_not_misrouted(self, fn, exc, pool):
+        before = pool_stats().snapshot()
+        with pytest.raises(exc, match="worker-raised"):
+            parallel_map(fn, ITEMS, workers=2, chunksize=4,
+                         retry=FAST_RETRY, pool=pool)
+        delta = pool_stats().since(before)
+        # Classified as an application error: retried then poisoned,
+        # never counted against the unpicklable path.
+        assert delta.unpicklable_chunks == 0
+        assert delta.chunk_failures >= 1
+
+    def test_lambda_still_degrades_to_serial(self):
+        before = pool_stats().snapshot()
+        result = parallel_map(lambda x: x * x, ITEMS, workers=2,
+                              chunksize=4, pool="warm")
+        assert result == EXPECTED
+        delta = pool_stats().since(before)
+        assert delta.unpicklable_chunks >= 1
+        assert delta.chunk_retries == 0
+
+
+class TestWarmBatchEvaluator:
+    def test_warm_batches_bit_identical_to_cold(self):
+        designs = _designs(12, seed=5)
+        reset_shared_cache()
+        cold_reports = BatchDssocEvaluator(
+            workers=2, pool="cold").evaluate_batch(designs)
+        # Clear the shared cache so the warm path actually simulates
+        # (a populated cache would serve every design without ever
+        # publishing a shared-memory batch).
+        reset_shared_cache()
+        before = pool_stats().snapshot()
+        warm_reports = BatchDssocEvaluator(
+            workers=2, pool="warm").evaluate_batch(designs)
+        delta = pool_stats().since(before)
+        assert warm_reports == cold_reports
+        assert delta.shm_batches >= 1
+        assert delta.shm_bytes >= 12 * 10 * 8
